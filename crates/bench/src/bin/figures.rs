@@ -1,0 +1,70 @@
+//! Regenerate every table/figure of the AmpNet reproduction.
+//!
+//! ```text
+//! cargo run -p ampnet-bench --release --bin figures          # everything
+//! cargo run -p ampnet-bench --release --bin figures -- E8    # one experiment
+//! cargo run -p ampnet-bench --release --bin figures -- --json out.json
+//! ```
+
+use ampnet_bench::experiments as ex;
+use ampnet_bench::host_seqlock::e5_host_seqlock;
+use ampnet_bench::report::Table;
+
+fn all_tables(quick: bool) -> Vec<Table> {
+    let trials = if quick { 100 } else { 400 };
+    vec![
+        ex::e1_type_table(),
+        ex::e2_wire_formats(),
+        ex::e3_multi_stream(),
+        ex::e4_flow_control(8),
+        ex::e4_flow_control(16),
+        ex::a1_pacing_ablation(),
+        ex::e5_seqlock(true),
+        e5_host_seqlock(if quick { 20_000 } else { 200_000 }, 4),
+        ex::e5_seqlock(false), // A2
+        ex::e6_semaphores(),
+        ex::e7_redundancy(6, trials),
+        ex::e7b_analytic(6, trials),
+        ex::e8_rostering(),
+        ex::a3_roster_ablation(),
+        ex::e9_assimilation(),
+        ex::e10_failover(),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let filter: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && Some(a.as_str()) != json_path.as_deref())
+        .collect();
+
+    println!("AmpNet reproduction — experiment harness");
+    println!("(paper: Apon & Wilbur, 'AmpNet — A Highly Available Cluster");
+    println!(" Interconnection Network', IPDPS workshops 2003)");
+
+    let tables: Vec<Table> = all_tables(quick)
+        .into_iter()
+        .filter(|t| {
+            filter.is_empty() || filter.iter().any(|f| t.id.eq_ignore_ascii_case(f))
+        })
+        .collect();
+    if tables.is_empty() {
+        eprintln!("no experiment matches {filter:?}; ids are E1..E10, E5b, E7b, A1..A3");
+        std::process::exit(2);
+    }
+    for t in &tables {
+        print!("{}", t.render());
+    }
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&tables).expect("serializable");
+        std::fs::write(&path, json).expect("write json");
+        println!("\nwrote {path}");
+    }
+}

@@ -1,0 +1,9 @@
+//! # ampnet-bench — the experiment harness
+//!
+//! One function per paper claim (experiments E1–E10, ablations A1–A3);
+//! the `figures` binary renders them all. See `EXPERIMENTS.md` at the
+//! workspace root for the paper-vs-measured record.
+
+pub mod experiments;
+pub mod host_seqlock;
+pub mod report;

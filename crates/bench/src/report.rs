@@ -1,0 +1,131 @@
+//! Table rendering and result persistence for the figure harness.
+
+use serde::Serialize;
+use std::fmt::Display;
+
+/// A printable experiment table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment id (e.g. "E8").
+    pub id: String,
+    /// Title shown above the table.
+    pub title: String,
+    /// The paper's claim this table checks.
+    pub claim: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+    /// Verdict lines appended after the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(id: &str, title: &str, claim: &str, columns: &[&str]) -> Table {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            claim: claim.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: vec![],
+            notes: vec![],
+        }
+    }
+
+    /// Append a row (anything displayable).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    /// Append a verdict/note line.
+    pub fn note(&mut self, s: impl Display) {
+        self.notes.push(s.to_string());
+    }
+
+    /// Render to a string with aligned columns.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("\n== {}: {} ==\n", self.id, self.title));
+        out.push_str(&format!("   claim: {}\n\n", self.claim));
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("  ");
+            for (cell, w) in cells.iter().zip(widths) {
+                line.push_str(&format!("{cell:>w$}  ", w = w));
+            }
+            line.trim_end().to_string() + "\n"
+        };
+        out.push_str(&fmt_row(&self.columns, &widths));
+        out.push_str(&format!(
+            "  {}\n",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        ));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  -> {note}\n"));
+        }
+        out
+    }
+}
+
+/// Round to 2 decimals for table cells.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Round to 3 decimals for table cells.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Nanoseconds as milliseconds with 3 decimals.
+pub fn ns_ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+/// Nanoseconds as microseconds with 1 decimal.
+pub fn ns_us(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders() {
+        let mut t = Table::new("E0", "demo", "x", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("fine");
+        let s = t.render();
+        assert!(s.contains("E0"));
+        assert!(s.contains("-> fine"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("E0", "demo", "x", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(ns_ms(1_500_000), "1.500");
+        assert_eq!(ns_us(2_500), "2.5");
+    }
+}

@@ -1,0 +1,119 @@
+//! Regression pins: every experiment's verdict line must keep saying
+//! CONFIRMED/MATCH. These are the repository's acceptance tests — if a
+//! code change breaks a paper claim, this file fails.
+
+use ampnet_bench::experiments as ex;
+
+fn assert_verdict(notes: &[String], needle: &str) {
+    assert!(
+        notes.iter().any(|n| n.contains(needle)),
+        "expected a note containing {needle:?}, got {notes:?}"
+    );
+}
+
+#[test]
+fn e1_verdict() {
+    assert_verdict(&ex::e1_type_table().notes, "MATCH");
+}
+
+#[test]
+fn e3_both_streams_progress() {
+    let t = ex::e3_multi_stream();
+    for row in &t.rows {
+        assert_eq!(row.last().unwrap(), "true", "{row:?}");
+    }
+    assert_verdict(&t.notes, "drops = 0");
+}
+
+#[test]
+fn e4_verdict_confirmed() {
+    assert_verdict(&ex::e4_flow_control(6).notes, "CONFIRMED");
+}
+
+#[test]
+fn e5_guarded_zero_torn() {
+    assert_verdict(&ex::e5_seqlock(true).notes, "CONFIRMED");
+}
+
+#[test]
+fn a2_unguarded_tears() {
+    let t = ex::e5_seqlock(false);
+    assert_verdict(&t.notes, "load-bearing");
+    // The torn column must be nonzero in at least one row.
+    let total_torn: u64 = t
+        .rows
+        .iter()
+        .map(|r| r.last().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert!(total_torn > 0);
+}
+
+#[test]
+fn e6_verdict_confirmed() {
+    assert_verdict(&ex::e6_semaphores().notes, "CONFIRMED");
+}
+
+#[test]
+fn e7_verdict_confirmed() {
+    assert_verdict(&ex::e7_redundancy(6, 120).notes, "CONFIRMED");
+}
+
+#[test]
+fn e7b_within_envelope() {
+    assert_verdict(&ex::e7b_analytic(6, 150).notes, "CONFIRMED");
+}
+
+#[test]
+fn e8_two_tours_everywhere() {
+    let t = ex::e8_rostering();
+    for row in &t.rows {
+        let tours: f64 = row.last().unwrap().parse().unwrap();
+        assert!(
+            (1.9..=3.0).contains(&tours),
+            "ring tours out of band in {row:?}"
+        );
+    }
+}
+
+#[test]
+fn e9_admission_matrix_shape() {
+    let t = ex::e9_assimilation();
+    let admitted = t
+        .rows
+        .iter()
+        .filter(|r| r[2].contains("ADMITTED"))
+        .count();
+    let rejected = t
+        .rows
+        .iter()
+        .filter(|r| r[2].contains("REJECTED"))
+        .count();
+    assert_eq!(admitted, 6, "2 compatible + 4 size-sweep rows");
+    assert_eq!(rejected, 5, "5 distinct rejection reasons");
+}
+
+#[test]
+fn e10_verdicts_confirmed() {
+    let t = ex::e10_failover();
+    assert_verdict(&t.notes, "no loss of data");
+    let confirms = t.notes.iter().filter(|n| n.contains("CONFIRMED")).count();
+    assert_eq!(confirms, 2, "data-loss and best-qualified both confirmed");
+}
+
+#[test]
+fn a1_governor_is_cheap() {
+    let t = ex::a1_pacing_ablation();
+    // Both rows drop nothing.
+    for row in &t.rows {
+        assert_eq!(row[2], "0", "drops in {row:?}");
+    }
+}
+
+#[test]
+fn a3_database_speedup() {
+    let t = ex::a3_roster_ablation();
+    for row in &t.rows {
+        let slowdown: f64 = row.last().unwrap().parse().unwrap();
+        assert!(slowdown > 1.5, "naive should be clearly slower: {row:?}");
+    }
+}

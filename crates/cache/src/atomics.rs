@@ -1,0 +1,206 @@
+//! D64 Atomic execution — the optional MicroPacket type (slide 4)
+//! underpinning network semaphores (slide 10).
+//!
+//! Every 64-bit word of a region has a *home node* (the region's
+//! configured owner). Atomic requests travel to the home node as D64
+//! MicroPackets; the home node applies the operation to its replica,
+//! broadcasts the new value as an ordinary cache update so all
+//! replicas converge, and returns the *previous* value to the
+//! requester in a RESPONSE packet. Serialization at the home node is
+//! what makes the operations atomic network-wide.
+
+use crate::store::{CacheError, NetworkCache};
+use ampnet_packet::build::{self, AtomicOp, AtomicRequest};
+use ampnet_packet::MicroPacket;
+
+/// Result of executing an atomic at the home node.
+#[derive(Debug, Clone)]
+pub struct AtomicEffect {
+    /// Value of the word before the operation.
+    pub previous: u64,
+    /// Value after (equal to `previous` for `Read`).
+    pub current: u64,
+    /// Response packet for the requester.
+    pub response: MicroPacket,
+    /// Broadcast update packets propagating the new value (empty for
+    /// `Read`).
+    pub updates: Vec<MicroPacket>,
+}
+
+/// Apply `req` (received from `requester`) against the home node's
+/// replica.
+pub fn execute(
+    cache: &mut NetworkCache,
+    requester: u8,
+    req: AtomicRequest,
+) -> Result<AtomicEffect, CacheError> {
+    let previous = cache.read_u64(req.region, req.offset)?;
+    let current = match req.op {
+        // Set-if-zero with an owner tag (operand; 0 means anonymous
+        // "1"). Tagged TAS makes lock acquisition idempotent: a
+        // retransmitted request finds its own tag and learns it
+        // already holds the lock.
+        AtomicOp::TestAndSet => {
+            if previous == 0 {
+                if req.operand == 0 {
+                    1
+                } else {
+                    req.operand as u64
+                }
+            } else {
+                previous
+            }
+        }
+        // Clear-if-owner (operand = owner tag; 0 clears
+        // unconditionally). A stale duplicate release cannot free a
+        // lock someone else has since acquired.
+        AtomicOp::Clear => {
+            if req.operand == 0 || previous == req.operand as u64 {
+                0
+            } else {
+                previous
+            }
+        }
+        AtomicOp::FetchAdd => previous.wrapping_add(req.operand as i32 as i64 as u64),
+        AtomicOp::Swap => req.operand as u64,
+        AtomicOp::Read => previous,
+    };
+    let mut updates = vec![];
+    if current != previous {
+        cache.write_u64_local(req.region, req.offset, current)?;
+        updates = NetworkCache::segment_packets(
+            cache.node(),
+            ampnet_packet::BROADCAST,
+            req.region,
+            req.offset,
+            &current.to_be_bytes(),
+            0,
+            0,
+        );
+    }
+    let response = build::atomic_response(cache.node(), requester, req.op, previous);
+    Ok(AtomicEffect {
+        previous,
+        current,
+        response,
+        updates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn home() -> NetworkCache {
+        let mut c = NetworkCache::new(6);
+        c.define_region(3, 256).unwrap();
+        c
+    }
+
+    fn req(op: AtomicOp, operand: u32) -> AtomicRequest {
+        AtomicRequest {
+            op,
+            region: 3,
+            offset: 16,
+            operand,
+        }
+    }
+
+    #[test]
+    fn test_and_set_returns_previous() {
+        let mut c = home();
+        let e1 = execute(&mut c, 2, req(AtomicOp::TestAndSet, 0)).unwrap();
+        assert_eq!(e1.previous, 0, "lock was free");
+        assert_eq!(e1.current, 1);
+        let e2 = execute(&mut c, 3, req(AtomicOp::TestAndSet, 0)).unwrap();
+        assert_eq!(e2.previous, 1, "second taker sees it held");
+        assert_eq!(e2.current, 1);
+        assert!(e2.updates.is_empty(), "no change, no broadcast");
+    }
+
+    #[test]
+    fn tagged_tas_is_idempotent_for_owner() {
+        let mut c = home();
+        let e1 = execute(&mut c, 2, req(AtomicOp::TestAndSet, 3)).unwrap();
+        assert_eq!((e1.previous, e1.current), (0, 3), "acquired with tag 3");
+        // Retransmitted request: owner recognizes its own tag.
+        let e2 = execute(&mut c, 2, req(AtomicOp::TestAndSet, 3)).unwrap();
+        assert_eq!((e2.previous, e2.current), (3, 3));
+        // A different tag is refused.
+        let e3 = execute(&mut c, 4, req(AtomicOp::TestAndSet, 5)).unwrap();
+        assert_eq!((e3.previous, e3.current), (3, 3));
+    }
+
+    #[test]
+    fn clear_releases() {
+        let mut c = home();
+        execute(&mut c, 2, req(AtomicOp::TestAndSet, 0)).unwrap();
+        let e = execute(&mut c, 2, req(AtomicOp::Clear, 0)).unwrap();
+        assert_eq!(e.previous, 1);
+        assert_eq!(e.current, 0);
+        assert_eq!(c.read_u64(3, 16).unwrap(), 0);
+    }
+
+    #[test]
+    fn clear_if_owner_refuses_stale_release() {
+        let mut c = home();
+        execute(&mut c, 2, req(AtomicOp::TestAndSet, 3)).unwrap();
+        // A stale Clear tagged with a different owner does nothing.
+        let e = execute(&mut c, 9, req(AtomicOp::Clear, 7)).unwrap();
+        assert_eq!((e.previous, e.current), (3, 3));
+        assert!(e.updates.is_empty());
+        // The owner's Clear works.
+        let e = execute(&mut c, 2, req(AtomicOp::Clear, 3)).unwrap();
+        assert_eq!((e.previous, e.current), (3, 0));
+    }
+
+    #[test]
+    fn fetch_add_signed() {
+        let mut c = home();
+        let e = execute(&mut c, 1, req(AtomicOp::FetchAdd, 5)).unwrap();
+        assert_eq!((e.previous, e.current), (0, 5));
+        // Negative addend (two's complement u32).
+        let minus2 = (-2i32) as u32;
+        let e = execute(&mut c, 1, req(AtomicOp::FetchAdd, minus2)).unwrap();
+        assert_eq!((e.previous, e.current), (5, 3));
+    }
+
+    #[test]
+    fn swap_and_read() {
+        let mut c = home();
+        let e = execute(&mut c, 1, req(AtomicOp::Swap, 77)).unwrap();
+        assert_eq!((e.previous, e.current), (0, 77));
+        let e = execute(&mut c, 1, req(AtomicOp::Read, 0)).unwrap();
+        assert_eq!((e.previous, e.current), (77, 77));
+        assert!(e.updates.is_empty());
+    }
+
+    #[test]
+    fn response_addressed_to_requester() {
+        let mut c = home();
+        let e = execute(&mut c, 9, req(AtomicOp::TestAndSet, 0)).unwrap();
+        assert_eq!(e.response.ctrl.dst, 9);
+        assert_eq!(e.response.ctrl.src, 6);
+        let parsed = build::parse_atomic_response(&e.response).unwrap();
+        assert_eq!(parsed, (AtomicOp::TestAndSet, 0));
+    }
+
+    #[test]
+    fn updates_converge_replicas() {
+        let mut home_cache = home();
+        let mut replica = NetworkCache::new(1);
+        replica.define_region(3, 256).unwrap();
+        let e = execute(&mut home_cache, 1, req(AtomicOp::Swap, 0xFEED)).unwrap();
+        for u in &e.updates {
+            replica.apply_packet(u).unwrap();
+        }
+        assert_eq!(replica.read_u64(3, 16).unwrap(), 0xFEED);
+        assert!(home_cache.converged_with(&replica));
+    }
+
+    #[test]
+    fn missing_region_errors() {
+        let mut c = NetworkCache::new(0);
+        assert!(execute(&mut c, 1, req(AtomicOp::Read, 0)).is_err());
+    }
+}

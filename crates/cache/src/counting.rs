@@ -1,0 +1,297 @@
+//! Counting network semaphores — the multi-permit variant of slide 10,
+//! built on the D64 `FetchAdd` primitive.
+//!
+//! The semaphore word holds the number of free permits. `P` (acquire)
+//! issues `FetchAdd(-1)`: if the *previous* value was positive, a
+//! permit was taken; otherwise the decrement overshot and the client
+//! immediately compensates with `FetchAdd(+1)` and backs off. `V`
+//! (release) is `FetchAdd(+1)`. All arithmetic is serialized at the
+//! home node, so permits can never be double-granted.
+
+use crate::semaphore::{BackoffPolicy, SemaphoreAddr};
+use ampnet_packet::build::{self, AtomicOp, AtomicRequest};
+use ampnet_packet::MicroPacket;
+use ampnet_sim::{SimDuration, SimTime};
+
+/// Client state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CountingState {
+    /// No permit held, nothing outstanding.
+    Idle,
+    /// `FetchAdd(-1)` in flight.
+    Acquiring,
+    /// Overshot: compensating `FetchAdd(+1)` in flight.
+    Compensating,
+    /// Waiting out a backoff before retrying.
+    Backoff(SimTime),
+    /// Holding one permit.
+    Holding,
+    /// `FetchAdd(+1)` release in flight.
+    Releasing,
+}
+
+/// What the caller must do next (mirrors the binary client's actions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CountingAction {
+    /// Send this request to the home node.
+    Send(MicroPacket),
+    /// Sleep until the instant, then call `poll`.
+    WaitUntil(SimTime),
+    /// Nothing to do.
+    None,
+}
+
+/// Sans-IO client for one counting semaphore.
+#[derive(Debug, Clone)]
+pub struct CountingClient {
+    node: u8,
+    addr: SemaphoreAddr,
+    state: CountingState,
+    policy: BackoffPolicy,
+    attempt: u32,
+    acquires: u64,
+    overshoots: u64,
+}
+
+impl CountingClient {
+    /// New client at `node` for the semaphore at `addr`. The word must
+    /// be initialized to the permit count by the semaphore's creator.
+    pub fn new(node: u8, addr: SemaphoreAddr, policy: BackoffPolicy) -> Self {
+        CountingClient {
+            node,
+            addr,
+            state: CountingState::Idle,
+            policy,
+            attempt: 0,
+            acquires: 0,
+            overshoots: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> CountingState {
+        self.state
+    }
+
+    /// Permits successfully acquired.
+    pub fn acquires(&self) -> u64 {
+        self.acquires
+    }
+
+    /// Overshoot compensations performed.
+    pub fn overshoots(&self) -> u64 {
+        self.overshoots
+    }
+
+    fn add_packet(&self, delta: i32) -> MicroPacket {
+        build::atomic_request(
+            self.node,
+            self.addr.home,
+            AtomicRequest {
+                op: AtomicOp::FetchAdd,
+                region: self.addr.region,
+                offset: self.addr.offset,
+                operand: delta as u32,
+            },
+        )
+    }
+
+    /// Begin acquiring a permit.
+    pub fn acquire(&mut self) -> CountingAction {
+        assert_eq!(self.state, CountingState::Idle, "acquire while {:?}", self.state);
+        self.state = CountingState::Acquiring;
+        self.attempt = 0;
+        CountingAction::Send(self.add_packet(-1))
+    }
+
+    /// Release the held permit.
+    pub fn release(&mut self) -> CountingAction {
+        assert_eq!(self.state, CountingState::Holding, "release while {:?}", self.state);
+        self.state = CountingState::Releasing;
+        CountingAction::Send(self.add_packet(1))
+    }
+
+    /// Feed a FetchAdd response addressed to this node.
+    pub fn on_response(&mut self, now: SimTime, pkt: &MicroPacket) -> CountingAction {
+        let Some((AtomicOp::FetchAdd, previous)) = build::parse_atomic_response(pkt) else {
+            return CountingAction::None;
+        };
+        match self.state {
+            CountingState::Acquiring => {
+                if (previous as i64) > 0 {
+                    self.state = CountingState::Holding;
+                    self.acquires += 1;
+                    CountingAction::None
+                } else {
+                    // Overshot below zero: give the phantom permit back.
+                    self.overshoots += 1;
+                    self.state = CountingState::Compensating;
+                    CountingAction::Send(self.add_packet(1))
+                }
+            }
+            CountingState::Compensating => {
+                self.attempt += 1;
+                let until = now + self.backoff_delay();
+                self.state = CountingState::Backoff(until);
+                CountingAction::WaitUntil(until)
+            }
+            CountingState::Releasing => {
+                self.state = CountingState::Idle;
+                CountingAction::None
+            }
+            _ => CountingAction::None,
+        }
+    }
+
+    /// Called when the backoff deadline passes.
+    pub fn poll(&mut self, now: SimTime) -> CountingAction {
+        match self.state {
+            CountingState::Backoff(until) if now >= until => {
+                self.state = CountingState::Acquiring;
+                CountingAction::Send(self.add_packet(-1))
+            }
+            CountingState::Backoff(until) => CountingAction::WaitUntil(until),
+            _ => CountingAction::None,
+        }
+    }
+
+    fn backoff_delay(&self) -> SimDuration {
+        let exp = self.attempt.saturating_sub(1).min(16);
+        let base = self.policy.base.saturating_mul(1u64 << exp);
+        let stagger = SimDuration::from_nanos(self.node as u64 * 131);
+        base.min(self.policy.max) + stagger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomics::execute;
+    use crate::store::NetworkCache;
+
+    fn addr() -> SemaphoreAddr {
+        SemaphoreAddr {
+            home: 0,
+            region: 1,
+            offset: 8,
+        }
+    }
+
+    fn home_with_permits(n: u64) -> NetworkCache {
+        let mut c = NetworkCache::new(0);
+        c.define_region(1, 64).unwrap();
+        c.write_u64_local(1, 8, n).unwrap();
+        c
+    }
+
+    /// Drive one exchange to quiescence: requests are executed at the
+    /// home synchronously; a `WaitUntil` (backoff) RETURNS — the
+    /// client stays in `Backoff` until the caller polls it later,
+    /// after other clients have had a chance to release.
+    fn drive(
+        client: &mut CountingClient,
+        home: &mut NetworkCache,
+        now: SimTime,
+        mut action: CountingAction,
+    ) -> SimTime {
+        loop {
+            match action {
+                CountingAction::Send(pkt) => {
+                    let req = build::parse_atomic_request(&pkt).unwrap();
+                    let effect = execute(home, pkt.ctrl.src, req).unwrap();
+                    action = client.on_response(now, &effect.response);
+                }
+                CountingAction::WaitUntil(t) => return t,
+                CountingAction::None => return now,
+            }
+        }
+    }
+
+    #[test]
+    fn permits_granted_up_to_count() {
+        let mut home = home_with_permits(2);
+        let mut a = CountingClient::new(1, addr(), Default::default());
+        let mut b = CountingClient::new(2, addr(), Default::default());
+        let act = a.acquire();
+        drive(&mut a, &mut home, SimTime(0), act);
+        assert_eq!(a.state(), CountingState::Holding);
+        let act = b.acquire();
+        drive(&mut b, &mut home, SimTime(0), act);
+        assert_eq!(b.state(), CountingState::Holding);
+        assert_eq!(home.read_u64(1, 8).unwrap(), 0, "no permits left");
+    }
+
+    #[test]
+    fn third_contender_overshoots_then_wins_after_release() {
+        let mut home = home_with_permits(1);
+        let mut a = CountingClient::new(1, addr(), Default::default());
+        let mut c = CountingClient::new(3, addr(), Default::default());
+        let act = a.acquire();
+        drive(&mut a, &mut home, SimTime(0), act);
+        // c overshoots: drives to Backoff via compensation.
+        let act = c.acquire();
+        let mut now = SimTime(0);
+        let t = drive(&mut c, &mut home, now, act);
+        assert!(matches!(c.state(), CountingState::Backoff(_)));
+        assert_eq!(c.overshoots(), 1);
+        assert_eq!(home.read_u64(1, 8).unwrap(), 0, "compensated back to 0");
+        // a releases; c retries and wins.
+        let act = a.release();
+        now = drive(&mut a, &mut home, now, act);
+        let retry = c.poll(t.max(now));
+        drive(&mut c, &mut home, t.max(now), retry);
+        assert_eq!(c.state(), CountingState::Holding);
+    }
+
+    #[test]
+    fn conservation_under_many_clients() {
+        // Permits are conserved: holders + free permits == initial.
+        let permits = 3u64;
+        let mut home = home_with_permits(permits);
+        let mut clients: Vec<CountingClient> = (1..=6)
+            .map(|i| CountingClient::new(i, addr(), Default::default()))
+            .collect();
+        let mut now = SimTime(0);
+        for round in 0..60 {
+            let i = round % clients.len();
+            match clients[i].state() {
+                CountingState::Idle => {
+                    let act = clients[i].acquire();
+                    now = drive(&mut clients[i], &mut home, now, act);
+                }
+                CountingState::Holding => {
+                    let act = clients[i].release();
+                    now = drive(&mut clients[i], &mut home, now, act);
+                }
+                CountingState::Backoff(t) => {
+                    let t = t.max(now);
+                    let act = clients[i].poll(t);
+                    now = drive(&mut clients[i], &mut home, t, act);
+                }
+                _ => {}
+            }
+            let holding = clients
+                .iter()
+                .filter(|c| c.state() == CountingState::Holding)
+                .count() as u64;
+            let free = home.read_u64(1, 8).unwrap();
+            assert_eq!(holding + free, permits, "round {round}");
+            assert!(holding <= permits);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "acquire while")]
+    fn double_acquire_panics() {
+        let mut c = CountingClient::new(1, addr(), Default::default());
+        c.acquire();
+        c.acquire();
+    }
+
+    #[test]
+    fn irrelevant_response_ignored() {
+        let mut c = CountingClient::new(1, addr(), Default::default());
+        let resp = build::atomic_response(0, 1, AtomicOp::TestAndSet, 0);
+        assert_eq!(c.on_response(SimTime(0), &resp), CountingAction::None);
+    }
+}

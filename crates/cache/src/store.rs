@@ -1,0 +1,359 @@
+//! The replicated network cache (slides 2, 9–11).
+//!
+//! "Use Network Cache to keep the same information at every node":
+//! every AmpNet NIC carries 2–256 MB of cache memory organized into
+//! *regions*. Writes are applied locally and broadcast as DMA
+//! MicroPackets; every replica applies them in source order (the ring
+//! preserves per-source FIFO), so all copies converge. Reads are
+//! local and instantaneous — that is the whole point of the design.
+
+use ampnet_packet::{build, DmaCtrl, MicroPacket, BROADCAST, MAX_DMA_PAYLOAD};
+use ampnet_phy::crc32;
+
+/// Identifier of a cache region (the DMA control `region` byte).
+pub type RegionId = u8;
+
+/// Errors from cache operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError {
+    /// Region not defined at this replica.
+    NoRegion(RegionId),
+    /// Access past the end of the region.
+    OutOfBounds {
+        /// Region accessed.
+        region: RegionId,
+        /// Requested offset.
+        offset: u32,
+        /// Requested length.
+        len: u32,
+        /// Region size.
+        size: u32,
+    },
+    /// Region already defined.
+    Exists(RegionId),
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::NoRegion(r) => write!(f, "region {r} not defined"),
+            CacheError::OutOfBounds {
+                region,
+                offset,
+                len,
+                size,
+            } => write!(
+                f,
+                "access [{offset}, {offset}+{len}) out of bounds of region {region} (size {size})"
+            ),
+            CacheError::Exists(r) => write!(f, "region {r} already defined"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+/// One node's replica of the network cache.
+#[derive(Debug, Clone)]
+pub struct NetworkCache {
+    node: u8,
+    regions: Vec<Option<Vec<u8>>>,
+    /// Writes applied (local + remote), for audit.
+    applied_writes: u64,
+}
+
+impl NetworkCache {
+    /// An empty cache replica owned by `node`.
+    pub fn new(node: u8) -> Self {
+        NetworkCache {
+            node,
+            regions: vec![None; 256],
+            applied_writes: 0,
+        }
+    }
+
+    /// The owning node id (used as the source of update packets).
+    pub fn node(&self) -> u8 {
+        self.node
+    }
+
+    /// Define a zero-filled region of `size` bytes.
+    pub fn define_region(&mut self, id: RegionId, size: u32) -> Result<(), CacheError> {
+        let slot = &mut self.regions[id as usize];
+        if slot.is_some() {
+            return Err(CacheError::Exists(id));
+        }
+        *slot = Some(vec![0; size as usize]);
+        Ok(())
+    }
+
+    /// Remove a region (used when tearing down).
+    pub fn drop_region(&mut self, id: RegionId) {
+        self.regions[id as usize] = None;
+    }
+
+    /// Defined region ids, ascending.
+    pub fn region_ids(&self) -> Vec<RegionId> {
+        (0u16..256)
+            .filter(|&i| self.regions[i as usize].is_some())
+            .map(|i| i as RegionId)
+            .collect()
+    }
+
+    /// Size of a region.
+    pub fn region_size(&self, id: RegionId) -> Result<u32, CacheError> {
+        self.regions[id as usize]
+            .as_ref()
+            .map(|r| r.len() as u32)
+            .ok_or(CacheError::NoRegion(id))
+    }
+
+    /// Number of writes applied at this replica.
+    pub fn applied_writes(&self) -> u64 {
+        self.applied_writes
+    }
+
+    fn check(
+        &self,
+        id: RegionId,
+        offset: u32,
+        len: u32,
+    ) -> Result<&Vec<u8>, CacheError> {
+        let region = self.regions[id as usize]
+            .as_ref()
+            .ok_or(CacheError::NoRegion(id))?;
+        let size = region.len() as u32;
+        if offset.checked_add(len).map(|end| end <= size) != Some(true) {
+            return Err(CacheError::OutOfBounds {
+                region: id,
+                offset,
+                len,
+                size,
+            });
+        }
+        Ok(region)
+    }
+
+    /// Local read — the fast path AmpNet exists for.
+    pub fn read(&self, id: RegionId, offset: u32, len: u32) -> Result<&[u8], CacheError> {
+        let region = self.check(id, offset, len)?;
+        Ok(&region[offset as usize..(offset + len) as usize])
+    }
+
+    /// Read one 64-bit word (D64 atomics operate on these).
+    pub fn read_u64(&self, id: RegionId, offset: u32) -> Result<u64, CacheError> {
+        let b = self.read(id, offset, 8)?;
+        Ok(u64::from_be_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Write one 64-bit word locally (no packets; used by the atomic
+    /// executor which broadcasts separately).
+    pub fn write_u64_local(
+        &mut self,
+        id: RegionId,
+        offset: u32,
+        value: u64,
+    ) -> Result<(), CacheError> {
+        self.apply_raw(id, offset, &value.to_be_bytes())
+    }
+
+    fn apply_raw(&mut self, id: RegionId, offset: u32, data: &[u8]) -> Result<(), CacheError> {
+        self.check(id, offset, data.len() as u32)?;
+        let region = self.regions[id as usize].as_mut().expect("checked");
+        region[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+        self.applied_writes += 1;
+        Ok(())
+    }
+
+    /// Apply a DMA update received from the ring (write-through: the
+    /// replica is updated the instant the packet arrives).
+    pub fn apply_dma(&mut self, ctrl: &DmaCtrl, payload: &[u8]) -> Result<(), CacheError> {
+        debug_assert_eq!(ctrl.len as usize, payload.len());
+        self.apply_raw(ctrl.region, ctrl.offset, payload)
+    }
+
+    /// Apply the cache-relevant content of a MicroPacket, if any.
+    /// Returns `Ok(true)` when the packet was a cache update.
+    pub fn apply_packet(&mut self, pkt: &MicroPacket) -> Result<bool, CacheError> {
+        if pkt.ctrl.ptype != ampnet_packet::PacketType::Dma {
+            return Ok(false);
+        }
+        if let ampnet_packet::Body::Variable { ctrl, .. } = &pkt.body {
+            let payload = pkt.dma_payload().expect("variable body");
+            self.apply_dma(ctrl, payload)?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Write locally and produce the broadcast DMA MicroPackets that
+    /// propagate the update to every replica, in application order.
+    /// Large writes are segmented into 64-byte cells.
+    pub fn write(
+        &mut self,
+        id: RegionId,
+        offset: u32,
+        data: &[u8],
+        channel: u8,
+        stream: u8,
+    ) -> Result<Vec<MicroPacket>, CacheError> {
+        self.check(id, offset, data.len() as u32)?;
+        self.apply_raw(id, offset, data)?;
+        Ok(Self::segment_packets(
+            self.node, BROADCAST, id, offset, data, channel, stream,
+        ))
+    }
+
+    /// Build the DMA packets for a write without applying it (used by
+    /// the refresh protocol to stream a snapshot to a joiner).
+    pub fn segment_packets(
+        src: u8,
+        dst: u8,
+        id: RegionId,
+        offset: u32,
+        data: &[u8],
+        channel: u8,
+        stream: u8,
+    ) -> Vec<MicroPacket> {
+        let mut out = Vec::with_capacity(data.len().div_ceil(MAX_DMA_PAYLOAD));
+        let mut off = offset;
+        for chunk in data.chunks(MAX_DMA_PAYLOAD) {
+            let ctrl = DmaCtrl {
+                channel,
+                region: id,
+                offset: off,
+                len: 0, // set by build::dma
+            };
+            out.push(build::dma(src, dst, stream, ctrl, chunk).expect("chunk within 1..=64"));
+            off += chunk.len() as u32;
+        }
+        out
+    }
+
+    /// CRC-32 of a whole region — the diagnostics audit primitive
+    /// ("built-in diagnostics certify new configuration", slide 18).
+    pub fn region_crc(&self, id: RegionId) -> Result<u32, CacheError> {
+        let region = self.regions[id as usize]
+            .as_ref()
+            .ok_or(CacheError::NoRegion(id))?;
+        Ok(crc32(region))
+    }
+
+    /// Do two replicas agree byte-for-byte on every defined region?
+    pub fn converged_with(&self, other: &NetworkCache) -> bool {
+        self.region_ids() == other.region_ids()
+            && self.region_ids().iter().all(|&id| {
+                self.regions[id as usize].as_ref().map(|r| crc32(r))
+                    == other.regions[id as usize].as_ref().map(|r| crc32(r))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache_with_region(node: u8, id: RegionId, size: u32) -> NetworkCache {
+        let mut c = NetworkCache::new(node);
+        c.define_region(id, size).unwrap();
+        c
+    }
+
+    #[test]
+    fn define_read_write_roundtrip() {
+        let mut c = cache_with_region(1, 7, 1024);
+        assert_eq!(c.region_size(7).unwrap(), 1024);
+        let pkts = c.write(7, 100, b"hello world", 0, 0).unwrap();
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(c.read(7, 100, 11).unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn double_define_rejected() {
+        let mut c = cache_with_region(1, 7, 64);
+        assert_eq!(c.define_region(7, 64), Err(CacheError::Exists(7)));
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut c = cache_with_region(1, 0, 64);
+        assert!(matches!(
+            c.read(0, 60, 8),
+            Err(CacheError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            c.write(0, 64, b"x", 0, 0),
+            Err(CacheError::OutOfBounds { .. })
+        ));
+        assert!(c.read(1, 0, 1).is_err());
+        // Offset overflow must not panic.
+        assert!(c.read(0, u32::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn large_write_segments_into_cells() {
+        let mut c = cache_with_region(3, 0, 4096);
+        let data = vec![0xABu8; 300];
+        let pkts = c.write(0, 0, &data, 2, 1).unwrap();
+        assert_eq!(pkts.len(), 5, "300 bytes = 4 full + 1 partial cell");
+        assert!(pkts.iter().all(|p| p.ctrl.is_broadcast()));
+        assert!(pkts.iter().all(|p| p.ctrl.src == 3));
+        // Offsets are contiguous.
+        let offsets: Vec<u32> = pkts
+            .iter()
+            .map(|p| match &p.body {
+                ampnet_packet::Body::Variable { ctrl, .. } => ctrl.offset,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(offsets, vec![0, 64, 128, 192, 256]);
+    }
+
+    #[test]
+    fn replicas_converge_via_packets() {
+        let mut writer = cache_with_region(0, 5, 512);
+        let mut replica = cache_with_region(9, 5, 512);
+        let pkts = writer.write(5, 17, b"the network is a computer", 0, 0).unwrap();
+        for p in &pkts {
+            assert!(replica.apply_packet(p).unwrap());
+        }
+        assert!(writer.converged_with(&replica));
+        assert_eq!(
+            replica.read(5, 17, 25).unwrap(),
+            b"the network is a computer"
+        );
+    }
+
+    #[test]
+    fn non_dma_packets_ignored() {
+        let mut c = cache_with_region(1, 0, 64);
+        let p = build::data(0, 1, 0, [1; 8]);
+        assert!(!c.apply_packet(&p).unwrap());
+        assert_eq!(c.applied_writes(), 0);
+    }
+
+    #[test]
+    fn u64_word_access() {
+        let mut c = cache_with_region(1, 2, 128);
+        c.write_u64_local(2, 8, 0xDEAD_BEEF_CAFE_F00D).unwrap();
+        assert_eq!(c.read_u64(2, 8).unwrap(), 0xDEAD_BEEF_CAFE_F00D);
+    }
+
+    #[test]
+    fn crc_detects_divergence() {
+        let mut a = cache_with_region(0, 1, 256);
+        let b = cache_with_region(1, 1, 256);
+        assert!(a.converged_with(&b));
+        a.write(1, 0, b"x", 0, 0).unwrap();
+        assert!(!a.converged_with(&b));
+        assert_ne!(a.region_crc(1).unwrap(), b.region_crc(1).unwrap());
+    }
+
+    #[test]
+    fn region_ids_sorted() {
+        let mut c = NetworkCache::new(0);
+        c.define_region(9, 8).unwrap();
+        c.define_region(2, 8).unwrap();
+        assert_eq!(c.region_ids(), vec![2, 9]);
+    }
+}

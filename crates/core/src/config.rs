@@ -1,0 +1,157 @@
+//! Cluster configuration and the calibrated timing model.
+
+use ampnet_cache::RegionId;
+use ampnet_dk::{AssimilationParams, CompatPolicy, Features};
+use ampnet_phy::LinkParams;
+use ampnet_ring::{PacingMode, RingNodeParams};
+use ampnet_roster::RosterParams;
+use ampnet_sim::SimDuration;
+
+/// Every timing constant of the simulation in one place (DESIGN.md §5).
+/// Experiments print the model they ran under.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingModel {
+    /// Serial line rate in baud (8b/10b encoded bits per second).
+    pub baud: u64,
+    /// Register-insertion transit latency per node (hardware path).
+    pub node_latency: SimDuration,
+    /// Rostering protocol constants.
+    pub roster: RosterParams,
+    /// Assimilation phase costs.
+    pub assimilation: AssimilationParams,
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel {
+            baud: ampnet_phy::FC_GIGABIT_BAUD,
+            node_latency: SimDuration::from_nanos(60),
+            roster: RosterParams::default(),
+            assimilation: AssimilationParams::default(),
+        }
+    }
+}
+
+impl TimingModel {
+    /// Link parameters for a hop of `length_m` metres of fiber.
+    pub fn link(&self, length_m: f64) -> LinkParams {
+        LinkParams {
+            baud: self.baud,
+            length_m,
+            ..LinkParams::default()
+        }
+    }
+}
+
+/// Full cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of host nodes (2..=255).
+    pub n_nodes: usize,
+    /// Redundant switches: 2 (dual) or 4 (quad) per slides 14–15.
+    pub n_switches: usize,
+    /// Fiber length of every node–switch link, metres.
+    pub fiber_length_m: f64,
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Network cache regions every node defines at boot.
+    pub cache_regions: Vec<(RegionId, u32)>,
+    /// Timing constants.
+    pub timing: TimingModel,
+    /// MAC configuration (insertion buffer, pacing, streams).
+    pub mac: RingNodeParams,
+    /// Version policy the network enforces on joiners.
+    pub compat: CompatPolicy,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            n_nodes: 8,
+            n_switches: 4,
+            fiber_length_m: 100.0,
+            seed: 0xA3B1,
+            cache_regions: vec![(0, 64 * 1024)],
+            timing: TimingModel::default(),
+            mac: RingNodeParams {
+                n_streams: 8,
+                pacing: PacingMode::Adaptive(Default::default()),
+                ..Default::default()
+            },
+            compat: CompatPolicy {
+                required_major: 1,
+                min_minor: 0,
+                required_features: Features::NONE,
+            },
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A quick small cluster for tests.
+    pub fn small(n_nodes: usize) -> Self {
+        ClusterConfig {
+            n_nodes,
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style fiber length override.
+    pub fn with_fiber(mut self, m: f64) -> Self {
+        self.fiber_length_m = m;
+        self
+    }
+
+    /// Builder-style switch count override.
+    pub fn with_switches(mut self, s: usize) -> Self {
+        self.n_switches = s;
+        self
+    }
+
+    /// Builder-style region override.
+    pub fn with_regions(mut self, regions: Vec<(RegionId, u32)>) -> Self {
+        self.cache_regions = regions;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.n_nodes, 8);
+        assert_eq!(c.n_switches, 4);
+        assert_eq!(c.mac.n_streams, 8);
+    }
+
+    #[test]
+    fn builders() {
+        let c = ClusterConfig::small(4)
+            .with_seed(7)
+            .with_fiber(1000.0)
+            .with_switches(2)
+            .with_regions(vec![(1, 128)]);
+        assert_eq!(c.n_nodes, 4);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.fiber_length_m, 1000.0);
+        assert_eq!(c.n_switches, 2);
+        assert_eq!(c.cache_regions, vec![(1, 128)]);
+    }
+
+    #[test]
+    fn link_derivation() {
+        let t = TimingModel::default();
+        let l = t.link(500.0);
+        assert_eq!(l.baud, ampnet_phy::FC_GIGABIT_BAUD);
+        assert_eq!(l.length_m, 500.0);
+    }
+}

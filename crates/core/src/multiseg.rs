@@ -1,0 +1,379 @@
+//! Multi-segment AmpNet networks (slide 15): dual- and quad-redundant
+//! *segments* joined by router nodes ("R" — and "2R's" for redundant
+//! routers).
+//!
+//! Each segment is a full [`Cluster`] with its own ring, cache and
+//! self-healing. A *bridge* is a pair of router nodes, one on each
+//! segment, connected by an inter-segment link. Globally-addressed
+//! datagrams `(segment, node)` hop segment-locally to the router,
+//! cross the bridge, and continue — with automatic failover to a
+//! redundant bridge when a router node dies.
+//!
+//! The segments run in lockstep time slices (conservative parallel
+//! simulation): each slice, every cluster advances to the same
+//! simulated instant, then bridge traffic is exchanged with the
+//! configured inter-segment latency (resolution = one slice).
+
+use crate::cluster::Cluster;
+use crate::config::ClusterConfig;
+use ampnet_sim::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Message stream reserved for inter-segment routing.
+pub const ROUTE_STREAM: u8 = 5;
+
+/// A global address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlobalAddr {
+    /// Segment index.
+    pub segment: u8,
+    /// Node within the segment.
+    pub node: u8,
+}
+
+/// One inter-segment bridge (a router pair).
+#[derive(Debug, Clone, Copy)]
+pub struct Bridge {
+    /// Endpoint on the first segment.
+    pub a: GlobalAddr,
+    /// Endpoint on the second segment.
+    pub b: GlobalAddr,
+    /// One-way latency across the bridge.
+    pub latency: SimDuration,
+}
+
+/// A routed datagram awaiting cross-bridge delivery.
+#[derive(Debug)]
+struct InFlight {
+    deliver_at: SimTime,
+    ingress: GlobalAddr,
+    wire: Vec<u8>,
+}
+
+/// A delivered global datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalDatagram {
+    /// Original sender.
+    pub src: GlobalAddr,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// A multi-segment AmpNet network.
+pub struct MultiSegment {
+    clusters: Vec<Cluster>,
+    bridges: Vec<Bridge>,
+    crossing: Vec<InFlight>,
+    delivered: Vec<Vec<VecDeque<GlobalDatagram>>>,
+    /// Datagrams dropped for having no usable route (counted, so tests
+    /// can assert routedness).
+    pub unroutable: u64,
+}
+
+fn encode(dst: GlobalAddr, src: GlobalAddr, payload: &[u8]) -> Vec<u8> {
+    let mut wire = Vec::with_capacity(4 + payload.len());
+    wire.extend_from_slice(&[dst.segment, dst.node, src.segment, src.node]);
+    wire.extend_from_slice(payload);
+    wire
+}
+
+fn decode(wire: &[u8]) -> Option<(GlobalAddr, GlobalAddr, &[u8])> {
+    if wire.len() < 4 {
+        return None;
+    }
+    Some((
+        GlobalAddr {
+            segment: wire[0],
+            node: wire[1],
+        },
+        GlobalAddr {
+            segment: wire[2],
+            node: wire[3],
+        },
+        &wire[4..],
+    ))
+}
+
+impl MultiSegment {
+    /// Build a network of independent segments (each boots its own
+    /// ring); add bridges before sending.
+    pub fn new(configs: Vec<ClusterConfig>) -> Self {
+        let delivered = configs
+            .iter()
+            .map(|c| (0..c.n_nodes).map(|_| VecDeque::new()).collect())
+            .collect();
+        MultiSegment {
+            clusters: configs.into_iter().map(Cluster::new).collect(),
+            bridges: vec![],
+            crossing: vec![],
+            delivered,
+            unroutable: 0,
+        }
+    }
+
+    /// Number of segments.
+    pub fn n_segments(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Access a segment's cluster.
+    pub fn segment(&self, s: u8) -> &Cluster {
+        &self.clusters[s as usize]
+    }
+
+    /// Mutable access (fault injection, app start).
+    pub fn segment_mut(&mut self, s: u8) -> &mut Cluster {
+        &mut self.clusters[s as usize]
+    }
+
+    /// Connect two segments with a router pair.
+    pub fn add_bridge(&mut self, a: GlobalAddr, b: GlobalAddr, latency: SimDuration) {
+        assert_ne!(a.segment, b.segment, "bridges join distinct segments");
+        self.bridges.push(Bridge { a, b, latency });
+    }
+
+    /// Next-hop router for traffic from `from_seg` toward `dst_seg`:
+    /// BFS over segments using only bridges whose *both* router nodes
+    /// are online (redundant bridges fail over automatically).
+    fn next_hop(&self, from_seg: u8, dst_seg: u8) -> Option<Bridge> {
+        let n = self.clusters.len();
+        let usable: Vec<&Bridge> = self
+            .bridges
+            .iter()
+            .filter(|br| {
+                self.clusters[br.a.segment as usize].node_online(br.a.node)
+                    && self.clusters[br.b.segment as usize].node_online(br.b.node)
+            })
+            .collect();
+        // BFS from dst back toward from_seg, recording the first hop.
+        let mut dist = vec![usize::MAX; n];
+        let mut queue = VecDeque::new();
+        dist[dst_seg as usize] = 0;
+        queue.push_back(dst_seg);
+        while let Some(seg) = queue.pop_front() {
+            for br in &usable {
+                for (x, y) in [(br.a, br.b), (br.b, br.a)] {
+                    if x.segment == seg && dist[y.segment as usize] == usize::MAX {
+                        dist[y.segment as usize] = dist[seg as usize] + 1;
+                        queue.push_back(y.segment);
+                    }
+                }
+            }
+        }
+        if dist[from_seg as usize] == usize::MAX {
+            return None;
+        }
+        // Choose the usable bridge out of from_seg that decreases the
+        // distance; deterministic: first in registration order.
+        usable
+            .into_iter()
+            .find(|br| {
+                let (local, remote) = if br.a.segment == from_seg {
+                    (br.a, br.b)
+                } else if br.b.segment == from_seg {
+                    (br.b, br.a)
+                } else {
+                    return false;
+                };
+                let _ = local;
+                dist[remote.segment as usize] + 1 == dist[from_seg as usize]
+            })
+            .copied()
+    }
+
+    /// Send a globally-addressed datagram.
+    pub fn send_global(&mut self, src: GlobalAddr, dst: GlobalAddr, payload: &[u8]) {
+        let wire = encode(dst, src, payload);
+        if src.segment == dst.segment {
+            self.clusters[src.segment as usize].send_message(
+                src.node,
+                dst.node,
+                ROUTE_STREAM,
+                &wire,
+            );
+            return;
+        }
+        match self.next_hop(src.segment, dst.segment) {
+            Some(br) => {
+                let router = if br.a.segment == src.segment { br.a } else { br.b };
+                if router.node == src.node {
+                    // The sender IS the router: queue straight across.
+                    let now = self.clusters[src.segment as usize].now();
+                    let egress = if br.a.segment == src.segment { br.b } else { br.a };
+                    self.crossing.push(InFlight {
+                        deliver_at: now + br.latency,
+                        ingress: egress,
+                        wire,
+                    });
+                } else {
+                    self.clusters[src.segment as usize].send_message(
+                        src.node,
+                        router.node,
+                        ROUTE_STREAM,
+                        &wire,
+                    );
+                }
+            }
+            None => self.unroutable += 1,
+        }
+    }
+
+    /// Pop the next delivered global datagram at an address.
+    pub fn pop_global(&mut self, at: GlobalAddr) -> Option<GlobalDatagram> {
+        self.delivered[at.segment as usize][at.node as usize].pop_front()
+    }
+
+    /// Advance every segment in lockstep to `deadline`, moving bridge
+    /// traffic between slices of `slice` duration.
+    pub fn run_until(&mut self, deadline: SimTime, slice: SimDuration) {
+        assert!(slice.as_nanos() > 0, "slice must be positive");
+        loop {
+            let now = self.clusters.iter().map(|c| c.now()).max().unwrap_or(SimTime::ZERO);
+            if now >= deadline {
+                break;
+            }
+            let step_to = (now + slice).min(deadline);
+            for c in &mut self.clusters {
+                c.run_until(step_to);
+            }
+            self.drain_route_streams(step_to);
+            self.deliver_crossings(step_to);
+        }
+    }
+
+    /// Convenience: run for a duration with a default 10 µs slice.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self
+            .clusters
+            .iter()
+            .map(|c| c.now())
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            + d;
+        self.run_until(deadline, SimDuration::from_micros(10));
+    }
+
+    /// Pull ROUTE_STREAM datagrams out of every node's inbox: deliver
+    /// finals, queue bridge crossings, forward multi-hop traffic.
+    fn drain_route_streams(&mut self, now: SimTime) {
+        for seg in 0..self.clusters.len() as u8 {
+            for node in 0..self.clusters[seg as usize].n_nodes() as u8 {
+                // Collect first to avoid borrowing issues.
+                let mut datagrams = vec![];
+                while let Some(d) = self.clusters[seg as usize].pop_message_on(node, ROUTE_STREAM)
+                {
+                    datagrams.push(d);
+                }
+                for d in datagrams {
+                    let Some((dst, src, payload)) = decode(&d.payload) else {
+                        continue;
+                    };
+                    let here = GlobalAddr {
+                        segment: seg,
+                        node,
+                    };
+                    if dst == here {
+                        self.delivered[seg as usize][node as usize].push_back(GlobalDatagram {
+                            src,
+                            payload: payload.to_vec(),
+                        });
+                    } else if dst.segment == seg {
+                        // Mis-delivered within segment (should not
+                        // happen: unicast goes straight to the node).
+                        self.clusters[seg as usize].send_message(
+                            node,
+                            dst.node,
+                            ROUTE_STREAM,
+                            &d.payload,
+                        );
+                    } else {
+                        // This node is a router on the path: cross the
+                        // bridge toward dst.
+                        match self.next_hop(seg, dst.segment) {
+                            Some(br) => {
+                                let (local, remote) =
+                                    if br.a.segment == seg { (br.a, br.b) } else { (br.b, br.a) };
+                                if local.node == node {
+                                    self.crossing.push(InFlight {
+                                        deliver_at: now + br.latency,
+                                        ingress: remote,
+                                        wire: d.payload.clone(),
+                                    });
+                                } else {
+                                    // Reach the proper router first.
+                                    self.clusters[seg as usize].send_message(
+                                        node,
+                                        local.node,
+                                        ROUTE_STREAM,
+                                        &d.payload,
+                                    );
+                                }
+                            }
+                            None => self.unroutable += 1,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Inject matured crossings into their ingress segment.
+    fn deliver_crossings(&mut self, now: SimTime) {
+        let mut staying = vec![];
+        let pending: Vec<InFlight> = self.crossing.drain(..).collect();
+        for x in pending {
+            if x.deliver_at > now {
+                staying.push(x);
+                continue;
+            }
+            let Some((dst, _src, _payload)) = decode(&x.wire) else {
+                continue;
+            };
+            let seg = x.ingress.segment as usize;
+            if !self.clusters[seg].node_online(x.ingress.node) {
+                // Router died while the frame crossed; re-route from
+                // any online node... the originator will re-send at
+                // the application layer. Count it.
+                self.unroutable += 1;
+                continue;
+            }
+            if dst.segment == x.ingress.segment {
+                // Final segment: router forwards to the destination
+                // (or delivers to itself).
+                self.clusters[seg].send_message(
+                    x.ingress.node,
+                    dst.node,
+                    ROUTE_STREAM,
+                    &x.wire,
+                );
+            } else {
+                // Multi-hop: route onward from the ingress router.
+                match self.next_hop(x.ingress.segment, dst.segment) {
+                    Some(br) => {
+                        let (local, remote) = if br.a.segment == x.ingress.segment {
+                            (br.a, br.b)
+                        } else {
+                            (br.b, br.a)
+                        };
+                        if local.node == x.ingress.node {
+                            staying.push(InFlight {
+                                deliver_at: now + br.latency,
+                                ingress: remote,
+                                wire: x.wire,
+                            });
+                        } else {
+                            self.clusters[seg].send_message(
+                                x.ingress.node,
+                                local.node,
+                                ROUTE_STREAM,
+                                &x.wire,
+                            );
+                        }
+                    }
+                    None => self.unroutable += 1,
+                }
+            }
+        }
+        self.crossing = staying;
+    }
+}

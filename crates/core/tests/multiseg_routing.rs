@@ -1,0 +1,165 @@
+//! Multi-segment routing tests (slide 15: segments joined by routers,
+//! with "2R's" for redundancy).
+
+use ampnet_core::{
+    Cluster, ClusterConfig, Component, GlobalAddr, MultiSegment, NodeId, SimDuration,
+};
+
+fn ga(segment: u8, node: u8) -> GlobalAddr {
+    GlobalAddr { segment, node }
+}
+
+fn two_segments(seed: u64) -> MultiSegment {
+    let mut net = MultiSegment::new(vec![
+        ClusterConfig::small(4).with_seed(seed),
+        ClusterConfig::small(4).with_seed(seed + 1),
+    ]);
+    // Router pair: node 3 of segment 0 ↔ node 0 of segment 1.
+    net.add_bridge(ga(0, 3), ga(1, 0), SimDuration::from_micros(5));
+    net.run_for(SimDuration::from_millis(5)); // boot both rings
+    assert!(net.segment(0).ring_up() && net.segment(1).ring_up());
+    net
+}
+
+#[test]
+fn local_global_delivery() {
+    let mut net = two_segments(30);
+    net.send_global(ga(0, 0), ga(0, 2), b"same segment");
+    net.run_for(SimDuration::from_millis(1));
+    let d = net.pop_global(ga(0, 2)).expect("delivered");
+    assert_eq!(d.payload, b"same segment");
+    assert_eq!(d.src, ga(0, 0));
+}
+
+#[test]
+fn cross_segment_delivery() {
+    let mut net = two_segments(31);
+    net.send_global(ga(0, 1), ga(1, 2), b"across the router");
+    net.run_for(SimDuration::from_millis(2));
+    let d = net.pop_global(ga(1, 2)).expect("crossed the bridge");
+    assert_eq!(d.payload, b"across the router");
+    assert_eq!(d.src, ga(0, 1));
+    assert_eq!(net.unroutable, 0);
+}
+
+#[test]
+fn router_node_sending_crosses_directly() {
+    let mut net = two_segments(32);
+    net.send_global(ga(0, 3), ga(1, 1), b"from the router itself");
+    net.run_for(SimDuration::from_millis(2));
+    assert_eq!(
+        net.pop_global(ga(1, 1)).unwrap().payload,
+        b"from the router itself"
+    );
+}
+
+#[test]
+fn three_segment_line_multi_hop() {
+    let mut net = MultiSegment::new(vec![
+        ClusterConfig::small(3).with_seed(33),
+        ClusterConfig::small(3).with_seed(34),
+        ClusterConfig::small(3).with_seed(35),
+    ]);
+    net.add_bridge(ga(0, 2), ga(1, 0), SimDuration::from_micros(5));
+    net.add_bridge(ga(1, 2), ga(2, 0), SimDuration::from_micros(5));
+    net.run_for(SimDuration::from_millis(5));
+    net.send_global(ga(0, 0), ga(2, 1), b"two bridges away");
+    net.run_for(SimDuration::from_millis(3));
+    let d = net.pop_global(ga(2, 1)).expect("multi-hop routed");
+    assert_eq!(d.payload, b"two bridges away");
+    assert_eq!(d.src, ga(0, 0));
+    assert_eq!(net.unroutable, 0);
+}
+
+#[test]
+fn redundant_router_takes_over() {
+    // Slide 15's "2R's": two bridges between the segments.
+    let mut net = MultiSegment::new(vec![
+        ClusterConfig::small(4).with_seed(36),
+        ClusterConfig::small(4).with_seed(37),
+    ]);
+    net.add_bridge(ga(0, 3), ga(1, 0), SimDuration::from_micros(5));
+    net.add_bridge(ga(0, 2), ga(1, 1), SimDuration::from_micros(5));
+    net.run_for(SimDuration::from_millis(5));
+
+    // Primary router (segment 0, node 3) dies; its segment re-rosters
+    // and the second bridge carries the traffic.
+    let t = net.segment(0).now();
+    net.segment_mut(0)
+        .schedule_failure(t, Component::Node(NodeId(3)));
+    net.run_for(SimDuration::from_millis(10));
+    assert_eq!(net.segment(0).ring().len(), 3);
+
+    net.send_global(ga(0, 0), ga(1, 2), b"via the backup router");
+    net.run_for(SimDuration::from_millis(3));
+    let d = net.pop_global(ga(1, 2)).expect("backup bridge used");
+    assert_eq!(d.payload, b"via the backup router");
+    assert_eq!(net.unroutable, 0);
+}
+
+#[test]
+fn no_route_is_counted_not_lost_silently() {
+    let mut net = MultiSegment::new(vec![
+        ClusterConfig::small(3).with_seed(38),
+        ClusterConfig::small(3).with_seed(39),
+    ]);
+    // No bridge at all.
+    net.run_for(SimDuration::from_millis(5));
+    net.send_global(ga(0, 0), ga(1, 1), b"nowhere to go");
+    net.run_for(SimDuration::from_millis(2));
+    assert_eq!(net.unroutable, 1);
+    assert!(net.pop_global(ga(1, 1)).is_none());
+}
+
+#[test]
+fn segments_heal_independently() {
+    let mut net = two_segments(40);
+    // Break segment 1's ring while segment 0 keeps serving.
+    let t = net.segment(1).now();
+    net.segment_mut(1)
+        .schedule_failure(t, Component::Node(NodeId(3)));
+    net.send_global(ga(0, 0), ga(0, 1), b"unaffected");
+    net.run_for(SimDuration::from_millis(10));
+    assert_eq!(net.pop_global(ga(0, 1)).unwrap().payload, b"unaffected");
+    assert_eq!(net.segment(1).ring().len(), 3, "segment 1 healed alone");
+    // Cross-segment traffic works after the heal.
+    net.send_global(ga(0, 2), ga(1, 1), b"post-heal crossing");
+    net.run_for(SimDuration::from_millis(3));
+    assert_eq!(
+        net.pop_global(ga(1, 1)).unwrap().payload,
+        b"post-heal crossing"
+    );
+}
+
+#[test]
+fn bidirectional_crossing() {
+    let mut net = two_segments(41);
+    net.send_global(ga(0, 1), ga(1, 3), b"eastbound");
+    net.send_global(ga(1, 3), ga(0, 1), b"westbound");
+    net.run_for(SimDuration::from_millis(3));
+    assert_eq!(net.pop_global(ga(1, 3)).unwrap().payload, b"eastbound");
+    assert_eq!(net.pop_global(ga(0, 1)).unwrap().payload, b"westbound");
+}
+
+#[test]
+fn clusters_stay_deterministic_under_lockstep() {
+    let run = |seed| {
+        let mut net = two_segments(seed);
+        net.send_global(ga(0, 0), ga(1, 2), b"det");
+        net.run_for(SimDuration::from_millis(3));
+        (
+            net.pop_global(ga(1, 2)).map(|d| d.payload),
+            net.segment(0).now().as_nanos(),
+            net.segment(1).now().as_nanos(),
+        )
+    };
+    assert_eq!(run(50), run(50));
+}
+
+// Re-exported type sanity.
+#[test]
+fn cluster_accessors() {
+    let net = two_segments(42);
+    let c: &Cluster = net.segment(0);
+    assert_eq!(c.n_nodes(), 4);
+}

@@ -1,0 +1,35 @@
+//! # ampnet-dk — the AmpNet Distributed Kernel
+//!
+//! Slide 17's per-NIC real-time kernel and slides 18–19's availability
+//! machinery:
+//!
+//! * [`Version`]/[`CompatPolicy`] — network-wide version and feature
+//!   compatibility enforcement for joining nodes.
+//! * [`Lifecycle`]/[`assimilate`] — the assimilation pipeline
+//!   (self-boot → diagnostics → version check → cache refresh → CRC
+//!   certification → online) with full phase timing, swept by
+//!   experiment E9.
+//! * [`ControlGroup`] — redundant application instances ranked by
+//!   qualification; the table lives in the network cache so every
+//!   survivor reaches the same decision.
+//! * [`FailoverEngine`] — millisecond application failure detection,
+//!   the application-definable failover period, best-qualified
+//!   takeover and recovery rules (experiment E10).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod failover;
+mod group;
+mod lifecycle;
+mod version;
+
+pub use failover::{
+    FailoverEngine, FailoverPhase, FailoverPolicy, FailoverReport, RecoveryRule,
+};
+pub use group::{ControlGroup, GroupError, GroupId, Member};
+pub use lifecycle::{
+    assimilate, AssimilationFailure, AssimilationParams, AssimilationTimeline, JoinRequest,
+    Lifecycle, NodeState,
+};
+pub use version::{CompatPolicy, Features, Rejection, Version};

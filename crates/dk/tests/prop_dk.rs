@@ -1,0 +1,167 @@
+//! Property tests for AmpDK: the failover engine always elects the
+//! best-qualified online survivor; version policies partition joiners
+//! correctly; control-group cache serialization is lossless.
+
+use ampnet_dk::{
+    assimilate, AssimilationParams, CompatPolicy, ControlGroup, FailoverEngine, FailoverPolicy,
+    Features, GroupId, JoinRequest, Version,
+};
+use ampnet_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn arb_members() -> impl Strategy<Value = Vec<(u8, u32)>> {
+    proptest::collection::btree_map(0u8..20, 0u32..1000, 2..8)
+        .prop_map(|m| m.into_iter().collect())
+}
+
+proptest! {
+    /// The leader is always the maximum (qualification, -node) among
+    /// online members, under any online/offline mask.
+    #[test]
+    fn leader_is_always_best(
+        members in arb_members(),
+        offline_mask in any::<u32>(),
+    ) {
+        let mut g = ControlGroup::new(GroupId(1));
+        for &(node, q) in &members {
+            g.join(node, q).unwrap();
+        }
+        for (i, &(node, _)) in members.iter().enumerate() {
+            if offline_mask & (1 << (i % 32)) != 0 {
+                g.mark_offline(node);
+            }
+        }
+        let online: Vec<(u8, u32)> = g
+            .members()
+            .iter()
+            .filter(|m| m.online)
+            .map(|m| (m.node, m.qualification))
+            .collect();
+        match g.leader() {
+            None => prop_assert!(online.is_empty()),
+            Some(l) => {
+                for (node, q) in online {
+                    prop_assert!(
+                        l.qualification > q
+                            || (l.qualification == q && l.node <= node),
+                        "leader {}q{} beaten by {}q{}", l.node, l.qualification, node, q
+                    );
+                }
+            }
+        }
+    }
+
+    /// Group tables survive the cache roundtrip byte-exactly.
+    #[test]
+    fn group_cache_roundtrip(members in arb_members(), offline_mask in any::<u32>()) {
+        let mut g = ControlGroup::new(GroupId(9));
+        for &(node, q) in &members {
+            g.join(node, q).unwrap();
+        }
+        for (i, &(node, _)) in members.iter().enumerate() {
+            if offline_mask & (1 << (i % 32)) != 0 {
+                g.mark_offline(node);
+            }
+        }
+        let bytes = g.to_cache_bytes();
+        prop_assert_eq!(ControlGroup::from_cache_bytes(&bytes), Some(g));
+    }
+
+    /// The failover engine, driven by arbitrary polling cadence, always
+    /// hands control to the best-qualified survivor, never before the
+    /// detection window plus the failover period.
+    #[test]
+    fn failover_respects_policy(
+        members in arb_members(),
+        step_us in 20u64..500,
+        period_ms in 0u64..8,
+    ) {
+        let mut g = ControlGroup::new(GroupId(1));
+        for &(node, q) in &members {
+            g.join(node, q).unwrap();
+        }
+        let leader = g.leader().unwrap();
+        prop_assume!(members.len() >= 2);
+        let policy = FailoverPolicy {
+            failover_period: SimDuration::from_millis(period_ms),
+            ..Default::default()
+        };
+        let mut e = FailoverEngine::new(policy, Some(leader.node), SimTime::ZERO);
+        e.leader_died(SimTime::ZERO);
+        g.mark_offline(leader.node);
+
+        let expected = g.leader(); // best-qualified survivor
+        let mut now = SimTime::ZERO;
+        let mut report = None;
+        for _ in 0..2_000_000u64 {
+            if let Some(r) = e.poll(now, &g) {
+                report = Some(r);
+                break;
+            }
+            now += SimDuration::from_micros(step_us);
+        }
+        match expected {
+            None => prop_assert!(report.is_none()),
+            Some(best) => {
+                let r = report.expect("failover must complete");
+                prop_assert_eq!(r.new_leader, best.node);
+                prop_assert!(
+                    r.takeover_at.saturating_since(SimTime::ZERO)
+                        >= policy.detection_latency() + policy.failover_period
+                );
+                prop_assert!(r.recovered_at >= r.takeover_at);
+            }
+        }
+    }
+
+    /// Version policy is a clean partition: every (version, features)
+    /// either admits or rejects with the specific stated reason, and
+    /// admission is monotone in minor version.
+    #[test]
+    fn version_policy_partition(
+        req_major in 0u16..5,
+        min_minor in 0u16..5,
+        major in 0u16..6,
+        minor in 0u16..8,
+        patch in any::<u16>(),
+    ) {
+        let policy = CompatPolicy {
+            required_major: req_major,
+            min_minor,
+            required_features: Features::NONE,
+        };
+        let v = Version::new(major, minor, patch);
+        let r = policy.check(v, Features::NONE);
+        prop_assert_eq!(r.is_ok(), major == req_major && minor >= min_minor);
+        if r.is_ok() {
+            // Monotone: any higher minor (same major) also admits.
+            let r2 = policy.check(Version::new(major, minor + 1, 0), Features::NONE);
+            prop_assert!(r2.is_ok());
+        }
+    }
+
+    /// Assimilation time is monotone in cache size and independent of
+    /// patch level.
+    #[test]
+    fn assimilation_time_monotone(size_a in 0u64..300_000_000, size_b in 0u64..300_000_000) {
+        let policy = CompatPolicy {
+            required_major: 1,
+            min_minor: 0,
+            required_features: Features::NONE,
+        };
+        let req = |patch| JoinRequest {
+            node: 1,
+            version: Version::new(1, 0, patch),
+            features: Features::NONE,
+            diagnostics_pass: true,
+        };
+        let p = AssimilationParams::default();
+        let ta = assimilate(req(0), policy, size_a, &p).unwrap().total();
+        let tb = assimilate(req(9), policy, size_b, &p).unwrap().total();
+        if size_a <= size_b {
+            prop_assert!(ta <= tb);
+        } else {
+            prop_assert!(ta >= tb);
+        }
+    }
+}

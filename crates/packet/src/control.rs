@@ -1,0 +1,214 @@
+//! Word 0 — the MicroPacket control word (Control 0..Control 3).
+//!
+//! Layout (4 bytes, slide 5/6 "Word 0"):
+//!
+//! ```text
+//! Control 0: [7:4] packet type code   [3:0] flags
+//! Control 1: source node id
+//! Control 2: destination node id (0xFF = broadcast)
+//! Control 3: tag (stream id / atomic op / roster discriminator)
+//! ```
+
+use crate::types::PacketType;
+
+/// Destination id meaning "all nodes on the segment".
+pub const BROADCAST: u8 = 0xFF;
+
+// A tiny local bitflags implementation: one dependency fewer, and the
+// generated API is the subset we use (empty, contains, insert, bits).
+macro_rules! bitflags_lite {
+    (
+        $(#[$meta:meta])*
+        pub struct $name:ident: $ty:ty {
+            $($(#[$fmeta:meta])* const $flag:ident = $value:expr;)*
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+        pub struct $name($ty);
+
+        impl $name {
+            $($(#[$fmeta])* pub const $flag: $name = $name($value);)*
+
+            /// No flags set.
+            pub const fn empty() -> Self { $name(0) }
+
+            /// Raw bit pattern.
+            pub const fn bits(self) -> $ty { self.0 }
+
+            /// Reconstruct from raw bits, masking unknown bits away.
+            pub const fn from_bits_truncate(bits: $ty) -> Self {
+                $name(bits & ($($value |)* 0))
+            }
+
+            /// Whether every bit of `other` is set in `self`.
+            pub const fn contains(self, other: $name) -> bool {
+                self.0 & other.0 == other.0
+            }
+
+            /// Set the bits of `other`.
+            pub fn insert(&mut self, other: $name) { self.0 |= other.0; }
+
+            /// Union.
+            pub const fn union(self, other: $name) -> $name { $name(self.0 | other.0) }
+        }
+
+        impl std::ops::BitOr for $name {
+            type Output = $name;
+            fn bitor(self, rhs: $name) -> $name { $name(self.0 | rhs.0) }
+        }
+    };
+}
+
+bitflags_lite! {
+    /// Control-word flag bits (Control 0 low nibble).
+    pub struct Flags: u8 {
+        /// Reply half of a request/response exchange (D64 Atomic
+        /// responses, diagnostic echoes).
+        const RESPONSE = 0b0001;
+        /// Expedited handling: bypasses stream queues (Interrupt and
+        /// Rostering packets are implicitly urgent).
+        const URGENT = 0b0010;
+        /// Packet inserted while the ring was in a rostering epoch.
+        const ROSTER_EPOCH = 0b0100;
+        /// Reserved (must be zero today).
+        const RESERVED = 0b1000;
+    }
+}
+
+/// The decoded control word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ControlWord {
+    /// Packet type (Control 0 high nibble).
+    pub ptype: PacketType,
+    /// Flag bits (Control 0 low nibble).
+    pub flags: Flags,
+    /// Source node id (Control 1).
+    pub src: u8,
+    /// Destination node id (Control 2); [`BROADCAST`] for all.
+    pub dst: u8,
+    /// Type-specific tag (Control 3): stream id for Data/DMA, atomic
+    /// opcode for D64, message discriminator for Rostering/Diagnostic.
+    pub tag: u8,
+}
+
+/// Error decoding a control word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlError {
+    /// Unknown packet type code.
+    BadType(u8),
+}
+
+impl std::fmt::Display for ControlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControlError::BadType(c) => write!(f, "unknown packet type code {c:#03x}"),
+        }
+    }
+}
+
+impl std::error::Error for ControlError {}
+
+impl ControlWord {
+    /// Build a control word.
+    pub fn new(ptype: PacketType, src: u8, dst: u8, tag: u8) -> Self {
+        ControlWord {
+            ptype,
+            flags: Flags::empty(),
+            src,
+            dst,
+            tag,
+        }
+    }
+
+    /// Builder-style flag setter.
+    pub fn with_flags(mut self, flags: Flags) -> Self {
+        self.flags = flags;
+        self
+    }
+
+    /// Is this packet addressed to every node?
+    pub fn is_broadcast(&self) -> bool {
+        self.dst == BROADCAST
+    }
+
+    /// Serialize to the 4 wire bytes.
+    pub fn to_bytes(&self) -> [u8; 4] {
+        [
+            (self.ptype.code() << 4) | self.flags.bits(),
+            self.src,
+            self.dst,
+            self.tag,
+        ]
+    }
+
+    /// Parse from the 4 wire bytes.
+    pub fn from_bytes(b: [u8; 4]) -> Result<ControlWord, ControlError> {
+        let code = b[0] >> 4;
+        let ptype = PacketType::from_code(code).ok_or(ControlError::BadType(code))?;
+        Ok(ControlWord {
+            ptype,
+            flags: Flags::from_bits_truncate(b[0] & 0x0F),
+            src: b[1],
+            dst: b[2],
+            tag: b[3],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        for t in PacketType::ALL {
+            let cw = ControlWord::new(t, 3, 9, 0x5A).with_flags(Flags::URGENT | Flags::RESPONSE);
+            let back = ControlWord::from_bytes(cw.to_bytes()).unwrap();
+            assert_eq!(cw, back);
+        }
+    }
+
+    #[test]
+    fn bad_type_rejected() {
+        // Type code 0 is reserved.
+        assert_eq!(
+            ControlWord::from_bytes([0x00, 1, 2, 3]),
+            Err(ControlError::BadType(0))
+        );
+        assert_eq!(
+            ControlWord::from_bytes([0xF0, 1, 2, 3]),
+            Err(ControlError::BadType(0xF))
+        );
+    }
+
+    #[test]
+    fn broadcast_detection() {
+        let cw = ControlWord::new(PacketType::Data, 1, BROADCAST, 0);
+        assert!(cw.is_broadcast());
+        let cw = ControlWord::new(PacketType::Data, 1, 5, 0);
+        assert!(!cw.is_broadcast());
+    }
+
+    #[test]
+    fn flags_ops() {
+        let mut f = Flags::empty();
+        assert!(!f.contains(Flags::URGENT));
+        f.insert(Flags::URGENT);
+        assert!(f.contains(Flags::URGENT));
+        assert!(!f.contains(Flags::RESPONSE));
+        let u = f.union(Flags::RESPONSE);
+        assert!(u.contains(Flags::URGENT) && u.contains(Flags::RESPONSE));
+        assert_eq!(Flags::from_bits_truncate(0xFF).bits(), 0x0F);
+    }
+
+    #[test]
+    fn wire_layout_matches_slide() {
+        let cw = ControlWord::new(PacketType::Data, 0x11, 0x22, 0x33);
+        let b = cw.to_bytes();
+        assert_eq!(b[0] >> 4, 0x2, "Control 0 high nibble is the type");
+        assert_eq!(b[1], 0x11, "Control 1 is source");
+        assert_eq!(b[2], 0x22, "Control 2 is destination");
+        assert_eq!(b[3], 0x33, "Control 3 is the tag");
+    }
+}

@@ -1,0 +1,141 @@
+//! MicroPacket types — the slide-4 table.
+//!
+//! | MicroPacket | Length   | Mandatory |
+//! |-------------|----------|-----------|
+//! | Rostering   | Fixed    | Yes       |
+//! | Data        | Fixed    | Yes       |
+//! | DMA         | Variable | Yes       |
+//! | Interrupt   | Fixed    | Yes       |
+//! | Diagnostic  | Fixed    | Yes       |
+//! | D64 Atomic  | Fixed    | No        |
+
+use std::fmt;
+
+/// The six MicroPacket types defined by AmpNet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum PacketType {
+    /// Ring maintenance: heartbeats, flooding exploration, roster
+    /// distribution. Drives the self-healing algorithm of slide 16.
+    Rostering = 0x1,
+    /// Small data transfer: 8-byte payload, the workhorse for network
+    /// cache word writes and short messages.
+    Data = 0x2,
+    /// Block transfer on one of the sixteen multiplexed DMA channels;
+    /// the only variable-length type (up to 64 payload bytes).
+    Dma = 0x3,
+    /// Remote interrupt delivery (vector + argument).
+    Interrupt = 0x4,
+    /// Built-in diagnostics: loopback probes, region CRC audit,
+    /// configuration certification after rostering.
+    Diagnostic = 0x5,
+    /// Optional 64-bit remote atomic operation — the hardware substrate
+    /// for AmpNet network semaphores (slide 10).
+    D64Atomic = 0x6,
+}
+
+/// Whether a packet type uses the fixed (3-word) or variable
+/// (up to 19-word) wire format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LengthClass {
+    /// 3 payload-bearing words: control + 2 payload words.
+    Fixed,
+    /// Control + 2 DMA control words + 1..=16 payload words.
+    Variable,
+}
+
+impl PacketType {
+    /// Every type, in slide-4 order.
+    pub const ALL: [PacketType; 6] = [
+        PacketType::Rostering,
+        PacketType::Data,
+        PacketType::Dma,
+        PacketType::Interrupt,
+        PacketType::Diagnostic,
+        PacketType::D64Atomic,
+    ];
+
+    /// Fixed or variable wire format (slide 4, "Length").
+    pub fn length_class(self) -> LengthClass {
+        match self {
+            PacketType::Dma => LengthClass::Variable,
+            _ => LengthClass::Fixed,
+        }
+    }
+
+    /// Whether every conforming implementation must support the type
+    /// (slide 4, "Mandatory"). D64 Atomic is the only optional one.
+    pub fn is_mandatory(self) -> bool {
+        !matches!(self, PacketType::D64Atomic)
+    }
+
+    /// Parse the 4-bit type code from a control word.
+    pub fn from_code(code: u8) -> Option<PacketType> {
+        match code {
+            0x1 => Some(PacketType::Rostering),
+            0x2 => Some(PacketType::Data),
+            0x3 => Some(PacketType::Dma),
+            0x4 => Some(PacketType::Interrupt),
+            0x5 => Some(PacketType::Diagnostic),
+            0x6 => Some(PacketType::D64Atomic),
+            _ => None,
+        }
+    }
+
+    /// The 4-bit wire code.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+}
+
+impl fmt::Display for PacketType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PacketType::Rostering => "Rostering",
+            PacketType::Data => "Data",
+            PacketType::Dma => "DMA",
+            PacketType::Interrupt => "Interrupt",
+            PacketType::Diagnostic => "Diagnostic",
+            PacketType::D64Atomic => "D64 Atomic",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slide_4_table() {
+        use LengthClass::*;
+        let expect = [
+            (PacketType::Rostering, Fixed, true),
+            (PacketType::Data, Fixed, true),
+            (PacketType::Dma, Variable, true),
+            (PacketType::Interrupt, Fixed, true),
+            (PacketType::Diagnostic, Fixed, true),
+            (PacketType::D64Atomic, Fixed, false),
+        ];
+        for (t, class, mandatory) in expect {
+            assert_eq!(t.length_class(), class, "{t}");
+            assert_eq!(t.is_mandatory(), mandatory, "{t}");
+        }
+    }
+
+    #[test]
+    fn code_roundtrip() {
+        for t in PacketType::ALL {
+            assert_eq!(PacketType::from_code(t.code()), Some(t));
+        }
+        assert_eq!(PacketType::from_code(0x0), None);
+        assert_eq!(PacketType::from_code(0x7), None);
+        assert_eq!(PacketType::from_code(0xF), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PacketType::D64Atomic.to_string(), "D64 Atomic");
+        assert_eq!(PacketType::Dma.to_string(), "DMA");
+    }
+}

@@ -1,0 +1,434 @@
+//! MicroPacket bodies and wire encoding (slides 5–6).
+//!
+//! Fixed format (3 words between SOF and EOF):
+//!
+//! ```text
+//! Word 0: Control 0..3
+//! Word 1: Payload 0..3
+//! Word 2: Payload 4..7
+//! ```
+//!
+//! Variable format (DMA; 4..=19 words):
+//!
+//! ```text
+//! Word 0:      Control 0..3
+//! Word 1..2:   DMA Ctrl 0..7
+//! Word 3..18:  Payload 0..63  (only ceil(len/4) words transmitted)
+//! ```
+//!
+//! On the wire each packet is framed by one SOF and one EOF ordered
+//! set (one transmission word each), so a fixed MicroPacket occupies
+//! 5 words = 20 line bytes and a full DMA MicroPacket 21 words = 84
+//! line bytes.
+
+use crate::control::{ControlError, ControlWord};
+use crate::types::LengthClass;
+
+/// Bytes in one transmission word.
+pub const WORD: usize = 4;
+/// Payload bytes in a fixed MicroPacket.
+pub const FIXED_PAYLOAD: usize = 8;
+/// Maximum payload bytes in a variable (DMA) MicroPacket.
+pub const MAX_DMA_PAYLOAD: usize = 64;
+/// Wire overhead per packet: SOF + control word + EOF.
+pub const FRAME_OVERHEAD: usize = 3 * WORD;
+
+/// DMA control words 1–2 (DMA Ctrl 0..7): which channel, which network
+/// cache region, where in it, and how many payload bytes are valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DmaCtrl {
+    /// One of the sixteen multiplexed DMA channels (0..=15, slide 11).
+    pub channel: u8,
+    /// Target network cache region id.
+    pub region: u8,
+    /// Byte offset within the region.
+    pub offset: u32,
+    /// Valid payload bytes (1..=64).
+    pub len: u16,
+}
+
+impl DmaCtrl {
+    /// Serialize to the 8 DMA control bytes.
+    pub fn to_bytes(&self) -> [u8; 8] {
+        let mut b = [0u8; 8];
+        b[0] = self.channel;
+        b[1] = self.region;
+        b[2..6].copy_from_slice(&self.offset.to_be_bytes());
+        b[6..8].copy_from_slice(&self.len.to_be_bytes());
+        b
+    }
+
+    /// Parse from the 8 DMA control bytes.
+    pub fn from_bytes(b: [u8; 8]) -> DmaCtrl {
+        DmaCtrl {
+            channel: b[0],
+            region: b[1],
+            offset: u32::from_be_bytes(b[2..6].try_into().expect("4 bytes")),
+            len: u16::from_be_bytes(b[6..8].try_into().expect("2 bytes")),
+        }
+    }
+}
+
+/// A MicroPacket body: fixed 8-byte payload or DMA block.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Body {
+    /// Fixed-format payload (Payload 0..7).
+    Fixed([u8; FIXED_PAYLOAD]),
+    /// Variable-format DMA block.
+    Variable {
+        /// DMA control words.
+        ctrl: DmaCtrl,
+        /// Payload bytes; `ctrl.len` of these are valid.
+        data: [u8; MAX_DMA_PAYLOAD],
+    },
+}
+
+/// A complete MicroPacket.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MicroPacket {
+    /// Word 0.
+    pub ctrl: ControlWord,
+    /// Words 1..N.
+    pub body: Body,
+}
+
+/// Errors from packet encode/decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketError {
+    /// Control word did not parse.
+    Control(ControlError),
+    /// The body class does not match the packet type (e.g. a DMA type
+    /// with a fixed body).
+    ClassMismatch,
+    /// DMA payload length out of 1..=64.
+    BadDmaLen(u16),
+    /// Truncated or oversized byte buffer.
+    BadSize(usize),
+}
+
+impl std::fmt::Display for PacketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PacketError::Control(e) => write!(f, "control word: {e}"),
+            PacketError::ClassMismatch => write!(f, "body does not match packet type class"),
+            PacketError::BadDmaLen(l) => write!(f, "DMA payload length {l} out of 1..=64"),
+            PacketError::BadSize(n) => write!(f, "buffer of {n} bytes is not a MicroPacket"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+impl From<ControlError> for PacketError {
+    fn from(e: ControlError) -> Self {
+        PacketError::Control(e)
+    }
+}
+
+impl MicroPacket {
+    /// Construct, validating that the body class matches the type.
+    pub fn new(ctrl: ControlWord, body: Body) -> Result<MicroPacket, PacketError> {
+        let class_ok = matches!(
+            (&body, ctrl.ptype.length_class()),
+            (Body::Fixed(_), LengthClass::Fixed) | (Body::Variable { .. }, LengthClass::Variable)
+        );
+        if !class_ok {
+            return Err(PacketError::ClassMismatch);
+        }
+        if let Body::Variable { ctrl: dma, .. } = &body {
+            if dma.len == 0 || dma.len as usize > MAX_DMA_PAYLOAD {
+                return Err(PacketError::BadDmaLen(dma.len));
+            }
+        }
+        Ok(MicroPacket { ctrl, body })
+    }
+
+    /// Fixed-payload accessor; panics if called on a DMA packet (the
+    /// type system of callers guarantees the class).
+    pub fn fixed_payload(&self) -> &[u8; FIXED_PAYLOAD] {
+        match &self.body {
+            Body::Fixed(p) => p,
+            Body::Variable { .. } => panic!("fixed_payload on a variable packet"),
+        }
+    }
+
+    /// DMA payload slice (only the valid bytes).
+    pub fn dma_payload(&self) -> Option<&[u8]> {
+        match &self.body {
+            Body::Variable { ctrl, data } => Some(&data[..ctrl.len as usize]),
+            Body::Fixed(_) => None,
+        }
+    }
+
+    /// Number of payload-bearing transmission words (excluding SOF/EOF
+    /// but including the control word): 3 for fixed, 3 + ceil(len/4)
+    /// for variable.
+    pub fn words(&self) -> usize {
+        match &self.body {
+            Body::Fixed(_) => 3,
+            Body::Variable { ctrl, .. } => 3 + (ctrl.len as usize).div_ceil(WORD),
+        }
+    }
+
+    /// Total line bytes including SOF and EOF ordered sets — the
+    /// number that determines serialization time.
+    pub fn wire_bytes(&self) -> usize {
+        (self.words() + 2) * WORD
+    }
+
+    /// Application payload bytes carried.
+    pub fn payload_bytes(&self) -> usize {
+        match &self.body {
+            Body::Fixed(_) => FIXED_PAYLOAD,
+            Body::Variable { ctrl, .. } => ctrl.len as usize,
+        }
+    }
+
+    /// Wire efficiency: payload bytes over total line bytes.
+    pub fn efficiency(&self) -> f64 {
+        self.payload_bytes() as f64 / self.wire_bytes() as f64
+    }
+
+    /// Serialize the packet words (without SOF/EOF framing, which the
+    /// PHY adds) into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.ctrl.to_bytes());
+        match &self.body {
+            Body::Fixed(p) => out.extend_from_slice(p),
+            Body::Variable { ctrl, data } => {
+                out.extend_from_slice(&ctrl.to_bytes());
+                let words = (ctrl.len as usize).div_ceil(WORD);
+                out.extend_from_slice(&data[..words * WORD]);
+            }
+        }
+    }
+
+    /// Serialized words as a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(self.words() * WORD);
+        self.encode(&mut v);
+        v
+    }
+
+    /// Parse packet words produced by [`MicroPacket::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<MicroPacket, PacketError> {
+        if bytes.len() < 3 * WORD || !bytes.len().is_multiple_of(WORD) {
+            return Err(PacketError::BadSize(bytes.len()));
+        }
+        let ctrl = ControlWord::from_bytes(bytes[..4].try_into().expect("4 bytes"))?;
+        match ctrl.ptype.length_class() {
+            LengthClass::Fixed => {
+                if bytes.len() != 3 * WORD {
+                    return Err(PacketError::BadSize(bytes.len()));
+                }
+                let mut p = [0u8; FIXED_PAYLOAD];
+                p.copy_from_slice(&bytes[4..12]);
+                MicroPacket::new(ctrl, Body::Fixed(p))
+            }
+            LengthClass::Variable => {
+                if bytes.len() < 4 * WORD {
+                    return Err(PacketError::BadSize(bytes.len()));
+                }
+                let dma = DmaCtrl::from_bytes(bytes[4..12].try_into().expect("8 bytes"));
+                if dma.len == 0 || dma.len as usize > MAX_DMA_PAYLOAD {
+                    return Err(PacketError::BadDmaLen(dma.len));
+                }
+                let words = (dma.len as usize).div_ceil(WORD);
+                if bytes.len() != (3 + words) * WORD {
+                    return Err(PacketError::BadSize(bytes.len()));
+                }
+                let mut data = [0u8; MAX_DMA_PAYLOAD];
+                data[..words * WORD].copy_from_slice(&bytes[12..]);
+                MicroPacket::new(ctrl, Body::Variable { ctrl: dma, data })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::BROADCAST;
+    use crate::types::PacketType;
+
+    fn fixed(ptype: PacketType) -> MicroPacket {
+        MicroPacket::new(
+            ControlWord::new(ptype, 1, 2, 7),
+            Body::Fixed([1, 2, 3, 4, 5, 6, 7, 8]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fixed_sizes_match_slide_5() {
+        let p = fixed(PacketType::Data);
+        assert_eq!(p.words(), 3, "3 words: control + 2 payload");
+        assert_eq!(p.wire_bytes(), 20, "SOF + 3 words + EOF");
+        assert_eq!(p.payload_bytes(), 8);
+        assert!((p.efficiency() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variable_sizes_match_slide_6() {
+        let dma = DmaCtrl {
+            channel: 3,
+            region: 1,
+            offset: 4096,
+            len: 64,
+        };
+        let p = MicroPacket::new(
+            ControlWord::new(PacketType::Dma, 1, BROADCAST, 0),
+            Body::Variable {
+                ctrl: dma,
+                data: [0xAB; 64],
+            },
+        )
+        .unwrap();
+        assert_eq!(p.words(), 19, "control + 2 DMA ctrl + 16 payload");
+        assert_eq!(p.wire_bytes(), 84);
+        assert_eq!(p.payload_bytes(), 64);
+        assert!(p.efficiency() > 0.75);
+    }
+
+    #[test]
+    fn variable_partial_payload_rounds_to_words() {
+        for (len, words) in [(1u16, 4usize), (4, 4), (5, 5), (63, 19), (64, 19)] {
+            let p = MicroPacket::new(
+                ControlWord::new(PacketType::Dma, 1, 2, 0),
+                Body::Variable {
+                    ctrl: DmaCtrl {
+                        channel: 0,
+                        region: 0,
+                        offset: 0,
+                        len,
+                    },
+                    data: [0; 64],
+                },
+            )
+            .unwrap();
+            assert_eq!(p.words(), words, "len {len}");
+        }
+    }
+
+    #[test]
+    fn class_mismatch_rejected() {
+        let r = MicroPacket::new(
+            ControlWord::new(PacketType::Dma, 1, 2, 0),
+            Body::Fixed([0; 8]),
+        );
+        assert_eq!(r.unwrap_err(), PacketError::ClassMismatch);
+        let r = MicroPacket::new(
+            ControlWord::new(PacketType::Data, 1, 2, 0),
+            Body::Variable {
+                ctrl: DmaCtrl {
+                    channel: 0,
+                    region: 0,
+                    offset: 0,
+                    len: 8,
+                },
+                data: [0; 64],
+            },
+        );
+        assert_eq!(r.unwrap_err(), PacketError::ClassMismatch);
+    }
+
+    #[test]
+    fn dma_len_bounds() {
+        for len in [0u16, 65, 1000] {
+            let r = MicroPacket::new(
+                ControlWord::new(PacketType::Dma, 1, 2, 0),
+                Body::Variable {
+                    ctrl: DmaCtrl {
+                        channel: 0,
+                        region: 0,
+                        offset: 0,
+                        len,
+                    },
+                    data: [0; 64],
+                },
+            );
+            assert_eq!(r.unwrap_err(), PacketError::BadDmaLen(len));
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_fixed() {
+        for t in [
+            PacketType::Rostering,
+            PacketType::Data,
+            PacketType::Interrupt,
+            PacketType::Diagnostic,
+            PacketType::D64Atomic,
+        ] {
+            let p = fixed(t);
+            let bytes = p.to_vec();
+            assert_eq!(bytes.len(), 12);
+            assert_eq!(MicroPacket::decode(&bytes).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_variable() {
+        let mut data = [0u8; 64];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        for len in [1u16, 7, 32, 64] {
+            let p = MicroPacket::new(
+                ControlWord::new(PacketType::Dma, 9, 4, 2),
+                Body::Variable {
+                    ctrl: DmaCtrl {
+                        channel: 15,
+                        region: 200,
+                        offset: 0xDEAD_BEEF,
+                        len,
+                    },
+                    data,
+                },
+            )
+            .unwrap();
+            let bytes = p.to_vec();
+            let back = MicroPacket::decode(&bytes).unwrap();
+            assert_eq!(back.ctrl, p.ctrl);
+            assert_eq!(back.dma_payload().unwrap(), &data[..len as usize]);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_sizes() {
+        assert!(matches!(
+            MicroPacket::decode(&[]),
+            Err(PacketError::BadSize(0))
+        ));
+        assert!(matches!(
+            MicroPacket::decode(&[0; 13]),
+            Err(PacketError::BadSize(13))
+        ));
+        // Fixed packet with trailing words.
+        let p = fixed(PacketType::Data);
+        let mut bytes = p.to_vec();
+        bytes.extend_from_slice(&[0; 4]);
+        assert!(matches!(
+            MicroPacket::decode(&bytes),
+            Err(PacketError::BadSize(16))
+        ));
+    }
+
+    #[test]
+    fn dma_ctrl_roundtrip() {
+        let d = DmaCtrl {
+            channel: 7,
+            region: 42,
+            offset: 123_456,
+            len: 33,
+        };
+        assert_eq!(DmaCtrl::from_bytes(d.to_bytes()), d);
+    }
+
+    #[test]
+    fn fixed_payload_accessor() {
+        let p = fixed(PacketType::Data);
+        assert_eq!(p.fixed_payload(), &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert!(p.dma_payload().is_none());
+    }
+}

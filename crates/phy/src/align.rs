@@ -1,0 +1,274 @@
+//! Word alignment — acquiring code-group boundaries from a raw bit
+//! stream (FC-1 receiver function).
+//!
+//! A deserializer sees an unbroken stream of line bits with no framing.
+//! The K28.5 *comma* (the singular pattern `0011111` / `1100000`, which
+//! cannot appear across any concatenation of valid code groups) marks a
+//! group boundary: the aligner hunts for it, locks the 10-bit phase,
+//! and from then on slices groups deterministically. Loss of lock is
+//! detected when decode errors accumulate.
+
+use crate::enc8b10b::{CodeError, Decoder, Symbol};
+
+/// Comma hunting and group slicing state.
+#[derive(Debug)]
+pub struct WordAligner {
+    /// Bit buffer (LSB-first arrival order; bits pushed at the back).
+    window: u32,
+    /// Bits currently in the window.
+    fill: u32,
+    /// Locked phase: when `Some`, every 10 bits form a group.
+    locked: bool,
+    /// Consecutive decode errors since lock (for loss-of-lock).
+    errors_in_lock: u32,
+    /// Groups emitted since lock.
+    groups: u64,
+    decoder: Decoder,
+}
+
+/// Alignment events produced while consuming bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlignEvent {
+    /// Still hunting for a comma.
+    Hunting,
+    /// Lock acquired (comma seen); subsequent groups will decode.
+    Locked,
+    /// A complete, aligned code group decoded successfully.
+    Group(Symbol),
+    /// A group failed to decode (kept for caller statistics).
+    BadGroup(CodeError),
+    /// Too many consecutive bad groups: lock abandoned, hunting again.
+    LostLock,
+}
+
+/// Comma bit patterns as they appear in the first 7 bits of a group
+/// (transmission order a..g).
+const COMMA_P: u16 = 0b0011111;
+const COMMA_N: u16 = 0b1100000;
+
+/// Consecutive decode errors that abandon the lock.
+const MAX_ERRORS: u32 = 4;
+
+impl Default for WordAligner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WordAligner {
+    /// A fresh, unlocked aligner.
+    pub fn new() -> Self {
+        WordAligner {
+            window: 0,
+            fill: 0,
+            locked: false,
+            errors_in_lock: 0,
+            groups: 0,
+            decoder: Decoder::new(),
+        }
+    }
+
+    /// Whether group phase is currently locked.
+    pub fn is_locked(&self) -> bool {
+        self.locked
+    }
+
+    /// Aligned groups decoded since the last lock.
+    pub fn groups_since_lock(&self) -> u64 {
+        self.groups
+    }
+
+    /// Feed one line bit (in transmission order). Returns the event it
+    /// produced.
+    pub fn push_bit(&mut self, bit: bool) -> AlignEvent {
+        self.window = ((self.window << 1) | bit as u32) & 0x3FF_FFFF;
+        if self.fill < 26 {
+            self.fill += 1;
+        }
+        if !self.locked {
+            // Hunt: a comma occupies bits [9..3] of a group; lock when
+            // the most recent 10 bits *start* with a comma, i.e. the
+            // window's last 10 bits have comma in their high 7.
+            if self.fill >= 10 {
+                let candidate = (self.window & 0x3FF) as u16;
+                let high7 = candidate >> 3;
+                if high7 == COMMA_P || high7 == COMMA_N {
+                    self.locked = true;
+                    self.fill = 0;
+                    self.errors_in_lock = 0;
+                    self.groups = 0;
+                    // The comma group itself is in the window: decode it.
+                    return match self.decoder.decode(candidate) {
+                        Ok(_) => AlignEvent::Locked,
+                        Err(_) => {
+                            // Comma pattern but invalid group: rare
+                            // (disparity); stay locked, count it.
+                            self.errors_in_lock += 1;
+                            AlignEvent::Locked
+                        }
+                    };
+                }
+            }
+            return AlignEvent::Hunting;
+        }
+        // Locked: emit every 10th bit.
+        if self.fill < 10 {
+            return AlignEvent::Hunting;
+        }
+        self.fill = 0;
+        let group = (self.window & 0x3FF) as u16;
+        match self.decoder.decode(group) {
+            Ok(sym) => {
+                self.errors_in_lock = 0;
+                self.groups += 1;
+                AlignEvent::Group(sym)
+            }
+            Err(e) => {
+                self.errors_in_lock += 1;
+                if self.errors_in_lock >= MAX_ERRORS {
+                    self.locked = false;
+                    self.errors_in_lock = 0;
+                    AlignEvent::LostLock
+                } else {
+                    AlignEvent::BadGroup(e)
+                }
+            }
+        }
+    }
+
+    /// Feed a slice of groups' worth of raw bits; collect decoded
+    /// symbols.
+    pub fn push_bits(&mut self, bits: impl IntoIterator<Item = bool>) -> Vec<Symbol> {
+        let mut out = vec![];
+        for b in bits {
+            if let AlignEvent::Group(s) = self.push_bit(b) {
+                out.push(s);
+            }
+        }
+        out
+    }
+}
+
+/// Serialize code groups to line bits (MSB of the 10-bit group first —
+/// transmission order `a` first).
+pub fn groups_to_bits(groups: &[u16]) -> Vec<bool> {
+    let mut bits = Vec::with_capacity(groups.len() * 10);
+    for &g in groups {
+        for i in (0..10).rev() {
+            bits.push((g >> i) & 1 == 1);
+        }
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enc8b10b::{Encoder, K28_5};
+    use crate::ordered::OrderedSet;
+
+    fn encode_stream(data: &[u8], leading_idles: usize) -> Vec<u16> {
+        let mut enc = Encoder::new();
+        let mut groups = vec![];
+        for _ in 0..leading_idles {
+            groups.extend(OrderedSet::Idle.encode(&mut enc));
+        }
+        for &b in data {
+            groups.push(enc.encode(Symbol::Data(b)).unwrap());
+        }
+        groups
+    }
+
+    #[test]
+    fn locks_on_comma_and_decodes() {
+        let groups = encode_stream(b"AMPNET", 1);
+        let bits = groups_to_bits(&groups);
+        let mut al = WordAligner::new();
+        let symbols = al.push_bits(bits);
+        assert!(al.is_locked());
+        // After lock (on the K28.5), the idle identifier data bytes and
+        // our payload all decode.
+        let payload: Vec<u8> = symbols
+            .iter()
+            .filter_map(|s| match s {
+                Symbol::Data(b) => Some(*b),
+                _ => None,
+            })
+            .collect();
+        assert!(payload.ends_with(b"AMPNET"), "{payload:?}");
+    }
+
+    #[test]
+    fn locks_from_any_bit_offset() {
+        // Prefix with arbitrary junk bits: alignment must still lock on
+        // the first comma and decode everything after it.
+        let groups = encode_stream(&[0x11, 0x22, 0x33], 2);
+        let mut bits = vec![true, false, true, true, false, false, true];
+        bits.extend(groups_to_bits(&groups));
+        let mut al = WordAligner::new();
+        let symbols = al.push_bits(bits);
+        assert!(al.is_locked());
+        let data: Vec<u8> = symbols
+            .iter()
+            .filter_map(|s| match s {
+                Symbol::Data(b) => Some(*b),
+                _ => None,
+            })
+            .collect();
+        assert!(data.ends_with(&[0x11, 0x22, 0x33]), "{data:?}");
+    }
+
+    #[test]
+    fn no_lock_without_comma() {
+        // Pure data stream (no ordered set): the aligner never locks,
+        // because valid data groups cannot contain the comma.
+        let groups = encode_stream(&[1, 2, 3, 4, 5, 6, 7, 8], 0);
+        let bits = groups_to_bits(&groups);
+        let mut al = WordAligner::new();
+        let symbols = al.push_bits(bits);
+        assert!(!al.is_locked());
+        assert!(symbols.is_empty());
+    }
+
+    #[test]
+    fn garbage_after_lock_loses_lock() {
+        let groups = encode_stream(b"OK", 1);
+        let mut bits = groups_to_bits(&groups);
+        // A stuck-at-one line: 50 one-bits can never form valid
+        // groups (max run length in 8b/10b is 5).
+        bits.extend(std::iter::repeat_n(true, 50));
+        let mut al = WordAligner::new();
+        let mut lost = false;
+        for b in bits {
+            if al.push_bit(b) == AlignEvent::LostLock {
+                lost = true;
+            }
+        }
+        assert!(lost, "garbage must break the lock");
+        assert!(!al.is_locked());
+    }
+
+    #[test]
+    fn relocks_after_loss() {
+        let mut bits = groups_to_bits(&encode_stream(b"A", 1));
+        bits.extend(std::iter::repeat_n(true, 50)); // stuck line
+        // Several idles after recovery: plenty of commas to re-lock on.
+        bits.extend(groups_to_bits(&encode_stream(b"B", 4)));
+        let mut al = WordAligner::new();
+        let mut events = vec![];
+        for b in bits {
+            events.push(al.push_bit(b));
+        }
+        let locks = events.iter().filter(|e| **e == AlignEvent::Locked).count();
+        assert!(locks >= 2, "must re-acquire after garbage, got {locks}");
+        assert!(al.is_locked());
+    }
+
+    #[test]
+    fn comma_constant_matches_k28_5() {
+        let mut enc = Encoder::new();
+        let g = enc.encode(Symbol::Ctrl(K28_5)).unwrap();
+        let high7 = g >> 3;
+        assert!(high7 == COMMA_P || high7 == COMMA_N);
+    }
+}

@@ -1,0 +1,33 @@
+//! # ampnet-ring — register-insertion ring MAC
+//!
+//! The AmpNet data link (slides 7–8): a register-insertion ring where
+//! every node can insert multiple concurrent streams, transit traffic
+//! has absolute priority, sources strip their broadcasts after a full
+//! tour, and an adaptive governor modulates each node's contribution
+//! from its local view of the segment. The headline property — *a
+//! simultaneous all-to-all broadcast never drops a packet* — is
+//! structural here and asserted by experiment E4.
+//!
+//! * [`RingNode`] — sans-IO MAC state machine (arrival handling,
+//!   transmit selection, insertion rules, counters).
+//! * [`StreamSet`] — deficit-round-robin multi-stream scheduler
+//!   (slide 7).
+//! * [`InsertionGovernor`]/[`PacingMode`] — AIMD flow control
+//!   (slide 8); ablation A1 toggles it.
+//! * [`Segment`] — standalone discrete-event driver with the paper's
+//!   workloads and measurement (goodput, fairness, tour latency).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod node;
+mod pacing;
+mod segment;
+mod stream;
+
+pub use node::{ArrivalAction, RingNode, RingNodeParams, RingNodeStats, TxChoice, MAX_PACKET_WIRE};
+pub use pacing::{AimdParams, InsertionGovernor, PacingMode};
+pub use segment::{
+    ArrivalProcess, DstPattern, PacketKind, Segment, SegmentParams, SegmentReport, StreamWorkload,
+};
+pub use stream::{StreamId, StreamSet};

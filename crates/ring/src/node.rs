@@ -1,0 +1,411 @@
+//! Register-insertion ring MAC — per-node state machine.
+//!
+//! Classic register insertion (slide 8, "a variant of a register
+//! insertion ring") with AmpNet's adaptations:
+//!
+//! * **Transit priority.** Packets in flight around the ring are never
+//!   blocked by local traffic: the output port always serves the
+//!   insertion (transit) buffer first.
+//! * **Insert-when-empty rule.** A node may start inserting its own
+//!   packet only while its insertion buffer is empty. While the
+//!   insertion is on the wire, at most one maximum-size packet can
+//!   finish arriving from upstream plus one more already in flight, so
+//!   an insertion buffer of `2 × MAX_PACKET` bytes structurally cannot
+//!   overflow — this is the "guaranteed not to drop packets even under
+//!   all-to-all broadcast" property. The node still counts hypothetical
+//!   overflows (`would_drop`) so experiments can assert the guarantee.
+//! * **Source stripping.** Broadcast packets circulate one full tour
+//!   and are removed by their source; unicast packets are removed by
+//!   their destination (spatial reuse).
+//! * **Adaptive contribution** (see [`crate::pacing`]): the node
+//!   watches its own insertion-buffer high-water mark and modulates its
+//!   insertion rate.
+
+use crate::pacing::{InsertionGovernor, PacingMode};
+use crate::stream::{StreamId, StreamSet};
+use ampnet_packet::{Flags, MicroPacket};
+use ampnet_sim::SimTime;
+use std::collections::VecDeque;
+
+/// Largest MicroPacket on the wire (full DMA cell), bytes.
+pub const MAX_PACKET_WIRE: usize = 84;
+
+/// Configuration of one ring MAC.
+#[derive(Debug, Clone, Copy)]
+pub struct RingNodeParams {
+    /// Insertion (transit) buffer capacity in bytes. The structural
+    /// no-drop bound is `2 × MAX_PACKET_WIRE`; the default adds slack
+    /// for measurement.
+    pub transit_capacity: usize,
+    /// Insertion pacing policy.
+    pub pacing: PacingMode,
+    /// Number of local transmit streams.
+    pub n_streams: usize,
+}
+
+impl Default for RingNodeParams {
+    fn default() -> Self {
+        RingNodeParams {
+            transit_capacity: 2 * MAX_PACKET_WIRE,
+            pacing: PacingMode::Adaptive(Default::default()),
+            n_streams: 4,
+        }
+    }
+}
+
+/// What happened to an arriving packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArrivalAction {
+    /// Unicast to this node: consumed, not forwarded.
+    Deliver(MicroPacket),
+    /// Broadcast: a copy is delivered here and the packet continues.
+    DeliverAndForward(MicroPacket),
+    /// Own packet back after a full tour: stripped off the ring.
+    Strip,
+    /// In transit: forwarded downstream unchanged.
+    Forward,
+}
+
+/// What the output port should send next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxChoice {
+    /// The packet to serialize.
+    pub packet: MicroPacket,
+    /// True when this is locally sourced traffic (an insertion).
+    pub own: bool,
+    /// Source stream for own traffic.
+    pub stream: Option<StreamId>,
+}
+
+/// MAC counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RingNodeStats {
+    /// Own packets inserted onto the segment.
+    pub inserted: u64,
+    /// Transit packets forwarded.
+    pub forwarded: u64,
+    /// Packets delivered to this node (unicast + broadcast copies).
+    pub delivered: u64,
+    /// Own packets stripped after a full tour.
+    pub stripped: u64,
+    /// Times the insertion buffer would have overflowed. The paper's
+    /// guarantee is that this is always zero.
+    pub would_drop: u64,
+    /// Peak insertion-buffer occupancy in bytes.
+    pub transit_highwater: usize,
+    /// Delivered payload bytes.
+    pub delivered_payload_bytes: u64,
+}
+
+/// The per-node register-insertion MAC.
+#[derive(Debug)]
+pub struct RingNode {
+    id: u8,
+    params: RingNodeParams,
+    transit: VecDeque<MicroPacket>,
+    transit_bytes: usize,
+    urgent: VecDeque<MicroPacket>,
+    streams: StreamSet,
+    governor: InsertionGovernor,
+    /// High-water mark of the transit buffer since the last insertion —
+    /// the node's "local view of the network" congestion signal.
+    highwater_since_insert: usize,
+    stats: RingNodeStats,
+}
+
+impl RingNode {
+    /// New MAC for node `id`.
+    pub fn new(id: u8, params: RingNodeParams) -> Self {
+        RingNode {
+            id,
+            params,
+            transit: VecDeque::new(),
+            transit_bytes: 0,
+            urgent: VecDeque::new(),
+            streams: StreamSet::new(params.n_streams),
+            governor: InsertionGovernor::new(params.pacing),
+            highwater_since_insert: 0,
+            stats: RingNodeStats::default(),
+        }
+    }
+
+    /// This node's ring address.
+    pub fn id(&self) -> u8 {
+        self.id
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &RingNodeStats {
+        self.stats_ref()
+    }
+
+    fn stats_ref(&self) -> &RingNodeStats {
+        &self.stats
+    }
+
+    /// Mutable access to the local transmit streams (for enqueueing).
+    pub fn streams(&mut self) -> &mut StreamSet {
+        &mut self.streams
+    }
+
+    /// Immutable view of stream accounting.
+    pub fn streams_ref(&self) -> &StreamSet {
+        &self.streams
+    }
+
+    /// Queue an urgent (Rostering / Interrupt) packet; bypasses the
+    /// stream scheduler and the pacing governor.
+    pub fn enqueue_urgent(&mut self, pkt: MicroPacket) {
+        debug_assert!(pkt.ctrl.flags.contains(Flags::URGENT));
+        self.urgent.push_back(pkt);
+    }
+
+    /// Queue a normal own packet on `stream`.
+    pub fn enqueue_own(&mut self, stream: StreamId, pkt: MicroPacket) {
+        self.streams.enqueue(stream, pkt);
+    }
+
+    /// Current transit (insertion) buffer occupancy in bytes.
+    pub fn transit_bytes(&self) -> usize {
+        self.transit_bytes
+    }
+
+    /// Whether the node has anything to send.
+    pub fn has_backlog(&self) -> bool {
+        !self.transit.is_empty() || !self.urgent.is_empty() || self.streams.has_traffic()
+    }
+
+    /// Handle a packet arriving from the upstream link.
+    pub fn on_arrival(&mut self, _now: SimTime, pkt: MicroPacket) -> ArrivalAction {
+        if pkt.ctrl.src == self.id {
+            // Our own packet completed its tour.
+            self.stats.stripped += 1;
+            return ArrivalAction::Strip;
+        }
+        if pkt.ctrl.is_broadcast() {
+            self.stats.delivered += 1;
+            self.stats.delivered_payload_bytes += pkt.payload_bytes() as u64;
+            self.push_transit(pkt.clone());
+            return ArrivalAction::DeliverAndForward(pkt);
+        }
+        if pkt.ctrl.dst == self.id {
+            self.stats.delivered += 1;
+            self.stats.delivered_payload_bytes += pkt.payload_bytes() as u64;
+            return ArrivalAction::Deliver(pkt);
+        }
+        self.push_transit(pkt);
+        ArrivalAction::Forward
+    }
+
+    fn push_transit(&mut self, pkt: MicroPacket) {
+        let sz = pkt.wire_bytes();
+        if self.transit_bytes + sz > self.params.transit_capacity {
+            // The structural guarantee says this cannot happen; count
+            // it rather than dropping so experiments can assert == 0
+            // while the simulation stays live.
+            self.stats.would_drop += 1;
+        }
+        self.transit_bytes += sz;
+        self.highwater_since_insert = self.highwater_since_insert.max(self.transit_bytes);
+        self.stats.transit_highwater = self.stats.transit_highwater.max(self.transit_bytes);
+        self.transit.push_back(pkt);
+    }
+
+    /// Choose the next packet for a free output port, or `None` if
+    /// nothing is eligible right now. `now` drives the pacing governor.
+    pub fn next_tx(&mut self, now: SimTime) -> Option<TxChoice> {
+        // 1. Transit traffic has absolute priority.
+        if let Some(pkt) = self.transit.pop_front() {
+            self.transit_bytes -= pkt.wire_bytes();
+            self.stats.forwarded += 1;
+            return Some(TxChoice {
+                packet: pkt,
+                own: false,
+                stream: None,
+            });
+        }
+        // 2. Urgent own traffic (rostering, interrupts): insertion
+        //    buffer is empty here by rule 1.
+        if let Some(pkt) = self.urgent.pop_front() {
+            self.stats.inserted += 1;
+            return Some(TxChoice {
+                packet: pkt,
+                own: true,
+                stream: None,
+            });
+        }
+        // 3. Normal own traffic, governed.
+        if !self.governor.may_insert(now) {
+            return None;
+        }
+        let (stream, pkt) = self.streams.dequeue()?;
+        self.stats.inserted += 1;
+        self.governor.on_insert(now, self.highwater_since_insert);
+        self.highwater_since_insert = 0;
+        Some(TxChoice {
+            packet: pkt,
+            own: true,
+            stream: Some(stream),
+        })
+    }
+
+    /// Earliest time a governed insertion may occur (for scheduling a
+    /// retry when `next_tx` returned `None` but streams have traffic).
+    pub fn next_insert_allowed(&self) -> SimTime {
+        self.governor.next_allowed()
+    }
+
+    /// Governor back-off count (ablation metric).
+    pub fn backoffs(&self) -> u64 {
+        self.governor.backoffs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampnet_packet::build;
+
+    fn node(id: u8) -> RingNode {
+        RingNode::new(
+            id,
+            RingNodeParams {
+                pacing: PacingMode::Greedy,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn unicast_delivered_and_removed() {
+        let mut n = node(2);
+        let pkt = build::data(0, 2, 0, [1; 8]);
+        match n.on_arrival(SimTime(0), pkt.clone()) {
+            ArrivalAction::Deliver(p) => assert_eq!(p, pkt),
+            other => panic!("expected Deliver, got {other:?}"),
+        }
+        assert_eq!(n.stats().delivered, 1);
+        assert!(n.next_tx(SimTime(0)).is_none(), "not forwarded");
+    }
+
+    #[test]
+    fn unicast_in_transit_forwarded() {
+        let mut n = node(2);
+        let pkt = build::data(0, 5, 0, [1; 8]);
+        assert_eq!(n.on_arrival(SimTime(0), pkt.clone()), ArrivalAction::Forward);
+        let tx = n.next_tx(SimTime(0)).unwrap();
+        assert_eq!(tx.packet, pkt);
+        assert!(!tx.own);
+        assert_eq!(n.stats().forwarded, 1);
+    }
+
+    #[test]
+    fn broadcast_copied_and_forwarded() {
+        let mut n = node(2);
+        let pkt = build::data_broadcast(0, 0, [7; 8]);
+        match n.on_arrival(SimTime(0), pkt.clone()) {
+            ArrivalAction::DeliverAndForward(p) => assert_eq!(p, pkt),
+            other => panic!("expected DeliverAndForward, got {other:?}"),
+        }
+        let tx = n.next_tx(SimTime(0)).unwrap();
+        assert_eq!(tx.packet, pkt);
+    }
+
+    #[test]
+    fn own_packet_stripped_after_tour() {
+        let mut n = node(3);
+        let pkt = build::data_broadcast(3, 0, [0; 8]);
+        assert_eq!(n.on_arrival(SimTime(0), pkt), ArrivalAction::Strip);
+        assert_eq!(n.stats().stripped, 1);
+        assert!(n.next_tx(SimTime(0)).is_none());
+    }
+
+    #[test]
+    fn transit_beats_own_traffic() {
+        let mut n = node(1);
+        n.enqueue_own(0, build::data(1, 5, 0, [1; 8]));
+        let transit = build::data(0, 5, 0, [2; 8]);
+        n.on_arrival(SimTime(0), transit.clone());
+        let first = n.next_tx(SimTime(0)).unwrap();
+        assert_eq!(first.packet, transit, "transit must go first");
+        let second = n.next_tx(SimTime(0)).unwrap();
+        assert!(second.own);
+    }
+
+    #[test]
+    fn own_insert_requires_empty_transit() {
+        let mut n = node(1);
+        n.enqueue_own(0, build::data(1, 5, 0, [1; 8]));
+        n.on_arrival(SimTime(0), build::data(0, 5, 0, [2; 8]));
+        n.on_arrival(SimTime(0), build::data(0, 6, 0, [3; 8]));
+        // Drain: transit, transit, then own.
+        assert!(!n.next_tx(SimTime(0)).unwrap().own);
+        assert!(!n.next_tx(SimTime(0)).unwrap().own);
+        assert!(n.next_tx(SimTime(0)).unwrap().own);
+    }
+
+    #[test]
+    fn urgent_bypasses_governor_but_not_transit() {
+        let params = RingNodeParams {
+            pacing: PacingMode::Adaptive(Default::default()),
+            ..Default::default()
+        };
+        let mut n = RingNode::new(1, params);
+        // Make the governor refuse normal insertions for a while.
+        for _ in 0..4 {
+            n.on_arrival(SimTime(0), build::data(0, 5, 0, [9; 8]));
+        }
+        while n.next_tx(SimTime(0)).is_some() {}
+        let roster = build::rostering(1, 0, [0; 8]);
+        n.enqueue_urgent(roster.clone());
+        let transit = build::data(0, 5, 0, [2; 8]);
+        n.on_arrival(SimTime(0), transit.clone());
+        let first = n.next_tx(SimTime(0)).unwrap();
+        assert_eq!(first.packet, transit);
+        let second = n.next_tx(SimTime(0)).unwrap();
+        assert_eq!(second.packet, roster);
+    }
+
+    #[test]
+    fn highwater_and_would_drop_accounting() {
+        let mut n = RingNode::new(
+            1,
+            RingNodeParams {
+                transit_capacity: 40,
+                pacing: PacingMode::Greedy,
+                n_streams: 1,
+            },
+        );
+        // 3 × 20-byte packets into a 40-byte buffer: third would drop.
+        for i in 0..3 {
+            n.on_arrival(SimTime(0), build::data(0, 5, i, [i; 8]));
+        }
+        assert_eq!(n.stats().would_drop, 1);
+        assert_eq!(n.stats().transit_highwater, 60);
+        assert_eq!(n.transit_bytes(), 60);
+    }
+
+    #[test]
+    fn structural_capacity_never_trips_with_default_params() {
+        // Worst case modelled by the insert-when-empty rule: the node
+        // inserts one max packet; during that time one max packet
+        // finishes arriving and one more is in flight.
+        let mut n = RingNode::new(1, RingNodeParams::default());
+        n.on_arrival(SimTime(0), build::data(0, 5, 0, [0; 8]));
+        let full = build::dma(
+            0,
+            5,
+            0,
+            ampnet_packet::DmaCtrl {
+                channel: 0,
+                region: 0,
+                offset: 0,
+                len: 0,
+            },
+            &[0; 64],
+        )
+        .unwrap();
+        n.on_arrival(SimTime(0), full.clone());
+        assert_eq!(n.stats().would_drop, 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Adaptive insertion flow control (slide 8).
+//!
+//! "Each node monitors its local view of the network and can increase
+//! or decrease its contribution to the total flow accordingly."
+//!
+//! The *no-drop* property of the register-insertion MAC is structural
+//! (a node only inserts when its insertion buffer is empty, and the
+//! buffer is sized for the worst case — see [`crate::node`]). What the
+//! adaptive governor adds is *fairness and bounded transit latency*:
+//! a node whose insertion buffer keeps filling up is a node on a
+//! congested segment, so it multiplicatively backs off its insertion
+//! rate; when the buffer stays empty it additively recovers. This is
+//! AIMD on the inter-insertion gap.
+
+use ampnet_sim::{SimDuration, SimTime};
+
+/// Insertion pacing policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PacingMode {
+    /// Insert whenever the MAC rules allow (ablation A1 baseline).
+    Greedy,
+    /// AIMD governor on the insertion gap.
+    Adaptive(AimdParams),
+}
+
+/// AIMD parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AimdParams {
+    /// Smallest enforced gap between own insertions (full speed).
+    pub min_gap: SimDuration,
+    /// Largest enforced gap (maximum back-off).
+    pub max_gap: SimDuration,
+    /// Additive decrease of the gap applied per uncongested insertion.
+    pub recover_step: SimDuration,
+    /// Multiplicative increase of the gap on congestion (e.g. 2 = double).
+    pub backoff_factor: u32,
+    /// Transit-buffer occupancy (bytes) at or above which the node
+    /// considers its local view congested.
+    pub congestion_bytes: usize,
+}
+
+impl Default for AimdParams {
+    fn default() -> Self {
+        AimdParams {
+            min_gap: SimDuration::ZERO,
+            max_gap: SimDuration::from_micros(20),
+            recover_step: SimDuration::from_nanos(100),
+            backoff_factor: 2,
+            congestion_bytes: 21, // more than one fixed cell waiting
+        }
+    }
+}
+
+/// Per-node insertion governor.
+#[derive(Debug, Clone)]
+pub struct InsertionGovernor {
+    mode: PacingMode,
+    gap: SimDuration,
+    next_allowed: SimTime,
+    backoffs: u64,
+}
+
+impl InsertionGovernor {
+    /// New governor in the given mode.
+    pub fn new(mode: PacingMode) -> Self {
+        let gap = match mode {
+            PacingMode::Greedy => SimDuration::ZERO,
+            PacingMode::Adaptive(p) => p.min_gap,
+        };
+        InsertionGovernor {
+            mode,
+            gap,
+            next_allowed: SimTime::ZERO,
+            backoffs: 0,
+        }
+    }
+
+    /// May the node insert its own packet now?
+    pub fn may_insert(&self, now: SimTime) -> bool {
+        now >= self.next_allowed
+    }
+
+    /// Earliest instant insertion will be allowed.
+    pub fn next_allowed(&self) -> SimTime {
+        self.next_allowed
+    }
+
+    /// Current enforced gap.
+    pub fn gap(&self) -> SimDuration {
+        self.gap
+    }
+
+    /// Times the governor backed off.
+    pub fn backoffs(&self) -> u64 {
+        self.backoffs
+    }
+
+    /// Record an insertion that just started at `now`, with the current
+    /// transit-buffer occupancy as the congestion signal.
+    pub fn on_insert(&mut self, now: SimTime, transit_bytes: usize) {
+        if let PacingMode::Adaptive(p) = self.mode {
+            if transit_bytes >= p.congestion_bytes {
+                // Congested: multiplicative back-off.
+                let doubled = self
+                    .gap
+                    .saturating_mul(p.backoff_factor as u64)
+                    .max(p.recover_step);
+                self.gap = doubled.min(p.max_gap);
+                self.backoffs += 1;
+            } else {
+                // Clear: additive recovery.
+                self.gap = self.gap.saturating_sub(p.recover_step).max(p.min_gap);
+            }
+            self.next_allowed = now + self.gap;
+        }
+    }
+
+    /// Congestion observed without an insertion (transit packet passed
+    /// through a backed-up buffer): also backs off under AIMD.
+    pub fn on_congestion(&mut self, now: SimTime) {
+        if let PacingMode::Adaptive(p) = self.mode {
+            let doubled = self
+                .gap
+                .saturating_mul(p.backoff_factor as u64)
+                .max(p.recover_step);
+            self.gap = doubled.min(p.max_gap);
+            self.backoffs += 1;
+            if self.next_allowed < now + self.gap {
+                self.next_allowed = now + self.gap;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_always_allows() {
+        let mut g = InsertionGovernor::new(PacingMode::Greedy);
+        assert!(g.may_insert(SimTime::ZERO));
+        g.on_insert(SimTime(100), 10_000);
+        assert!(g.may_insert(SimTime(100)));
+        assert_eq!(g.backoffs(), 0);
+    }
+
+    #[test]
+    fn adaptive_backs_off_on_congestion() {
+        let p = AimdParams::default();
+        let mut g = InsertionGovernor::new(PacingMode::Adaptive(p));
+        assert!(g.may_insert(SimTime(0)));
+        g.on_insert(SimTime(0), p.congestion_bytes); // congested
+        assert!(g.backoffs() == 1);
+        assert!(!g.may_insert(SimTime(0)));
+        let gap1 = g.gap();
+        g.on_insert(g.next_allowed(), p.congestion_bytes);
+        assert!(g.gap() > gap1, "gap grows multiplicatively");
+    }
+
+    #[test]
+    fn adaptive_recovers_when_clear() {
+        let p = AimdParams::default();
+        let mut g = InsertionGovernor::new(PacingMode::Adaptive(p));
+        // Drive the gap up.
+        for _ in 0..8 {
+            g.on_insert(g.next_allowed(), p.congestion_bytes);
+        }
+        let congested_gap = g.gap();
+        assert!(congested_gap > SimDuration::ZERO);
+        // Now a long run of clear insertions recovers to min_gap.
+        for _ in 0..1000 {
+            g.on_insert(g.next_allowed(), 0);
+        }
+        assert_eq!(g.gap(), p.min_gap);
+    }
+
+    #[test]
+    fn gap_clamped_to_max() {
+        let p = AimdParams {
+            max_gap: SimDuration::from_nanos(500),
+            ..AimdParams::default()
+        };
+        let mut g = InsertionGovernor::new(PacingMode::Adaptive(p));
+        for _ in 0..64 {
+            g.on_congestion(SimTime(0));
+        }
+        assert_eq!(g.gap(), SimDuration::from_nanos(500));
+    }
+
+    #[test]
+    fn on_congestion_defers_next_allowed() {
+        let p = AimdParams::default();
+        let mut g = InsertionGovernor::new(PacingMode::Adaptive(p));
+        g.on_congestion(SimTime(1_000));
+        assert!(g.next_allowed() > SimTime(1_000));
+    }
+}

@@ -1,0 +1,205 @@
+//! Failure detection (slides 16, 18): "network failures detected by
+//! hardware", "algorithm starts automatically whenever a failure is
+//! detected".
+//!
+//! The ring is a chain of circuits through the switches. When a
+//! component dies, the receivers downstream of every broken hop lose
+//! light and report within the hardware detection window. Failures of
+//! *spare* components (a fiber not carrying the current ring) do not
+//! dim any ring light; they are caught by the slower background
+//! diagnostic sweep and do not trigger emergency rostering.
+
+use crate::params::RosterParams;
+use ampnet_sim::SimDuration;
+use ampnet_topo::montecarlo::Component;
+use ampnet_topo::{LogicalRing, NodeId, Topology};
+
+/// How a failure was (or would be) noticed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Detection {
+    /// One or more ring hops went dark; these alive nodes saw their
+    /// receivers lose light within `delay`.
+    LossOfLight {
+        /// Alive nodes whose upstream hop broke, ascending id.
+        detectors: Vec<NodeId>,
+        /// Hardware detection latency.
+        delay: SimDuration,
+    },
+    /// The ring still passes light but the node stopped participating
+    /// (e.g. it is marked dead without a fiber fault); caught by
+    /// missed heartbeats.
+    Heartbeat {
+        /// Nodes that notice the silence (everyone else on the ring).
+        detectors: Vec<NodeId>,
+        /// Heartbeat timeout latency.
+        delay: SimDuration,
+    },
+    /// The failed component is not on the current ring: no light dims,
+    /// no urgency; the background sweep will log it.
+    SpareOnly,
+}
+
+/// Determine how the current `ring` notices `failed` (which has
+/// already been applied to `topo`).
+pub fn detect(
+    topo: &Topology,
+    ring: &LogicalRing,
+    failed: Component,
+    params: &RosterParams,
+) -> Detection {
+    if ring.is_empty() {
+        return Detection::SpareOnly;
+    }
+    let n = ring.order.len();
+    let mut detectors: Vec<NodeId> = vec![];
+    for i in 0..n {
+        let u = ring.order[i];
+        let v = ring.order[(i + 1) % n];
+        let s = ring.hops[i];
+        // The hop u →(s)→ v is dark if u cannot drive it or the path
+        // is severed. The downstream receiver v detects, if alive.
+        let broken = !topo.node_alive(u)
+            || !topo.switch_alive(s)
+            || !topo.link(u, s).map(|l| l.up).unwrap_or(false)
+            || !topo.link(v, s).map(|l| l.up).unwrap_or(false);
+        if broken && topo.node_alive(v) && !detectors.contains(&v) {
+            detectors.push(v);
+        }
+    }
+    if !detectors.is_empty() {
+        detectors.sort();
+        return Detection::LossOfLight {
+            detectors,
+            delay: params.detect_loss_of_light,
+        };
+    }
+    // No dark hop was seen by a live receiver. If the ring is
+    // nevertheless no longer valid (a member died with its lasers
+    // still lit, or the ring's last member died so nobody was left
+    // downstream to see the dark), surviving connectable nodes notice
+    // the silence of the periodic ring heartbeats and start rostering.
+    let _ = failed;
+    if ring.validate(topo).is_err() {
+        let detectors: Vec<NodeId> = topo
+            .node_ids()
+            .filter(|&n| topo.node_alive(n) && topo.switch_mask(n) != 0)
+            .collect();
+        if !detectors.is_empty() {
+            return Detection::Heartbeat {
+                detectors,
+                delay: params.heartbeat_detect(),
+            };
+        }
+    }
+    Detection::SpareOnly
+}
+
+/// The roster master: the lowest-id alive detector (flooded tokens
+/// from concurrent detectors merge in favour of the lowest id).
+pub fn elect_master(detection: &Detection) -> Option<NodeId> {
+    match detection {
+        Detection::LossOfLight { detectors, .. } | Detection::Heartbeat { detectors, .. } => {
+            detectors.iter().copied().min()
+        }
+        Detection::SpareOnly => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampnet_topo::{largest_ring, SwitchId};
+
+    fn setup(n: usize) -> (Topology, LogicalRing, RosterParams) {
+        let topo = Topology::quad(n, 100.0);
+        let ring = largest_ring(&topo);
+        (topo, ring, RosterParams::default())
+    }
+
+    #[test]
+    fn dead_node_detected_by_downstream_neighbor() {
+        let (mut topo, ring, params) = setup(6);
+        // Kill the node at ring position 2; its lasers go dark, so the
+        // receiver of hop 2→3 (ring.order[3]) detects.
+        let dead = ring.order[2];
+        let downstream = ring.order[3];
+        topo.fail_node(dead);
+        match detect(&topo, &ring, Component::Node(dead), &params) {
+            Detection::LossOfLight { detectors, delay } => {
+                assert_eq!(detectors, vec![downstream]);
+                assert_eq!(delay, params.detect_loss_of_light);
+            }
+            other => panic!("expected loss of light, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_switch_detected_by_all_hops_through_it() {
+        let (mut topo, ring, params) = setup(6);
+        // All hops in a healthy quad plant go through switch 0.
+        topo.fail_switch(SwitchId(0));
+        match detect(&topo, &ring, Component::Switch(SwitchId(0)), &params) {
+            Detection::LossOfLight { detectors, .. } => {
+                assert_eq!(detectors.len(), 6, "every hop broke");
+            }
+            other => panic!("expected loss of light, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ring_link_cut_detected_by_both_direction_receivers() {
+        let (mut topo, ring, params) = setup(4);
+        // The node–switch link is a bidirectional fiber pair: cutting
+        // it darkens u's outgoing hop (detected downstream at v) AND
+        // u's incoming hop (u itself loses receive light).
+        let u = ring.order[0];
+        let s = ring.hops[0];
+        let v = ring.order[1];
+        topo.fail_link(u, s);
+        match detect(&topo, &ring, Component::Link(u, s), &params) {
+            Detection::LossOfLight { detectors, .. } => {
+                let mut expect = vec![u, v];
+                expect.sort();
+                assert_eq!(detectors, expect);
+            }
+            other => panic!("expected loss of light, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spare_link_cut_is_not_urgent() {
+        let (mut topo, ring, params) = setup(4);
+        // In a healthy quad plant the ring uses switch 0 only; a fiber
+        // to switch 3 is spare.
+        let u = ring.order[0];
+        topo.fail_link(u, SwitchId(3));
+        assert_eq!(
+            detect(&topo, &ring, Component::Link(u, SwitchId(3)), &params),
+            Detection::SpareOnly
+        );
+    }
+
+    #[test]
+    fn master_is_lowest_id_detector() {
+        let d = Detection::LossOfLight {
+            detectors: vec![NodeId(4), NodeId(2), NodeId(7)]
+                .into_iter()
+                .collect(),
+            delay: SimDuration::from_micros(10),
+        };
+        assert_eq!(elect_master(&d), Some(NodeId(2)));
+        assert_eq!(elect_master(&Detection::SpareOnly), None);
+    }
+
+    #[test]
+    fn empty_ring_cannot_detect() {
+        let (mut topo, _, params) = setup(2);
+        topo.fail_node(NodeId(0));
+        topo.fail_node(NodeId(1));
+        let empty = LogicalRing::empty();
+        assert_eq!(
+            detect(&topo, &empty, Component::Node(NodeId(0)), &params),
+            Detection::SpareOnly
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Rostering timing parameters.
+//!
+//! The slide-16 claim — "rostering completes in two ring-tour times,
+//! 1 to 2 milliseconds, depending on the number of nodes and the
+//! length of the fiber" — is dominated by per-node software processing
+//! of roster packets on the NIC's ColdFire microprocessor (slide 11).
+//! A *ring-tour time* here is therefore a tour at roster-packet speed:
+//! per hop, serialization + fiber propagation + ColdFire processing.
+//! (A hardware data tour is ~250× faster; it cannot be what the paper
+//! normalizes by, since 1–2 ms at 16–64 nodes only adds up with
+//! software in the loop.)
+
+use ampnet_phy::LinkParams;
+use ampnet_sim::SimDuration;
+
+/// Tunable constants of the rostering protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RosterParams {
+    /// Serial link model (rate + per-fiber length comes from the
+    /// topology; `link.length_m` is unused here).
+    pub link: LinkParams,
+    /// ColdFire software processing per roster packet per node.
+    pub proc_delay: SimDuration,
+    /// Hardware loss-of-light detection window.
+    pub detect_loss_of_light: SimDuration,
+    /// Cost of one failed neighbour probe (request + timeout).
+    pub probe_timeout: SimDuration,
+    /// Background heartbeat interval on the ring (liveness of nodes
+    /// whose failure does not dim any light, e.g. hung firmware).
+    pub heartbeat_interval: SimDuration,
+    /// Missed heartbeats before declaring a node dead.
+    pub heartbeat_misses: u32,
+}
+
+impl Default for RosterParams {
+    fn default() -> Self {
+        RosterParams {
+            link: LinkParams::default(),
+            proc_delay: SimDuration::from_micros(16),
+            detect_loss_of_light: SimDuration::from_micros(10),
+            probe_timeout: SimDuration::from_micros(5),
+            heartbeat_interval: SimDuration::from_micros(100),
+            heartbeat_misses: 3,
+        }
+    }
+}
+
+impl RosterParams {
+    /// Heartbeat-based detection latency (worst case).
+    pub fn heartbeat_detect(&self) -> SimDuration {
+        self.heartbeat_interval
+            .saturating_mul(self.heartbeat_misses as u64)
+    }
+
+    /// Cost of one roster hop over `fiber_m` metres of fiber carrying
+    /// `wire_bytes` of packet: serialize + propagate + process.
+    pub fn hop_cost(&self, fiber_m: f64, wire_bytes: usize) -> SimDuration {
+        let prop = SimDuration::from_nanos(
+            (fiber_m / ampnet_phy::FIBER_M_PER_S * 1e9).round() as u64,
+        );
+        self.link.serialize_time(wire_bytes) + prop + self.proc_delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let p = RosterParams::default();
+        assert_eq!(p.heartbeat_detect(), SimDuration::from_micros(300));
+        assert!(p.proc_delay > p.detect_loss_of_light);
+    }
+
+    #[test]
+    fn hop_cost_scales_with_fiber() {
+        let p = RosterParams::default();
+        let short = p.hop_cost(10.0, 20);
+        let long = p.hop_cost(10_000.0, 20);
+        assert!(long > short);
+        // 10 km ≈ 49 µs of propagation.
+        let diff = long - short;
+        assert!((45_000..55_000).contains(&diff.as_nanos()), "{diff}");
+    }
+
+    #[test]
+    fn hop_cost_dominated_by_processing_on_short_fiber() {
+        let p = RosterParams::default();
+        let hop = p.hop_cost(100.0, 20);
+        // 16 µs processing + ~0.2 µs serialize + ~0.5 µs propagation.
+        assert!((16_000..18_000).contains(&hop.as_nanos()), "{hop}");
+    }
+}

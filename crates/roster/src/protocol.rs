@@ -1,0 +1,497 @@
+//! The rostering protocol (slides 13, 16, 18).
+//!
+//! > A modified flooding algorithm that explores the network for
+//! > available paths and allows the creation of the largest possible
+//! > logical ring. Rostering completes in two ring-tour times.
+//!
+//! The protocol runs in two token tours after detection:
+//!
+//! 1. **Explore tour.** The roster master launches an EXPLORE token.
+//!    At each step the holder searches for its next live neighbour:
+//!    candidates are tried in ascending-id order through the holder's
+//!    live switch ports; each dead candidate costs one probe timeout
+//!    (this is the "explores the network for available paths" part —
+//!    flooding probes, merged into a deterministic token walk). The
+//!    token accumulates every reachable node's switch mask and returns
+//!    to the master.
+//! 2. **Commit tour.** The master computes the *largest possible
+//!    logical ring* from the gathered masks (the exact solver from
+//!    `ampnet-topo` — this is firmware computing over its topology
+//!    database) and circulates a COMMIT carrying the new roster; each
+//!    member installs it; when the token returns, the ring is live and
+//!    the built-in diagnostics certify the configuration.
+//!
+//! The walk is sequential, so simulated time is accumulated directly
+//! along the token path — no event queue needed, yet every
+//! microsecond is accounted: detection, per-hop serialization, fiber
+//! propagation, ColdFire processing, and failed-probe timeouts.
+
+use crate::detect::{detect, elect_master, Detection};
+use crate::params::RosterParams;
+use ampnet_sim::{SimDuration, SimTime};
+use ampnet_topo::montecarlo::Component;
+use ampnet_topo::{largest_ring, LogicalRing, NodeId, Topology};
+
+/// Wire size of an EXPLORE/PROBE roster packet (one fixed cell).
+const EXPLORE_WIRE: usize = 20;
+
+/// Full accounting of one rostering episode.
+#[derive(Debug, Clone)]
+pub struct RosterOutcome {
+    /// Roster epoch after recovery.
+    pub epoch: u64,
+    /// The committed logical ring.
+    pub ring: LogicalRing,
+    /// The node that ran the algorithm.
+    pub master: NodeId,
+    /// Failure instant.
+    pub failed_at: SimTime,
+    /// Instant the ring was live again.
+    pub completed_at: SimTime,
+    /// Failure → detection.
+    pub detect_time: SimDuration,
+    /// Explore tour duration.
+    pub explore_time: SimDuration,
+    /// Commit tour duration.
+    pub commit_time: SimDuration,
+    /// Failed neighbour probes during exploration.
+    pub failed_probes: u64,
+    /// One quiet roster-speed tour of the *new* ring — the unit the
+    /// paper's "two ring-tour times" is measured in.
+    pub ring_tour: SimDuration,
+}
+
+impl RosterOutcome {
+    /// Total recovery time (detection + both tours).
+    pub fn recovery_time(&self) -> SimDuration {
+        self.completed_at - self.failed_at
+    }
+
+    /// Recovery expressed in ring tours (paper: ≤ ~2 plus detection).
+    pub fn recovery_in_tours(&self) -> f64 {
+        self.recovery_time().in_units_of(self.ring_tour)
+    }
+}
+
+/// Why rostering did not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RosterSkip {
+    /// The failed component was not on the ring: nothing to heal.
+    SpareComponent,
+    /// No live node remains to run the algorithm.
+    NoSurvivors,
+}
+
+/// Size of a COMMIT roster message for `n` members, in wire bytes:
+/// one fixed cell per 4 roster entries (2 bytes each), minimum one.
+fn commit_wire(n: usize) -> usize {
+    20 * n.div_ceil(4).max(1)
+}
+
+/// Run one rostering episode: `failed` has just been applied to
+/// `topo`; `current` is the ring that was live. Returns the outcome or
+/// the reason no episode was needed.
+pub fn run_rostering(
+    topo: &Topology,
+    current: &LogicalRing,
+    failed: Component,
+    failed_at: SimTime,
+    epoch: u64,
+    params: &RosterParams,
+) -> Result<RosterOutcome, RosterSkip> {
+    let detection = detect(topo, current, failed, params);
+    let Some(master) = elect_master(&detection) else {
+        // No detector. Either the failed component was a true spare
+        // (the ring still works) or nobody connectable remains to run
+        // the algorithm.
+        return if current.validate(topo).is_ok() {
+            Err(RosterSkip::SpareComponent)
+        } else {
+            Err(RosterSkip::NoSurvivors)
+        };
+    };
+    let detect_time = match &detection {
+        Detection::LossOfLight { delay, .. } | Detection::Heartbeat { delay, .. } => *delay,
+        Detection::SpareOnly => unreachable!("master elected"),
+    };
+
+    // The ring the algorithm will discover and commit.
+    let new_ring = largest_ring(topo);
+
+    // Rotate so the tour starts at the master. The master is always a
+    // member: it is alive and (being a detector) has a live port.
+    let ring = rotate_to(&new_ring, master);
+
+    // ----- Tour 1: explore -----
+    let mut explore_time = SimDuration::ZERO;
+    let mut failed_probes = 0u64;
+    let n = ring.order.len();
+    for i in 0..n {
+        let u = ring.order[i];
+        let v = ring.order[(i + 1) % n];
+        let s = ring.hops[i];
+        // Probe candidates with ids cyclically between u and v that
+        // are not ring members reachable later — each dead/unreachable
+        // candidate burns one probe timeout. This models the flooding
+        // search for available paths.
+        let dead_between = dead_candidates_between(topo, u, v);
+        failed_probes += dead_between;
+        explore_time += params.probe_timeout.saturating_mul(dead_between);
+        // The successful hop.
+        let fiber = hop_fiber_m(topo, u, v, s);
+        explore_time += params.hop_cost(fiber, EXPLORE_WIRE);
+    }
+
+    // ----- Tour 2: commit -----
+    let wire = commit_wire(n);
+    let mut commit_time = SimDuration::ZERO;
+    for i in 0..n {
+        let u = ring.order[i];
+        let v = ring.order[(i + 1) % n];
+        let s = ring.hops[i];
+        let fiber = hop_fiber_m(topo, u, v, s);
+        commit_time += params.hop_cost(fiber, wire);
+    }
+
+    // Normalizer: a quiet roster-speed tour (explore-size packets).
+    let mut ring_tour = SimDuration::ZERO;
+    for i in 0..n {
+        let u = ring.order[i];
+        let v = ring.order[(i + 1) % n];
+        let s = ring.hops[i];
+        ring_tour += params.hop_cost(hop_fiber_m(topo, u, v, s), EXPLORE_WIRE);
+    }
+
+    let completed_at = failed_at + detect_time + explore_time + commit_time;
+    Ok(RosterOutcome {
+        epoch: epoch + 1,
+        ring,
+        master,
+        failed_at,
+        completed_at,
+        detect_time,
+        explore_time,
+        commit_time,
+        failed_probes,
+        ring_tour,
+    })
+}
+
+/// Bring-up rostering: boot the whole plant with no prior ring.
+/// The master is the lowest-id alive node.
+pub fn initial_rostering(
+    topo: &Topology,
+    params: &RosterParams,
+) -> Result<RosterOutcome, RosterSkip> {
+    let alive = topo.alive_nodes();
+    let Some(&master) = alive.first() else {
+        return Err(RosterSkip::NoSurvivors);
+    };
+    let ring = rotate_to(&largest_ring(topo), master);
+    let n = ring.order.len();
+    let mut explore_time = SimDuration::ZERO;
+    let mut failed_probes = 0;
+    let mut ring_tour = SimDuration::ZERO;
+    for i in 0..n {
+        let u = ring.order[i];
+        let v = ring.order[(i + 1) % n];
+        let s = ring.hops[i];
+        let dead = dead_candidates_between(topo, u, v);
+        failed_probes += dead;
+        explore_time += params.probe_timeout.saturating_mul(dead);
+        let fiber = hop_fiber_m(topo, u, v, s);
+        explore_time += params.hop_cost(fiber, EXPLORE_WIRE);
+        ring_tour += params.hop_cost(fiber, EXPLORE_WIRE);
+    }
+    let wire = commit_wire(n);
+    let mut commit_time = SimDuration::ZERO;
+    for i in 0..n {
+        let u = ring.order[i];
+        let v = ring.order[(i + 1) % n];
+        let s = ring.hops[i];
+        commit_time += params.hop_cost(hop_fiber_m(topo, u, v, s), wire);
+    }
+    Ok(RosterOutcome {
+        epoch: 1,
+        ring,
+        master,
+        failed_at: SimTime::ZERO,
+        completed_at: SimTime::ZERO + explore_time + commit_time,
+        detect_time: SimDuration::ZERO,
+        explore_time,
+        commit_time,
+        failed_probes,
+        ring_tour,
+    })
+}
+
+fn rotate_to(ring: &LogicalRing, start: NodeId) -> LogicalRing {
+    let Some(pos) = ring.order.iter().position(|&n| n == start) else {
+        return ring.clone();
+    };
+    let mut order = ring.order.clone();
+    let mut hops = ring.hops.clone();
+    order.rotate_left(pos);
+    hops.rotate_left(pos);
+    LogicalRing { order, hops }
+}
+
+/// Nodes with ids cyclically strictly between `u` and `v` that are not
+/// alive-and-connected — the candidates the explorer wastes probes on.
+fn dead_candidates_between(topo: &Topology, u: NodeId, v: NodeId) -> u64 {
+    let total = topo.n_nodes() as u8;
+    let mut count = 0u64;
+    let mut id = (u.0 + 1) % total;
+    while id != v.0 {
+        if id != u.0 {
+            let n = NodeId(id);
+            if !topo.node_alive(n) || topo.switch_mask(n) == 0 {
+                count += 1;
+            }
+        }
+        id = (id + 1) % total;
+        if id == u.0 {
+            break;
+        }
+    }
+    count
+}
+
+fn hop_fiber_m(topo: &Topology, u: NodeId, v: NodeId, s: ampnet_topo::SwitchId) -> f64 {
+    let lu = topo.link(u, s).map(|l| l.length_m).unwrap_or(0.0);
+    let lv = topo.link(v, s).map(|l| l.length_m).unwrap_or(0.0);
+    lu + lv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampnet_topo::SwitchId;
+
+    fn quad(n: usize, fiber: f64) -> (Topology, LogicalRing) {
+        let topo = Topology::quad(n, fiber);
+        let ring = largest_ring(&topo);
+        (topo, ring)
+    }
+
+    #[test]
+    fn single_node_failure_heals_to_n_minus_1() {
+        let (mut topo, ring) = quad(8, 100.0);
+        let dead = ring.order[3];
+        topo.fail_node(dead);
+        let out = run_rostering(
+            &topo,
+            &ring,
+            Component::Node(dead),
+            SimTime(1_000_000),
+            1,
+            &RosterParams::default(),
+        )
+        .unwrap();
+        assert_eq!(out.ring.len(), 7);
+        assert!(!out.ring.order.contains(&dead));
+        assert_eq!(out.epoch, 2);
+        out.ring.validate(&topo).unwrap();
+        // Master is the downstream neighbour of the dead node.
+        assert!(out.ring.order.contains(&out.master));
+        assert_eq!(out.ring.order[0], out.master, "tour starts at master");
+    }
+
+    #[test]
+    fn recovery_close_to_two_ring_tours() {
+        let (mut topo, ring) = quad(16, 100.0);
+        let dead = ring.order[5];
+        topo.fail_node(dead);
+        let out = run_rostering(
+            &topo,
+            &ring,
+            Component::Node(dead),
+            SimTime::ZERO,
+            0,
+            &RosterParams::default(),
+        )
+        .unwrap();
+        let tours = out.recovery_in_tours();
+        // Two tours + detection + one probe + larger commit packets.
+        assert!(
+            (2.0..3.2).contains(&tours),
+            "recovery took {tours:.2} ring tours"
+        );
+    }
+
+    #[test]
+    fn slide_16_band_for_default_plants() {
+        // 32–64 nodes, 100 m fiber: recovery must land in 1–2 ms-ish.
+        for n in [32usize, 48] {
+            let (mut topo, ring) = quad(n, 100.0);
+            let dead = ring.order[1];
+            topo.fail_node(dead);
+            let out = run_rostering(
+                &topo,
+                &ring,
+                Component::Node(dead),
+                SimTime::ZERO,
+                0,
+                &RosterParams::default(),
+            )
+            .unwrap();
+            let ms = out.recovery_time().as_millis_f64();
+            assert!(
+                (0.8..2.6).contains(&ms),
+                "{n} nodes recovered in {ms:.2} ms"
+            );
+        }
+    }
+
+    #[test]
+    fn switch_failure_reroutes_everyone() {
+        let (mut topo, ring) = quad(6, 100.0);
+        topo.fail_switch(SwitchId(0));
+        let out = run_rostering(
+            &topo,
+            &ring,
+            Component::Switch(SwitchId(0)),
+            SimTime::ZERO,
+            4,
+            &RosterParams::default(),
+        )
+        .unwrap();
+        assert_eq!(out.ring.len(), 6, "all nodes survive on spare switches");
+        assert!(out.ring.hops.iter().all(|&s| s != SwitchId(0)));
+        out.ring.validate(&topo).unwrap();
+    }
+
+    #[test]
+    fn spare_failure_skips_rostering() {
+        let (mut topo, ring) = quad(4, 100.0);
+        let u = ring.order[0];
+        topo.fail_link(u, SwitchId(2)); // spare fiber
+        let r = run_rostering(
+            &topo,
+            &ring,
+            Component::Link(u, SwitchId(2)),
+            SimTime::ZERO,
+            0,
+            &RosterParams::default(),
+        );
+        assert_eq!(r.unwrap_err(), RosterSkip::SpareComponent);
+    }
+
+    #[test]
+    fn total_loss_reports_no_survivors() {
+        let (mut topo, ring) = quad(2, 100.0);
+        topo.fail_node(NodeId(0));
+        topo.fail_node(NodeId(1));
+        let r = run_rostering(
+            &topo,
+            &ring,
+            Component::Node(NodeId(1)),
+            SimTime::ZERO,
+            0,
+            &RosterParams::default(),
+        );
+        assert_eq!(r.unwrap_err(), RosterSkip::NoSurvivors);
+    }
+
+    #[test]
+    fn fiber_length_stretches_recovery() {
+        let params = RosterParams::default();
+        let mut times = vec![];
+        for fiber in [10.0, 10_000.0] {
+            let (mut topo, ring) = quad(16, fiber);
+            let dead = ring.order[2];
+            topo.fail_node(dead);
+            let out = run_rostering(
+                &topo,
+                &ring,
+                Component::Node(dead),
+                SimTime::ZERO,
+                0,
+                &params,
+            )
+            .unwrap();
+            times.push(out.recovery_time());
+        }
+        assert!(
+            times[1] > times[0],
+            "longer fiber must slow rostering: {times:?}"
+        );
+    }
+
+    #[test]
+    fn probes_accounted_for_dead_neighbours() {
+        let (mut topo, ring) = quad(8, 100.0);
+        // Kill two adjacent nodes: the explorer burns probes skipping
+        // them.
+        let d1 = ring.order[2];
+        let d2 = ring.order[3];
+        topo.fail_node(d1);
+        topo.fail_node(d2);
+        let out = run_rostering(
+            &topo,
+            &ring,
+            Component::Node(d1),
+            SimTime::ZERO,
+            0,
+            &RosterParams::default(),
+        )
+        .unwrap();
+        assert_eq!(out.ring.len(), 6);
+        assert!(out.failed_probes >= 2, "both dead nodes probed");
+    }
+
+    #[test]
+    fn initial_rostering_builds_full_ring() {
+        let topo = Topology::quad(10, 100.0);
+        let out = initial_rostering(&topo, &RosterParams::default()).unwrap();
+        assert_eq!(out.ring.len(), 10);
+        assert_eq!(out.master, NodeId(0));
+        assert_eq!(out.epoch, 1);
+        assert_eq!(out.detect_time, SimDuration::ZERO);
+        out.ring.validate(&topo).unwrap();
+    }
+
+    #[test]
+    fn heartbeat_detection_for_silent_death() {
+        // A node marked dead while its hop into it still passes light:
+        // only possible if it is not the transmitter of any ring hop —
+        // not the case on a ring, so loss-of-light normally wins. Test
+        // the heartbeat path via a 1-ring where the dead node has no
+        // outgoing hop... on a ring every member transmits, so instead
+        // verify detect() chooses heartbeat only when no hop breaks:
+        // simulate by restoring the dead node's links conceptually —
+        // covered in detect.rs; here assert loss-of-light dominates.
+        let (mut topo, ring) = quad(4, 100.0);
+        let dead = ring.order[1];
+        topo.fail_node(dead);
+        let out = run_rostering(
+            &topo,
+            &ring,
+            Component::Node(dead),
+            SimTime::ZERO,
+            0,
+            &RosterParams::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            out.detect_time,
+            RosterParams::default().detect_loss_of_light
+        );
+    }
+
+    #[test]
+    fn epoch_increments() {
+        let (mut topo, ring) = quad(4, 100.0);
+        topo.fail_node(ring.order[0]);
+        let out = run_rostering(
+            &topo,
+            &ring,
+            Component::Node(ring.order[0]),
+            SimTime::ZERO,
+            41,
+            &RosterParams::default(),
+        )
+        .unwrap();
+        assert_eq!(out.epoch, 42);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests: rostering always rebuilds the *largest possible*
+//! logical ring (equal to the exact solver), validates against the
+//! damaged plant, and its cost accounting is internally consistent.
+
+use ampnet_roster::{initial_rostering, run_rostering, RosterParams, RosterSkip};
+use ampnet_sim::SimTime;
+use ampnet_topo::montecarlo::{apply, components, Component, FailureDomain};
+use ampnet_topo::{largest_ring, Topology};
+use proptest::prelude::*;
+
+fn arb_plant() -> impl Strategy<Value = (Topology, Vec<u16>)> {
+    (
+        2usize..=10,
+        prop_oneof![Just(2usize), Just(4usize)],
+        10.0f64..5_000.0,
+        proptest::collection::vec(any::<u16>(), 0..6),
+    )
+        .prop_map(|(n, s, fiber, pre)| (Topology::redundant(n, s, fiber), pre))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After any pre-damage plus one more failure, if rostering runs it
+    /// commits a ring that (a) validates and (b) is exactly maximal.
+    #[test]
+    fn rostering_is_maximal_and_valid(
+        (mut topo, pre) in arb_plant(),
+        last in any::<u16>(),
+    ) {
+        // Apply pre-existing damage, then compute the live ring.
+        let comps = components(&topo, FailureDomain::Everything);
+        for f in &pre {
+            apply(&mut topo, comps[*f as usize % comps.len()]);
+        }
+        let current = largest_ring(&topo);
+        // One more failure triggers the episode.
+        let failed = comps[last as usize % comps.len()];
+        apply(&mut topo, failed);
+        match run_rostering(&topo, &current, failed, SimTime::ZERO, 7, &RosterParams::default()) {
+            Ok(out) => {
+                prop_assert!(out.ring.validate(&topo).is_ok());
+                let exact = largest_ring(&topo);
+                prop_assert_eq!(out.ring.len(), exact.len(),
+                    "committed ring not maximal");
+                prop_assert_eq!(out.epoch, 8);
+                // Time accounting adds up.
+                let total = out.detect_time + out.explore_time + out.commit_time;
+                prop_assert_eq!(out.completed_at - out.failed_at, total);
+                // Explore is at least one ring tour (it IS a tour plus
+                // probes), commit at least one tour of commit packets.
+                prop_assert!(out.explore_time >= out.ring_tour);
+            }
+            Err(RosterSkip::SpareComponent) => {
+                // Then the old ring must still be valid as-is.
+                prop_assert!(current.validate(&topo).is_ok());
+            }
+            Err(RosterSkip::NoSurvivors) => {
+                prop_assert!(largest_ring(&topo).is_empty()
+                    || topo.alive_nodes().is_empty());
+            }
+        }
+    }
+
+    /// Initial rostering always builds the maximal ring of the plant.
+    #[test]
+    fn initial_builds_maximal((mut topo, pre) in arb_plant()) {
+        let comps = components(&topo, FailureDomain::Everything);
+        for f in &pre {
+            apply(&mut topo, comps[*f as usize % comps.len()]);
+        }
+        match initial_rostering(&topo, &RosterParams::default()) {
+            Ok(out) => {
+                prop_assert!(out.ring.validate(&topo).is_ok());
+                prop_assert_eq!(out.ring.len(), largest_ring(&topo).len());
+            }
+            Err(RosterSkip::NoSurvivors) => {
+                prop_assert!(topo.alive_nodes().is_empty());
+            }
+            Err(e) => prop_assert!(false, "unexpected skip {:?}", e),
+        }
+    }
+
+    /// Recovery time grows monotonically-ish with node count: a plant
+    /// twice as large must not recover faster.
+    #[test]
+    fn recovery_scales_with_nodes(seed_fiber in 50.0f64..500.0) {
+        let params = RosterParams::default();
+        let mut prev = None;
+        for n in [4usize, 8, 16, 32] {
+            let mut topo = Topology::quad(n, seed_fiber);
+            let ring = largest_ring(&topo);
+            let dead = ring.order[1];
+            topo.fail_node(dead);
+            let out = run_rostering(
+                &topo, &ring, Component::Node(dead), SimTime::ZERO, 0, &params,
+            ).unwrap();
+            if let Some(p) = prev {
+                prop_assert!(out.recovery_time() > p,
+                    "recovery at n={} not longer than smaller plant", n);
+            }
+            prev = Some(out.recovery_time());
+        }
+    }
+}

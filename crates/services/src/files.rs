@@ -1,0 +1,377 @@
+//! AmpFiles — a replicated file store in the network cache (slide 12).
+//!
+//! "Applications can use the network to rebuild" (slide 2): because
+//! the file store lives in a cache region, every node holds the whole
+//! store; a node failure loses nothing, and a failover successor reads
+//! its predecessor's files locally.
+//!
+//! Layout inside the region: a fixed directory of entries (name,
+//! offset, length, version, in-use flag) followed by a bump-allocated
+//! data heap. Single-writer discipline per store (multi-writer stores
+//! serialize with a network semaphore, as slide 10 prescribes).
+
+use ampnet_cache::{CacheError, NetworkCache, RegionId};
+use ampnet_packet::MicroPacket;
+
+/// Maximum file-name bytes.
+pub const NAME_LEN: usize = 16;
+/// Directory entry size: name + offset + len + version + flags.
+const ENTRY: u32 = NAME_LEN as u32 + 4 + 4 + 4 + 4;
+
+/// Store geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileStoreLayout {
+    /// Region holding the store.
+    pub region: RegionId,
+    /// Maximum number of files.
+    pub max_files: u32,
+    /// Bytes of data heap.
+    pub heap_bytes: u32,
+}
+
+impl FileStoreLayout {
+    /// Region bytes needed: 8 (heap cursor) + directory + heap.
+    pub fn footprint(&self) -> u32 {
+        8 + self.max_files * ENTRY + self.heap_bytes
+    }
+
+    fn entry_offset(&self, slot: u32) -> u32 {
+        8 + slot * ENTRY
+    }
+
+    fn heap_base(&self) -> u32 {
+        8 + self.max_files * ENTRY
+    }
+}
+
+/// File metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileInfo {
+    /// File name (UTF-8, ≤ 16 bytes).
+    pub name: String,
+    /// Size in bytes.
+    pub len: u32,
+    /// Write version (increments on overwrite).
+    pub version: u32,
+}
+
+/// Errors from the file store.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FileError {
+    /// Underlying cache failure.
+    Cache(CacheError),
+    /// Name longer than [`NAME_LEN`] bytes or empty.
+    BadName,
+    /// Directory full.
+    DirectoryFull,
+    /// Heap exhausted.
+    HeapFull,
+    /// No such file.
+    NotFound,
+}
+
+impl From<CacheError> for FileError {
+    fn from(e: CacheError) -> Self {
+        FileError::Cache(e)
+    }
+}
+
+impl std::fmt::Display for FileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FileError::Cache(e) => write!(f, "cache: {e}"),
+            FileError::BadName => write!(f, "file name empty or over {NAME_LEN} bytes"),
+            FileError::DirectoryFull => write!(f, "directory full"),
+            FileError::HeapFull => write!(f, "data heap exhausted"),
+            FileError::NotFound => write!(f, "no such file"),
+        }
+    }
+}
+
+impl std::error::Error for FileError {}
+
+/// Writer handle over a node's cache replica.
+#[derive(Debug)]
+pub struct FileStore {
+    layout: FileStoreLayout,
+}
+
+impl FileStore {
+    /// Bind to a store layout (the region must already be defined with
+    /// at least `layout.footprint()` bytes).
+    pub fn new(layout: FileStoreLayout) -> Self {
+        FileStore { layout }
+    }
+
+    fn encode_name(name: &str) -> Result<[u8; NAME_LEN], FileError> {
+        let bytes = name.as_bytes();
+        if bytes.is_empty() || bytes.len() > NAME_LEN {
+            return Err(FileError::BadName);
+        }
+        let mut out = [0u8; NAME_LEN];
+        out[..bytes.len()].copy_from_slice(bytes);
+        Ok(out)
+    }
+
+    fn read_entry(
+        &self,
+        cache: &NetworkCache,
+        slot: u32,
+    ) -> Result<Option<(String, u32, u32, u32)>, FileError> {
+        let off = self.layout.entry_offset(slot);
+        let raw = cache.read(self.layout.region, off, ENTRY)?;
+        let flags = u32::from_be_bytes(raw[28..32].try_into().expect("4 bytes"));
+        if flags == 0 {
+            return Ok(None);
+        }
+        let name_end = raw[..NAME_LEN]
+            .iter()
+            .position(|&b| b == 0)
+            .unwrap_or(NAME_LEN);
+        let name = String::from_utf8_lossy(&raw[..name_end]).into_owned();
+        let offset = u32::from_be_bytes(raw[16..20].try_into().expect("4 bytes"));
+        let len = u32::from_be_bytes(raw[20..24].try_into().expect("4 bytes"));
+        let version = u32::from_be_bytes(raw[24..28].try_into().expect("4 bytes"));
+        Ok(Some((name, offset, len, version)))
+    }
+
+    fn find(&self, cache: &NetworkCache, name: &str) -> Result<Option<u32>, FileError> {
+        for slot in 0..self.layout.max_files {
+            if let Some((n, _, _, _)) = self.read_entry(cache, slot)? {
+                if n == name {
+                    return Ok(Some(slot));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn heap_cursor(&self, cache: &NetworkCache) -> Result<u32, FileError> {
+        Ok(cache.read_u64(self.layout.region, 0)? as u32)
+    }
+
+    /// Create or overwrite a file; returns the replication packets.
+    pub fn write(
+        &self,
+        cache: &mut NetworkCache,
+        name: &str,
+        data: &[u8],
+    ) -> Result<Vec<MicroPacket>, FileError> {
+        let name_bytes = Self::encode_name(name)?;
+        let slot = match self.find(cache, name)? {
+            Some(s) => s,
+            None => {
+                // First free slot.
+                let mut free = None;
+                for s in 0..self.layout.max_files {
+                    if self.read_entry(cache, s)?.is_none() {
+                        free = Some(s);
+                        break;
+                    }
+                }
+                free.ok_or(FileError::DirectoryFull)?
+            }
+        };
+        // Allocate heap space (simple bump allocator; overwrites
+        // allocate fresh space — compaction is a maintenance task).
+        let cursor = self.heap_cursor(cache)?;
+        let data_off = self.layout.heap_base() + cursor;
+        if cursor + data.len() as u32 > self.layout.heap_bytes {
+            return Err(FileError::HeapFull);
+        }
+        let prev_version = self
+            .read_entry(cache, slot)?
+            .map(|(_, _, _, v)| v)
+            .unwrap_or(0);
+
+        let mut pkts = vec![];
+        // 1. Data into the heap.
+        if !data.is_empty() {
+            pkts.extend(cache.write(self.layout.region, data_off, data, 12, 3)?);
+        }
+        // 2. Bump the heap cursor.
+        pkts.extend(cache.write(
+            self.layout.region,
+            0,
+            &((cursor + data.len() as u32) as u64).to_be_bytes(),
+            12,
+            3,
+        )?);
+        // 3. Publish the directory entry last (commit point).
+        let mut entry = [0u8; ENTRY as usize];
+        entry[..NAME_LEN].copy_from_slice(&name_bytes);
+        entry[16..20].copy_from_slice(&data_off.to_be_bytes());
+        entry[20..24].copy_from_slice(&(data.len() as u32).to_be_bytes());
+        entry[24..28].copy_from_slice(&(prev_version + 1).to_be_bytes());
+        entry[28..32].copy_from_slice(&1u32.to_be_bytes());
+        pkts.extend(cache.write(
+            self.layout.region,
+            self.layout.entry_offset(slot),
+            &entry,
+            12,
+            3,
+        )?);
+        Ok(pkts)
+    }
+
+    /// Read a file from the local replica.
+    pub fn read(&self, cache: &NetworkCache, name: &str) -> Result<Vec<u8>, FileError> {
+        let slot = self.find(cache, name)?.ok_or(FileError::NotFound)?;
+        let (_, off, len, _) = self.read_entry(cache, slot)?.ok_or(FileError::NotFound)?;
+        Ok(cache.read(self.layout.region, off, len)?.to_vec())
+    }
+
+    /// File metadata.
+    pub fn stat(&self, cache: &NetworkCache, name: &str) -> Result<FileInfo, FileError> {
+        let slot = self.find(cache, name)?.ok_or(FileError::NotFound)?;
+        let (name, _, len, version) =
+            self.read_entry(cache, slot)?.ok_or(FileError::NotFound)?;
+        Ok(FileInfo {
+            name,
+            len,
+            version,
+        })
+    }
+
+    /// Delete a file; returns the replication packets.
+    pub fn delete(
+        &self,
+        cache: &mut NetworkCache,
+        name: &str,
+    ) -> Result<Vec<MicroPacket>, FileError> {
+        let slot = self.find(cache, name)?.ok_or(FileError::NotFound)?;
+        let zero = [0u8; ENTRY as usize];
+        Ok(cache.write(
+            self.layout.region,
+            self.layout.entry_offset(slot),
+            &zero,
+            12,
+            3,
+        )?)
+    }
+
+    /// List all files.
+    pub fn list(&self, cache: &NetworkCache) -> Result<Vec<FileInfo>, FileError> {
+        let mut out = vec![];
+        for slot in 0..self.layout.max_files {
+            if let Some((name, _, len, version)) = self.read_entry(cache, slot)? {
+                out.push(FileInfo {
+                    name,
+                    len,
+                    version,
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (NetworkCache, NetworkCache, FileStore) {
+        let layout = FileStoreLayout {
+            region: 4,
+            max_files: 8,
+            heap_bytes: 4096,
+        };
+        let mut a = NetworkCache::new(0);
+        a.define_region(4, layout.footprint()).unwrap();
+        let mut b = NetworkCache::new(7);
+        b.define_region(4, layout.footprint()).unwrap();
+        (a, b, FileStore::new(layout))
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let (mut a, _, fs) = setup();
+        fs.write(&mut a, "config.db", b"key=value").unwrap();
+        assert_eq!(fs.read(&a, "config.db").unwrap(), b"key=value");
+        let info = fs.stat(&a, "config.db").unwrap();
+        assert_eq!(info.len, 9);
+        assert_eq!(info.version, 1);
+    }
+
+    #[test]
+    fn replica_survives_writer_death() {
+        let (mut a, mut b, fs) = setup();
+        let pkts = fs.write(&mut a, "journal", b"critical state").unwrap();
+        for p in &pkts {
+            b.apply_packet(p).unwrap();
+        }
+        // Writer node dies; replica still serves the file.
+        drop(a);
+        assert_eq!(fs.read(&b, "journal").unwrap(), b"critical state");
+    }
+
+    #[test]
+    fn overwrite_bumps_version() {
+        let (mut a, _, fs) = setup();
+        fs.write(&mut a, "f", b"v1").unwrap();
+        fs.write(&mut a, "f", b"version-two").unwrap();
+        assert_eq!(fs.read(&a, "f").unwrap(), b"version-two");
+        assert_eq!(fs.stat(&a, "f").unwrap().version, 2);
+        assert_eq!(fs.list(&a).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn delete_and_slot_reuse() {
+        let (mut a, _, fs) = setup();
+        fs.write(&mut a, "x", b"1").unwrap();
+        fs.delete(&mut a, "x").unwrap();
+        assert_eq!(fs.read(&a, "x"), Err(FileError::NotFound));
+        assert!(fs.list(&a).unwrap().is_empty());
+        fs.write(&mut a, "y", b"2").unwrap();
+        assert_eq!(fs.list(&a).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn directory_full() {
+        let (mut a, _, fs) = setup();
+        for i in 0..8 {
+            fs.write(&mut a, &format!("file{i}"), b"x").unwrap();
+        }
+        assert_eq!(
+            fs.write(&mut a, "one-too-many", b"x"),
+            Err(FileError::DirectoryFull)
+        );
+    }
+
+    #[test]
+    fn heap_exhaustion() {
+        let (mut a, _, fs) = setup();
+        fs.write(&mut a, "big", &vec![0u8; 4000]).unwrap();
+        assert_eq!(
+            fs.write(&mut a, "more", &[0u8; 200]),
+            Err(FileError::HeapFull)
+        );
+    }
+
+    #[test]
+    fn bad_names_rejected() {
+        let (mut a, _, fs) = setup();
+        assert_eq!(fs.write(&mut a, "", b"x"), Err(FileError::BadName));
+        assert_eq!(
+            fs.write(&mut a, "a-name-that-is-way-too-long", b"x"),
+            Err(FileError::BadName)
+        );
+    }
+
+    #[test]
+    fn list_multiple() {
+        let (mut a, _, fs) = setup();
+        fs.write(&mut a, "a", b"1").unwrap();
+        fs.write(&mut a, "b", b"22").unwrap();
+        fs.write(&mut a, "c", b"333").unwrap();
+        let names: Vec<String> = fs.list(&a).unwrap().into_iter().map(|f| f.name).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn empty_file_ok() {
+        let (mut a, _, fs) = setup();
+        fs.write(&mut a, "empty", b"").unwrap();
+        assert_eq!(fs.read(&a, "empty").unwrap(), Vec::<u8>::new());
+    }
+}

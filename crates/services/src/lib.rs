@@ -1,0 +1,31 @@
+//! # ampnet-services — AmpDC network-centric services
+//!
+//! The application layer of slide 12: everything AmpNet offers above
+//! the driver, built on the network cache and MicroPackets.
+//!
+//! * [`msg`] — datagram fragmentation/reassembly over DMA
+//!   MicroPackets with CRC-32 end-to-end checks; the substrate under
+//!   AmpIP and the MPI/PVM-style messaging in the paper's stack
+//!   diagram.
+//! * [`subscribe`] — AmpSubscribe: replicated topic rings; publishers
+//!   write their local replica, subscribers poll theirs, slow
+//!   consumers observe explicit lag, never corruption.
+//! * [`files`] — AmpFiles: a replicated file store; files survive the
+//!   writer's death because every node holds the whole store.
+//! * [`threads`] — AmpThreads: remote task execution with the task
+//!   table in the network cache and Interrupt-MicroPacket doorbells.
+//! * [`mpi`] — the collective patterns MPI/PVM lean on (barrier,
+//!   broadcast, all-reduce, gather), exploiting the ring's native
+//!   broadcast.
+//! * [`socket`] — AmpIP: port-addressed UDP-style datagram sockets
+//!   over the message layer.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod files;
+pub mod mpi;
+pub mod msg;
+pub mod socket;
+pub mod subscribe;
+pub mod threads;

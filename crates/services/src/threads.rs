@@ -1,0 +1,322 @@
+//! AmpThreads — remote task execution (slides 12, 17).
+//!
+//! "Supports embedded multi-threaded application processes": a node
+//! submits a task descriptor into the replicated task table and pokes
+//! the target node with an Interrupt MicroPacket; the target's AmpDK
+//! runs the task and writes the result back into the table, so the
+//! submitter (or a failover successor — the table is in the network
+//! cache) can collect it.
+
+use ampnet_cache::{CacheError, NetworkCache, RegionId};
+use ampnet_packet::build::{self, InterruptPayload};
+use ampnet_packet::MicroPacket;
+
+/// The interrupt vector AmpThreads uses.
+pub const THREAD_VECTOR: u16 = 0x0054;
+
+/// Builtin task kinds (a deterministic stand-in for arbitrary code;
+/// real AmpNet shipped firmware tasks the same way — by id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TaskKind {
+    /// result = arg + 1
+    Increment = 1,
+    /// result = arg * arg
+    Square = 2,
+    /// result = population count of arg
+    PopCount = 3,
+    /// result = CRC-32 of the arg bytes (as u32)
+    Checksum = 4,
+}
+
+impl TaskKind {
+    fn from_u8(v: u8) -> Option<TaskKind> {
+        match v {
+            1 => Some(TaskKind::Increment),
+            2 => Some(TaskKind::Square),
+            3 => Some(TaskKind::PopCount),
+            4 => Some(TaskKind::Checksum),
+            _ => None,
+        }
+    }
+
+    /// Execute the task.
+    pub fn run(self, arg: u32) -> u32 {
+        match self {
+            TaskKind::Increment => arg.wrapping_add(1),
+            TaskKind::Square => arg.wrapping_mul(arg),
+            TaskKind::PopCount => arg.count_ones(),
+            TaskKind::Checksum => ampnet_phy::crc32(&arg.to_be_bytes()),
+        }
+    }
+}
+
+/// Task status in the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TaskStatus {
+    /// Slot unused.
+    Free = 0,
+    /// Submitted, awaiting execution.
+    Pending = 1,
+    /// Completed; result valid.
+    Done = 2,
+}
+
+/// One table entry (16 bytes on the wire):
+/// kind(1) status(1) target(1) submitter(1) arg(4) result(4) pad(4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskEntry {
+    /// What to run.
+    pub kind: TaskKind,
+    /// Current status.
+    pub status: TaskStatus,
+    /// Node that should run it.
+    pub target: u8,
+    /// Node that submitted it.
+    pub submitter: u8,
+    /// Argument.
+    pub arg: u32,
+    /// Result (valid when Done).
+    pub result: u32,
+}
+
+const ENTRY: u32 = 16;
+
+/// The replicated task table.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskTable {
+    /// Region holding the table.
+    pub region: RegionId,
+    /// Maximum concurrent tasks.
+    pub slots: u32,
+}
+
+impl TaskTable {
+    /// Region bytes needed.
+    pub fn footprint(&self) -> u32 {
+        self.slots * ENTRY
+    }
+
+    fn offset(&self, slot: u32) -> u32 {
+        slot * ENTRY
+    }
+
+    /// Read an entry from a replica.
+    pub fn read(
+        &self,
+        cache: &NetworkCache,
+        slot: u32,
+    ) -> Result<Option<TaskEntry>, CacheError> {
+        let raw = cache.read(self.region, self.offset(slot), ENTRY)?;
+        let Some(kind) = TaskKind::from_u8(raw[0]) else {
+            return Ok(None);
+        };
+        let status = match raw[1] {
+            1 => TaskStatus::Pending,
+            2 => TaskStatus::Done,
+            _ => return Ok(None),
+        };
+        Ok(Some(TaskEntry {
+            kind,
+            status,
+            target: raw[2],
+            submitter: raw[3],
+            arg: u32::from_be_bytes(raw[4..8].try_into().expect("4 bytes")),
+            result: u32::from_be_bytes(raw[8..12].try_into().expect("4 bytes")),
+        }))
+    }
+
+    fn write_entry(
+        &self,
+        cache: &mut NetworkCache,
+        slot: u32,
+        e: &TaskEntry,
+    ) -> Result<Vec<MicroPacket>, CacheError> {
+        let mut raw = [0u8; ENTRY as usize];
+        raw[0] = e.kind as u8;
+        raw[1] = e.status as u8;
+        raw[2] = e.target;
+        raw[3] = e.submitter;
+        raw[4..8].copy_from_slice(&e.arg.to_be_bytes());
+        raw[8..12].copy_from_slice(&e.result.to_be_bytes());
+        cache.write(self.region, self.offset(slot), &raw, 11, 4)
+    }
+
+    /// Submit a task into `slot`: writes the Pending entry and builds
+    /// the doorbell interrupt for the target node. Returns
+    /// (replication packets, interrupt packet).
+    pub fn submit(
+        &self,
+        cache: &mut NetworkCache,
+        slot: u32,
+        kind: TaskKind,
+        target: u8,
+        arg: u32,
+    ) -> Result<(Vec<MicroPacket>, MicroPacket), CacheError> {
+        let entry = TaskEntry {
+            kind,
+            status: TaskStatus::Pending,
+            target,
+            submitter: cache.node(),
+            arg,
+            result: 0,
+        };
+        let pkts = self.write_entry(cache, slot, &entry)?;
+        let doorbell = build::interrupt(
+            cache.node(),
+            target,
+            InterruptPayload {
+                vector: THREAD_VECTOR,
+                cookie: slot as u16,
+                arg,
+            },
+        );
+        Ok((pkts, doorbell))
+    }
+
+    /// Target-side: execute the pending task in `slot` (typically in
+    /// response to the doorbell interrupt) and publish the result.
+    /// Returns (result, replication packets, completion interrupt).
+    pub fn execute(
+        &self,
+        cache: &mut NetworkCache,
+        slot: u32,
+    ) -> Result<Option<(u32, Vec<MicroPacket>, MicroPacket)>, CacheError> {
+        let Some(mut entry) = self.read(cache, slot)? else {
+            return Ok(None);
+        };
+        if entry.status != TaskStatus::Pending || entry.target != cache.node() {
+            return Ok(None);
+        }
+        entry.result = entry.kind.run(entry.arg);
+        entry.status = TaskStatus::Done;
+        let pkts = self.write_entry(cache, slot, &entry)?;
+        let completion = build::interrupt(
+            cache.node(),
+            entry.submitter,
+            InterruptPayload {
+                vector: THREAD_VECTOR,
+                cookie: slot as u16,
+                arg: entry.result,
+            },
+        );
+        Ok(Some((entry.result, pkts, completion)))
+    }
+
+    /// Submitter-side: collect a completed result and free the slot.
+    pub fn collect(
+        &self,
+        cache: &mut NetworkCache,
+        slot: u32,
+    ) -> Result<Option<(u32, Vec<MicroPacket>)>, CacheError> {
+        let Some(entry) = self.read(cache, slot)? else {
+            return Ok(None);
+        };
+        if entry.status != TaskStatus::Done {
+            return Ok(None);
+        }
+        let zero = [0u8; ENTRY as usize];
+        let pkts = cache.write(self.region, self.offset(slot), &zero, 11, 4)?;
+        Ok(Some((entry.result, pkts)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (NetworkCache, NetworkCache, TaskTable) {
+        let table = TaskTable {
+            region: 6,
+            slots: 16,
+        };
+        let mut submitter = NetworkCache::new(1);
+        submitter.define_region(6, table.footprint()).unwrap();
+        let mut worker = NetworkCache::new(2);
+        worker.define_region(6, table.footprint()).unwrap();
+        (submitter, worker, table)
+    }
+
+    fn sync(from_pkts: &[MicroPacket], to: &mut NetworkCache) {
+        for p in from_pkts {
+            to.apply_packet(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn remote_task_lifecycle() {
+        let (mut sub, mut wrk, table) = setup();
+        // Submit square(12) to node 2.
+        let (pkts, doorbell) = table.submit(&mut sub, 0, TaskKind::Square, 2, 12).unwrap();
+        sync(&pkts, &mut wrk);
+        assert_eq!(doorbell.ctrl.dst, 2);
+        let ip = build::parse_interrupt(&doorbell).unwrap();
+        assert_eq!(ip.vector, THREAD_VECTOR);
+        assert_eq!(ip.cookie, 0);
+
+        // Worker executes.
+        let (result, pkts, completion) = table.execute(&mut wrk, 0).unwrap().unwrap();
+        assert_eq!(result, 144);
+        sync(&pkts, &mut sub);
+        assert_eq!(completion.ctrl.dst, 1);
+
+        // Submitter collects.
+        let (got, pkts) = table.collect(&mut sub, 0).unwrap().unwrap();
+        assert_eq!(got, 144);
+        sync(&pkts, &mut wrk);
+        assert!(table.read(&sub, 0).unwrap().is_none(), "slot freed");
+    }
+
+    #[test]
+    fn all_task_kinds() {
+        assert_eq!(TaskKind::Increment.run(41), 42);
+        assert_eq!(TaskKind::Square.run(9), 81);
+        assert_eq!(TaskKind::PopCount.run(0xFF), 8);
+        assert_eq!(
+            TaskKind::Checksum.run(0x12345678),
+            ampnet_phy::crc32(&0x12345678u32.to_be_bytes())
+        );
+    }
+
+    #[test]
+    fn wrong_target_refuses() {
+        let (mut sub, mut wrk, table) = setup();
+        let (pkts, _) = table.submit(&mut sub, 1, TaskKind::Increment, 9, 1).unwrap();
+        sync(&pkts, &mut wrk);
+        // Worker is node 2, task targets 9.
+        assert!(table.execute(&mut wrk, 1).unwrap().is_none());
+    }
+
+    #[test]
+    fn collect_before_done_is_none() {
+        let (mut sub, _, table) = setup();
+        let (_pkts, _) = table.submit(&mut sub, 2, TaskKind::Increment, 2, 0).unwrap();
+        assert!(table.collect(&mut sub, 2).unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_slot_reads_none() {
+        let (sub, _, table) = setup();
+        assert!(table.read(&sub, 5).unwrap().is_none());
+    }
+
+    #[test]
+    fn failover_successor_can_collect() {
+        // The submitter dies after the worker finishes; a third node
+        // holding the replica collects the result — "applications can
+        // use the network to rebuild".
+        let (mut sub, mut wrk, table) = setup();
+        let mut successor = NetworkCache::new(3);
+        successor.define_region(6, table.footprint()).unwrap();
+
+        let (pkts, _) = table.submit(&mut sub, 4, TaskKind::PopCount, 2, 0xF0F0).unwrap();
+        sync(&pkts, &mut wrk);
+        sync(&pkts, &mut successor);
+        let (_, pkts, _) = table.execute(&mut wrk, 4).unwrap().unwrap();
+        sync(&pkts, &mut successor);
+        drop(sub); // submitter node lost
+        let (result, _) = table.collect(&mut successor, 4).unwrap().unwrap();
+        assert_eq!(result, 8);
+    }
+}

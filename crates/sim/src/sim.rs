@@ -1,0 +1,214 @@
+//! The simulation executor.
+//!
+//! [`Sim`] owns the clock, the future-event queue and the root random
+//! stream. The owner (e.g. `ampnet-core`'s `Cluster`) drives the loop:
+//!
+//! ```
+//! use ampnet_sim::{Sim, SimTime, SimDuration};
+//!
+//! #[derive(Debug)]
+//! enum Ev { Ping(u32) }
+//!
+//! let mut sim: Sim<Ev> = Sim::new(42);
+//! sim.schedule_in(SimDuration::from_micros(5), Ev::Ping(1));
+//! let mut seen = vec![];
+//! while let Some((t, ev)) = sim.pop_next(SimTime::MAX) {
+//!     match ev { Ev::Ping(n) => seen.push((t, n)) }
+//! }
+//! assert_eq!(seen, vec![(SimTime(5_000), 1)]);
+//! ```
+//!
+//! `pop_next` advances `now` to the event's timestamp, so handlers can
+//! schedule follow-up events relative to the current instant.
+
+use crate::queue::{EventId, EventQueue};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Deterministic discrete-event simulator core.
+#[derive(Debug)]
+pub struct Sim<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    rng: SimRng,
+    processed: u64,
+    seed: u64,
+}
+
+impl<E> Sim<E> {
+    /// Create a simulator whose randomness derives from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            rng: SimRng::new(seed),
+            processed: 0,
+            seed,
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The seed this simulation was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The root random stream (derive labelled sub-streams from this).
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Schedule an event at an absolute instant. Scheduling in the past
+    /// panics: that is always a model bug.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: at={at} now={}",
+            self.now
+        );
+        self.queue.schedule(at, event)
+    }
+
+    /// Schedule an event `delay` after the current instant.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventId {
+        self.queue.schedule(self.now + delay, event)
+    }
+
+    /// Cancel a pending event; `true` if it had not yet fired.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Time of the next pending event.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Pop the next event at or before `deadline`, advancing the clock
+    /// to its timestamp. Returns `None` when the queue is empty or the
+    /// next event lies beyond the deadline (the clock then advances to
+    /// the deadline itself, so repeated calls are monotonic).
+    pub fn pop_next(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        match self.queue.peek_time() {
+            Some(t) if t <= deadline => {
+                let (at, ev) = self.queue.pop().expect("peeked event vanished");
+                debug_assert!(at >= self.now, "event queue yielded a past event");
+                self.now = at;
+                self.processed += 1;
+                Some((at, ev))
+            }
+            _ => {
+                if deadline > self.now && deadline != SimTime::MAX {
+                    self.now = deadline;
+                }
+                None
+            }
+        }
+    }
+
+    /// Drop all pending events (used when tearing a scenario down).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        A,
+        B,
+    }
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut sim: Sim<Ev> = Sim::new(1);
+        sim.schedule_in(SimDuration::from_nanos(10), Ev::A);
+        sim.schedule_in(SimDuration::from_nanos(20), Ev::B);
+        let (t1, e1) = sim.pop_next(SimTime::MAX).unwrap();
+        assert_eq!((t1, e1), (SimTime(10), Ev::A));
+        assert_eq!(sim.now(), SimTime(10));
+        let (t2, _) = sim.pop_next(SimTime::MAX).unwrap();
+        assert_eq!(t2, SimTime(20));
+        assert!(sim.pop_next(SimTime::MAX).is_none());
+        assert_eq!(sim.processed(), 2);
+    }
+
+    #[test]
+    fn deadline_stops_and_advances_clock() {
+        let mut sim: Sim<Ev> = Sim::new(1);
+        sim.schedule_at(SimTime(100), Ev::A);
+        assert!(sim.pop_next(SimTime(50)).is_none());
+        assert_eq!(sim.now(), SimTime(50), "clock advances to deadline");
+        assert!(sim.pop_next(SimTime(100)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim: Sim<Ev> = Sim::new(1);
+        sim.schedule_at(SimTime(10), Ev::A);
+        sim.pop_next(SimTime::MAX);
+        sim.schedule_at(SimTime(5), Ev::B);
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut sim: Sim<Ev> = Sim::new(1);
+        let id = sim.schedule_at(SimTime(10), Ev::A);
+        sim.schedule_at(SimTime(20), Ev::B);
+        assert!(sim.cancel(id));
+        let (t, ev) = sim.pop_next(SimTime::MAX).unwrap();
+        assert_eq!((t, ev), (SimTime(20), Ev::B));
+    }
+
+    #[test]
+    fn handler_can_schedule_followups() {
+        let mut sim: Sim<u32> = Sim::new(1);
+        sim.schedule_at(SimTime(1), 0);
+        let mut fired = vec![];
+        while let Some((_, n)) = sim.pop_next(SimTime::MAX) {
+            fired.push(n);
+            if n < 4 {
+                sim.schedule_in(SimDuration::from_nanos(1), n + 1);
+            }
+        }
+        assert_eq!(fired, vec![0, 1, 2, 3, 4]);
+        assert_eq!(sim.now(), SimTime(5));
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        fn run(seed: u64) -> Vec<u64> {
+            let mut sim: Sim<u8> = Sim::new(seed);
+            let mut out = vec![];
+            for _ in 0..10 {
+                let d = sim.rng().below(100);
+                sim.schedule_in(SimDuration::from_nanos(d), 0);
+            }
+            while let Some((t, _)) = sim.pop_next(SimTime::MAX) {
+                out.push(t.as_nanos());
+            }
+            out
+        }
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

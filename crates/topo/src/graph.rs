@@ -1,0 +1,290 @@
+//! The physical network graph: nodes, switches, node–switch links.
+//!
+//! Slides 14–15 show AmpNet's redundant physical plant: every node has
+//! a port to each of 2 (dual-redundant) or 4 (quad-redundant) central
+//! switches; the *logical ring* is threaded through whichever paths
+//! survive. A switch is a non-blocking crossbar: any set of disjoint
+//! port pairs can be bridged simultaneously, so a ring hop between two
+//! nodes exists whenever some live switch has live links to both.
+
+use std::fmt;
+
+/// One node's ports, indexed by switch (None = not cabled).
+type NodePorts = Vec<Option<Link>>;
+
+/// Identifier of a host node (also its MicroPacket address).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u8);
+
+/// Identifier of a central switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SwitchId(pub u8);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sw{}", self.0)
+    }
+}
+
+/// One bidirectional node–switch fiber pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// Node endpoint.
+    pub node: NodeId,
+    /// Switch endpoint.
+    pub switch: SwitchId,
+    /// Fiber length in metres (drives propagation delay).
+    pub length_m: f64,
+    /// Whether the fiber currently carries light.
+    pub up: bool,
+}
+
+/// The physical plant plus current failure state.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    n_nodes: usize,
+    n_switches: usize,
+    node_up: Vec<bool>,
+    switch_up: Vec<bool>,
+    /// links[node][switch] — None when that port is not cabled.
+    links: Vec<NodePorts>,
+}
+
+impl Topology {
+    /// Fully redundant plant: every node cabled to every switch with
+    /// fibers of `length_m`. `n_switches = 2` gives the dual-redundant
+    /// segment, `4` the quad-redundant segment of slide 14.
+    pub fn redundant(n_nodes: usize, n_switches: usize, length_m: f64) -> Topology {
+        assert!((1..=255).contains(&n_nodes), "1..=255 nodes");
+        assert!((1..=8).contains(&n_switches), "1..=8 switches");
+        let links = (0..n_nodes)
+            .map(|n| {
+                (0..n_switches)
+                    .map(|s| {
+                        Some(Link {
+                            node: NodeId(n as u8),
+                            switch: SwitchId(s as u8),
+                            length_m,
+                            up: true,
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        Topology {
+            n_nodes,
+            n_switches,
+            node_up: vec![true; n_nodes],
+            switch_up: vec![true; n_switches],
+            links,
+        }
+    }
+
+    /// Dual-redundant segment (slide 15, left).
+    pub fn dual(n_nodes: usize, length_m: f64) -> Topology {
+        Topology::redundant(n_nodes, 2, length_m)
+    }
+
+    /// Quad-redundant segment (slides 14–15, right).
+    pub fn quad(n_nodes: usize, length_m: f64) -> Topology {
+        Topology::redundant(n_nodes, 4, length_m)
+    }
+
+    /// Number of nodes (alive or not).
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Number of switches (alive or not).
+    pub fn n_switches(&self) -> usize {
+        self.n_switches
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n_nodes as u8).map(NodeId)
+    }
+
+    /// All switch ids.
+    pub fn switch_ids(&self) -> impl Iterator<Item = SwitchId> + '_ {
+        (0..self.n_switches as u8).map(SwitchId)
+    }
+
+    /// Mark a node failed (fail-stop).
+    pub fn fail_node(&mut self, n: NodeId) {
+        self.node_up[n.0 as usize] = false;
+    }
+
+    /// Bring a node back (it must re-assimilate at the DK layer).
+    pub fn restore_node(&mut self, n: NodeId) {
+        self.node_up[n.0 as usize] = true;
+    }
+
+    /// Mark a switch failed.
+    pub fn fail_switch(&mut self, s: SwitchId) {
+        self.switch_up[s.0 as usize] = false;
+    }
+
+    /// Bring a switch back.
+    pub fn restore_switch(&mut self, s: SwitchId) {
+        self.switch_up[s.0 as usize] = true;
+    }
+
+    /// Cut the fiber between `n` and `s`.
+    pub fn fail_link(&mut self, n: NodeId, s: SwitchId) {
+        if let Some(l) = self.links[n.0 as usize][s.0 as usize].as_mut() {
+            l.up = false;
+        }
+    }
+
+    /// Splice the fiber between `n` and `s`.
+    pub fn restore_link(&mut self, n: NodeId, s: SwitchId) {
+        if let Some(l) = self.links[n.0 as usize][s.0 as usize].as_mut() {
+            l.up = true;
+        }
+    }
+
+    /// Is the node powered?
+    pub fn node_alive(&self, n: NodeId) -> bool {
+        self.node_up[n.0 as usize]
+    }
+
+    /// Is the switch powered?
+    pub fn switch_alive(&self, s: SwitchId) -> bool {
+        self.switch_up[s.0 as usize]
+    }
+
+    /// The link record (regardless of up/down state), if cabled.
+    pub fn link(&self, n: NodeId, s: SwitchId) -> Option<&Link> {
+        self.links[n.0 as usize][s.0 as usize].as_ref()
+    }
+
+    /// A usable path endpoint: node, link and switch all alive.
+    pub fn port_usable(&self, n: NodeId, s: SwitchId) -> bool {
+        self.node_alive(n)
+            && self.switch_alive(s)
+            && self
+                .link(n, s)
+                .map(|l| l.up)
+                .unwrap_or(false)
+    }
+
+    /// Alive nodes.
+    pub fn alive_nodes(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&n| self.node_alive(n)).collect()
+    }
+
+    /// Bitmask (bit `s` set ⇔ port to switch `s` usable) describing
+    /// which live switches a node can reach. 0 means isolated.
+    pub fn switch_mask(&self, n: NodeId) -> u8 {
+        let mut mask = 0u8;
+        if !self.node_alive(n) {
+            return 0;
+        }
+        for s in self.switch_ids() {
+            if self.port_usable(n, s) {
+                mask |= 1 << s.0;
+            }
+        }
+        mask
+    }
+
+    /// A live switch through which `u` and `v` can be ring-adjacent,
+    /// preferring the lowest-numbered one.
+    pub fn shared_switch(&self, u: NodeId, v: NodeId) -> Option<SwitchId> {
+        let both = self.switch_mask(u) & self.switch_mask(v);
+        if both == 0 {
+            None
+        } else {
+            Some(SwitchId(both.trailing_zeros() as u8))
+        }
+    }
+
+    /// Total fiber length of the hop u→(switch)→v, for propagation
+    /// delay. `None` if the hop is not currently possible.
+    pub fn hop_length_m(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        let s = self.shared_switch(u, v)?;
+        let lu = self.link(u, s)?.length_m;
+        let lv = self.link(v, s)?.length_m;
+        Some(lu + lv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quad_builder_shape() {
+        let t = Topology::quad(6, 100.0);
+        assert_eq!(t.n_nodes(), 6);
+        assert_eq!(t.n_switches(), 4);
+        for n in t.node_ids() {
+            assert_eq!(t.switch_mask(n), 0b1111);
+        }
+    }
+
+    #[test]
+    fn dual_builder_shape() {
+        let t = Topology::dual(4, 50.0);
+        assert_eq!(t.n_switches(), 2);
+        assert_eq!(t.switch_mask(NodeId(0)), 0b11);
+    }
+
+    #[test]
+    fn failures_update_masks() {
+        let mut t = Topology::quad(4, 100.0);
+        t.fail_switch(SwitchId(0));
+        assert_eq!(t.switch_mask(NodeId(1)), 0b1110);
+        t.fail_link(NodeId(1), SwitchId(2));
+        assert_eq!(t.switch_mask(NodeId(1)), 0b1010);
+        t.fail_node(NodeId(1));
+        assert_eq!(t.switch_mask(NodeId(1)), 0);
+        t.restore_node(NodeId(1));
+        t.restore_link(NodeId(1), SwitchId(2));
+        t.restore_switch(SwitchId(0));
+        assert_eq!(t.switch_mask(NodeId(1)), 0b1111);
+    }
+
+    #[test]
+    fn shared_switch_prefers_lowest() {
+        let mut t = Topology::quad(3, 100.0);
+        assert_eq!(t.shared_switch(NodeId(0), NodeId(1)), Some(SwitchId(0)));
+        t.fail_link(NodeId(0), SwitchId(0));
+        assert_eq!(t.shared_switch(NodeId(0), NodeId(1)), Some(SwitchId(1)));
+        t.fail_switch(SwitchId(1));
+        t.fail_switch(SwitchId(2));
+        t.fail_switch(SwitchId(3));
+        assert_eq!(t.shared_switch(NodeId(0), NodeId(1)), None);
+    }
+
+    #[test]
+    fn hop_length_sums_both_fibers() {
+        let t = Topology::quad(2, 250.0);
+        assert_eq!(t.hop_length_m(NodeId(0), NodeId(1)), Some(500.0));
+    }
+
+    #[test]
+    fn dead_switch_breaks_hops_through_it_only() {
+        let mut t = Topology::dual(2, 10.0);
+        t.fail_switch(SwitchId(0));
+        assert_eq!(t.shared_switch(NodeId(0), NodeId(1)), Some(SwitchId(1)));
+        assert!(t.port_usable(NodeId(0), SwitchId(1)));
+        assert!(!t.port_usable(NodeId(0), SwitchId(0)));
+    }
+
+    #[test]
+    fn alive_nodes_list() {
+        let mut t = Topology::quad(5, 10.0);
+        t.fail_node(NodeId(2));
+        let alive = t.alive_nodes();
+        assert_eq!(alive.len(), 4);
+        assert!(!alive.contains(&NodeId(2)));
+    }
+}

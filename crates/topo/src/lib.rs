@@ -1,0 +1,26 @@
+//! # ampnet-topo — redundant switched topologies
+//!
+//! The physical plant of slides 14–15: nodes cabled to 2 (dual) or 4
+//! (quad) redundant crossbar switches, with fail-stop failures on
+//! nodes, switches and individual fibers. The crate answers the
+//! question rostering must answer on the wire: *what is the largest
+//! logical ring constructible right now?* — exactly, via the Eulerian
+//! multigraph formulation documented on [`largest_ring`].
+//!
+//! * [`Topology`] — graph + failure state, switch masks, shared-switch
+//!   queries, hop fiber lengths.
+//! * [`largest_ring`]/[`LogicalRing`] — exact maximum logical ring
+//!   with per-hop switch assignment and validity checking.
+//! * [`montecarlo`] — random failure sweeps for the E7 redundancy
+//!   experiment (dual vs quad survivability).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod availability;
+mod graph;
+pub mod montecarlo;
+mod ring_solver;
+
+pub use graph::{Link, NodeId, SwitchId, Topology};
+pub use ring_solver::{largest_ring, LogicalRing};

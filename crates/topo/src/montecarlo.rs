@@ -1,0 +1,186 @@
+//! Monte Carlo failure sweeps — substrate for experiment E7
+//! (slides 14–15: dual vs quad redundancy survivability).
+//!
+//! Each trial injects `k` random component failures (fibers and/or
+//! switches; optionally nodes) into a fresh plant and scores the
+//! largest logical ring that remains.
+
+use crate::graph::{NodeId, SwitchId, Topology};
+use crate::ring_solver::largest_ring;
+use rand::Rng;
+
+/// What kinds of components a failure trial may hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureDomain {
+    /// Only node–switch fibers fail.
+    LinksOnly,
+    /// Fibers and switches fail (weighted by component count).
+    LinksAndSwitches,
+    /// Fibers, switches and nodes fail.
+    Everything,
+}
+
+/// One component that can fail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Component {
+    /// A node–switch fiber.
+    Link(NodeId, SwitchId),
+    /// A crossbar switch.
+    Switch(SwitchId),
+    /// A host node.
+    Node(NodeId),
+}
+
+/// Enumerate the failable components of `topo` under `domain`.
+pub fn components(topo: &Topology, domain: FailureDomain) -> Vec<Component> {
+    let mut out = vec![];
+    for n in topo.node_ids() {
+        for s in topo.switch_ids() {
+            if topo.link(n, s).is_some() {
+                out.push(Component::Link(n, s));
+            }
+        }
+    }
+    if matches!(
+        domain,
+        FailureDomain::LinksAndSwitches | FailureDomain::Everything
+    ) {
+        for s in topo.switch_ids() {
+            out.push(Component::Switch(s));
+        }
+    }
+    if matches!(domain, FailureDomain::Everything) {
+        for n in topo.node_ids() {
+            out.push(Component::Node(n));
+        }
+    }
+    out
+}
+
+/// Apply a failure to the topology.
+pub fn apply(topo: &mut Topology, c: Component) {
+    match c {
+        Component::Link(n, s) => topo.fail_link(n, s),
+        Component::Switch(s) => topo.fail_switch(s),
+        Component::Node(n) => topo.fail_node(n),
+    }
+}
+
+/// Result of one trial batch at a fixed failure count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurvivalStats {
+    /// Number of injected failures per trial.
+    pub failures: usize,
+    /// Trials run.
+    pub trials: usize,
+    /// Fraction of trials where every *alive* node was still in the
+    /// ring (the network "survived" from the application's viewpoint:
+    /// no reachable node was orphaned).
+    pub full_ring_probability: f64,
+    /// Mean ring size across trials.
+    pub mean_ring_size: f64,
+    /// Minimum ring size observed.
+    pub min_ring_size: usize,
+}
+
+/// Run `trials` random-failure trials with `k` failures each and score
+/// survivability. Failures are sampled without replacement among the
+/// components of `domain`.
+pub fn survival_sweep<R: Rng>(
+    base: &Topology,
+    k: usize,
+    trials: usize,
+    domain: FailureDomain,
+    rng: &mut R,
+) -> SurvivalStats {
+    let comps = components(base, domain);
+    let k = k.min(comps.len());
+    let mut full = 0usize;
+    let mut total_size = 0usize;
+    let mut min_size = usize::MAX;
+    for _ in 0..trials {
+        let mut topo = base.clone();
+        // Sample k distinct components.
+        let mut idx: Vec<usize> = (0..comps.len()).collect();
+        for i in 0..k {
+            let j = rng.random_range(i..idx.len());
+            idx.swap(i, j);
+            apply(&mut topo, comps[idx[i]]);
+        }
+        let ring = largest_ring(&topo);
+        let alive = topo.alive_nodes().len();
+        if ring.len() == alive && alive > 0 {
+            full += 1;
+        }
+        total_size += ring.len();
+        min_size = min_size.min(ring.len());
+    }
+    SurvivalStats {
+        failures: k,
+        trials,
+        full_ring_probability: full as f64 / trials.max(1) as f64,
+        mean_ring_size: total_size as f64 / trials.max(1) as f64,
+        min_ring_size: if trials == 0 { 0 } else { min_size },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand_chacha::ChaCha8Rng {
+        rand_chacha::ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn zero_failures_always_survive() {
+        let t = Topology::quad(6, 100.0);
+        let s = survival_sweep(&t, 0, 20, FailureDomain::LinksAndSwitches, &mut rng());
+        assert_eq!(s.full_ring_probability, 1.0);
+        assert_eq!(s.mean_ring_size, 6.0);
+        assert_eq!(s.min_ring_size, 6);
+    }
+
+    #[test]
+    fn single_failure_never_kills_redundant_plant() {
+        for mk in [Topology::dual(6, 100.0), Topology::quad(6, 100.0)] {
+            let s = survival_sweep(&mk, 1, 100, FailureDomain::LinksAndSwitches, &mut rng());
+            assert_eq!(
+                s.full_ring_probability, 1.0,
+                "any single component failure must be survivable"
+            );
+        }
+    }
+
+    #[test]
+    fn quad_beats_dual_under_heavy_failures() {
+        let dual = Topology::dual(6, 100.0);
+        let quad = Topology::quad(6, 100.0);
+        let k = 3;
+        let sd = survival_sweep(&dual, k, 300, FailureDomain::LinksAndSwitches, &mut rng());
+        let sq = survival_sweep(&quad, k, 300, FailureDomain::LinksAndSwitches, &mut rng());
+        assert!(
+            sq.full_ring_probability >= sd.full_ring_probability,
+            "quad {} < dual {} at k={k}",
+            sq.full_ring_probability,
+            sd.full_ring_probability
+        );
+    }
+
+    #[test]
+    fn component_enumeration_counts() {
+        let t = Topology::quad(6, 100.0);
+        assert_eq!(components(&t, FailureDomain::LinksOnly).len(), 24);
+        assert_eq!(components(&t, FailureDomain::LinksAndSwitches).len(), 28);
+        assert_eq!(components(&t, FailureDomain::Everything).len(), 34);
+    }
+
+    #[test]
+    fn overlarge_k_is_clamped() {
+        let t = Topology::dual(2, 10.0);
+        let s = survival_sweep(&t, 10_000, 5, FailureDomain::Everything, &mut rng());
+        assert_eq!(s.full_ring_probability, 0.0);
+        assert_eq!(s.mean_ring_size, 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests: the ring solver is exact.
+//!
+//! For small plants we can brute-force the longest valid cycle over
+//! all subsets and circular orders, and the solver must match it —
+//! and always emit a ring that validates.
+
+use ampnet_topo::{largest_ring, NodeId, SwitchId, Topology};
+use proptest::prelude::*;
+
+/// Brute force: maximum cycle length over alive nodes where every
+/// cyclically consecutive pair shares a usable switch.
+fn brute_force_max(topo: &Topology) -> usize {
+    let nodes: Vec<(NodeId, u8)> = topo
+        .node_ids()
+        .filter(|&n| topo.node_alive(n))
+        .map(|n| (n, topo.switch_mask(n)))
+        .filter(|&(_, m)| m != 0)
+        .collect();
+    let n = nodes.len();
+    if n == 0 {
+        return 0;
+    }
+    let mut best = 1; // a single connected node is a degenerate ring
+    // Enumerate subsets.
+    for sub in 1u32..(1 << n) {
+        let members: Vec<usize> = (0..n).filter(|i| sub & (1 << i) != 0).collect();
+        let k = members.len();
+        if k <= best {
+            continue;
+        }
+        // Try all circular orders (fix first element).
+        let mut perm: Vec<usize> = members[1..].to_vec();
+        let first = members[0];
+        if permute_check(&nodes, first, &mut perm, 0) {
+            best = k;
+        }
+    }
+    best
+}
+
+fn permute_check(nodes: &[(NodeId, u8)], first: usize, rest: &mut Vec<usize>, at: usize) -> bool {
+    let ok = |a: usize, b: usize| nodes[a].1 & nodes[b].1 != 0;
+    if at == rest.len() {
+        let seq: Vec<usize> = std::iter::once(first).chain(rest.iter().copied()).collect();
+        return (0..seq.len()).all(|i| ok(seq[i], seq[(i + 1) % seq.len()]));
+    }
+    for i in at..rest.len() {
+        rest.swap(at, i);
+        // Prune: prefix adjacency must hold.
+        let prev = if at == 0 { first } else { rest[at - 1] };
+        if ok(prev, rest[at]) && permute_check(nodes, first, rest, at + 1) {
+            rest.swap(at, i);
+            return true;
+        }
+        rest.swap(at, i);
+    }
+    false
+}
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    (
+        1usize..=6,                                        // nodes
+        1usize..=3,                                        // switches
+        proptest::collection::vec(any::<u16>(), 0..12),    // failure picks
+    )
+        .prop_map(|(n, s, fails)| {
+            let mut t = Topology::redundant(n, s, 100.0);
+            let comps = ampnet_topo::montecarlo::components(
+                &t,
+                ampnet_topo::montecarlo::FailureDomain::LinksAndSwitches,
+            );
+            for f in fails {
+                let c = comps[f as usize % comps.len()];
+                ampnet_topo::montecarlo::apply(&mut t, c);
+            }
+            t
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The solver's ring always validates against the topology.
+    #[test]
+    fn solver_rings_validate(topo in arb_topology()) {
+        let ring = largest_ring(&topo);
+        prop_assert!(ring.validate(&topo).is_ok(), "{:?}", ring.validate(&topo));
+    }
+
+    /// The solver is exact: its ring size equals the brute-force
+    /// longest valid cycle.
+    #[test]
+    fn solver_is_exact(topo in arb_topology()) {
+        let ring = largest_ring(&topo);
+        let exact = brute_force_max(&topo);
+        prop_assert_eq!(ring.len(), exact, "solver {} vs brute {}", ring.len(), exact);
+    }
+
+    /// Restoring everything returns the full ring.
+    #[test]
+    fn restore_heals(mut topo in arb_topology()) {
+        for nid in 0..topo.n_nodes() as u8 {
+            topo.restore_node(NodeId(nid));
+            for s in 0..topo.n_switches() as u8 {
+                topo.restore_link(NodeId(nid), SwitchId(s));
+            }
+        }
+        for s in 0..topo.n_switches() as u8 {
+            topo.restore_switch(SwitchId(s));
+        }
+        let ring = largest_ring(&topo);
+        prop_assert_eq!(ring.len(), topo.n_nodes());
+    }
+}

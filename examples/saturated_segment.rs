@@ -1,0 +1,59 @@
+//! Slide 7/8 demo: mixed file+message streams and the all-to-all
+//! broadcast no-drop guarantee on one register-insertion segment.
+//!
+//! ```text
+//! cargo run --release --example saturated_segment
+//! ```
+
+use ampnet_phy::LinkParams;
+use ampnet_ring::{Segment, SegmentParams};
+use ampnet_sim::SimDuration;
+
+fn main() {
+    // --- Slide 7: every node inserts a file stream and a message
+    // stream concurrently.
+    let params = SegmentParams {
+        n_nodes: 4,
+        link: LinkParams::gigabit(100.0),
+        ..Default::default()
+    };
+    let mut seg = Segment::new(params, 7);
+    seg.slide7_mixed_streams();
+    let window = SimDuration::from_millis(10);
+    let r = seg.run_for(window);
+    println!("slide 7 — multiple streams per node on one segment:");
+    for (node, streams) in r.per_node_stream_bytes.iter().enumerate() {
+        println!(
+            "  node {node}: file stream {:.1} MB/s, message stream {:.1} MB/s",
+            streams[0] as f64 / window.as_secs_f64() / 1e6,
+            streams[1] as f64 / window.as_secs_f64() / 1e6,
+        );
+    }
+    assert_eq!(r.drops, 0);
+
+    // --- Slide 8: all-to-all broadcast at 2x the segment capacity.
+    println!("\nslide 8 — simultaneous all-to-all broadcast, 2x oversubscribed:");
+    let params = SegmentParams {
+        n_nodes: 8,
+        link: LinkParams::gigabit(100.0),
+        ..Default::default()
+    };
+    let mut seg = Segment::new(params, 8);
+    seg.all_to_all_broadcast(2.0);
+    let r = seg.run_for(SimDuration::from_millis(20));
+    println!(
+        "  aggregate goodput {:.1} MB/s, Jain fairness {:.3}",
+        r.aggregate_goodput_mbps, r.fairness
+    );
+    println!(
+        "  drops: {} | peak insertion-buffer occupancy: {} bytes (bound: 168)",
+        r.drops, r.max_transit_occupancy
+    );
+    println!(
+        "  broadcast tour latency p50 {:.1} us, p99 {:.1} us",
+        r.tour_latency.p50() as f64 / 1e3,
+        r.tour_latency.p99() as f64 / 1e3
+    );
+    assert_eq!(r.drops, 0, "the guarantee of slide 8");
+    println!("  guaranteed not to drop packets — CONFIRMED");
+}

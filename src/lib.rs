@@ -1,0 +1,18 @@
+//! AmpNet — a highly available cluster interconnection network.
+//!
+//! This is the workspace facade crate: it re-exports the public API of
+//! [`ampnet_core`] (cluster building, scenarios, experiments) and the
+//! underlying subsystem crates for users who need lower-level access.
+//! See `README.md` for a tour and `examples/` for runnable scenarios.
+
+pub use ampnet_core as core;
+
+pub use ampnet_cache as cache;
+pub use ampnet_dk as dk;
+pub use ampnet_packet as packet;
+pub use ampnet_phy as phy;
+pub use ampnet_ring as ring;
+pub use ampnet_roster as roster;
+pub use ampnet_services as services;
+pub use ampnet_sim as sim;
+pub use ampnet_topo as topo;
