@@ -8,7 +8,7 @@
 
 use ampnet_bench::experiments as ex;
 use ampnet_bench::host_seqlock::e5_host_seqlock;
-use ampnet_bench::report::Table;
+use ampnet_bench::report::{tables_to_json, Table};
 
 fn all_tables(quick: bool) -> Vec<Table> {
     let trials = if quick { 100 } else { 400 };
@@ -63,8 +63,7 @@ fn main() {
         print!("{}", t.render());
     }
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&tables).expect("serializable");
-        std::fs::write(&path, json).expect("write json");
+        std::fs::write(&path, tables_to_json(&tables)).expect("write json");
         println!("\nwrote {path}");
     }
 }

@@ -1,10 +1,9 @@
 //! Table rendering and result persistence for the figure harness.
 
-use serde::Serialize;
 use std::fmt::Display;
 
 /// A printable experiment table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment id (e.g. "E8").
     pub id: String,
@@ -79,6 +78,58 @@ impl Table {
         }
         out
     }
+
+    /// Serialize to a JSON object (hand-rolled: no serde in the tree).
+    pub fn to_json(&self) -> String {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| json_str_array(r))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"id\":{},\"title\":{},\"claim\":{},\"columns\":{},\"rows\":[{}],\"notes\":{}}}",
+            json_escape(&self.id),
+            json_escape(&self.title),
+            json_escape(&self.claim),
+            json_str_array(&self.columns),
+            rows,
+            json_str_array(&self.notes),
+        )
+    }
+}
+
+/// Serialize a slice of tables as a pretty-enough JSON array.
+pub fn tables_to_json(tables: &[Table]) -> String {
+    let body = tables
+        .iter()
+        .map(|t| format!("  {}", t.to_json()))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("[\n{body}\n]\n")
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_str_array(items: &[String]) -> String {
+    let body = items.iter().map(|s| json_escape(s)).collect::<Vec<_>>().join(",");
+    format!("[{body}]")
 }
 
 /// Round to 2 decimals for table cells.
@@ -120,6 +171,17 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new("E0", "demo", "x", &["a"]);
         t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        let mut t = Table::new("E0", "quote \" and \\", "line\nbreak", &["a"]);
+        t.row(vec!["x".into()]);
+        let j = tables_to_json(&[t]);
+        assert!(j.contains("\\\""));
+        assert!(j.contains("\\\\"));
+        assert!(j.contains("\\n"));
+        assert!(j.starts_with("[\n"));
     }
 
     #[test]

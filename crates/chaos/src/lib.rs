@@ -1,0 +1,53 @@
+//! # ampnet-chaos — scripted fault storms with machine-checked guarantees
+//!
+//! AmpNet's headline claims are availability claims: a simultaneous
+//! all-to-all broadcast never drops packets (slides 7–8), failures are
+//! detected in milliseconds and the ring self-heals in about two ring
+//! tours (slides 16–18), and applications fail over with "no down time
+//! and no loss of data" (slide 19). This crate turns those claims into
+//! executable invariants checked from *outside* the stack.
+//!
+//! A [`Scenario`] is a timed fault schedule — node crashes, switch
+//! failures, fiber cuts, repairs, rejoins, phy-level bit-error bursts —
+//! interleaved with traffic generators (all-to-all messaging,
+//! ping-pong, cache write storms, semaphore contention, seqlock
+//! probes, a replicated-counter failover app). The engine runs the
+//! schedule against a deterministic [`ampnet_core::Cluster`], keeps an
+//! external delivery [`Ledger`] of uniquely tagged payloads, and after
+//! every step runs a pluggable set of [`Invariant`] checkers.
+//!
+//! ```
+//! use ampnet_chaos::{Scenario, FaultOp, Traffic};
+//! use ampnet_core::{ClusterConfig, SimDuration};
+//!
+//! let scenario = Scenario::builder(ClusterConfig::small(6).with_seed(7))
+//!     .traffic(Traffic::all_to_all())
+//!     .fault_in(SimDuration::from_millis(10), FaultOp::CrashNode(3))
+//!     .standard_invariants()
+//!     .build();
+//! let report = scenario.run();
+//! assert!(report.ok(), "{}", report.summary());
+//! ```
+//!
+//! [`Scenario::sweep`] replays the same schedule under many seeds;
+//! a failing seed is shrunk to a minimal fault schedule and returned
+//! with the full [`ampnet_sim::Trace`] dump and the deterministic
+//! trace digest for replay.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod engine;
+mod invariant;
+mod ledger;
+mod scenario;
+mod sweep;
+
+pub use engine::{RunReport, Violation};
+pub use invariant::{
+    CheckCtx, FailoverWithinPolicy, Invariant, LosslessDelivery, MutualExclusion, NoDuplicates,
+    Phase, ReconvergenceBound, RingDrops, SeqlockCoherence, StateConservation,
+};
+pub use ledger::Ledger;
+pub use scenario::{FaultEvent, FaultOp, Scenario, ScenarioBuilder, Traffic};
+pub use sweep::{FailureCase, SweepOutcome};

@@ -1,0 +1,165 @@
+//! Seeded sweeps and fault-schedule shrinking.
+//!
+//! [`Scenario::sweep`] replays one scenario under many seeds. Every
+//! failing seed is shrunk — faults are removed one at a time while
+//! the failure reproduces — to a minimal schedule, and returned with
+//! both reports (the original and the minimal one, whose
+//! [`RunReport::trace_dump`] and digest pin the repro down).
+
+use crate::engine::RunReport;
+use crate::scenario::{FaultEvent, Scenario};
+
+/// One failing seed, shrunk.
+#[derive(Debug, Clone)]
+pub struct FailureCase {
+    /// The seed that failed.
+    pub seed: u64,
+    /// Report of the full schedule under this seed.
+    pub report: RunReport,
+    /// Minimal fault schedule that still reproduces a failure.
+    pub minimal_faults: Vec<FaultEvent>,
+    /// Report of the minimal schedule (trace dump included).
+    pub minimal_report: RunReport,
+}
+
+/// Result of a seeded sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Seeds whose runs passed every invariant.
+    pub passed: Vec<u64>,
+    /// Failing seeds, each shrunk to a minimal schedule.
+    pub failures: Vec<FailureCase>,
+}
+
+impl SweepOutcome {
+    /// `true` when every seed passed.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// One line for the sweep plus a block per failure.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "sweep: {} passed, {} failed",
+            self.passed.len(),
+            self.failures.len()
+        );
+        for f in &self.failures {
+            s.push_str(&format!(
+                "\nseed {} failed; shrunk {} -> {} fault(s); minimal digest {:#018x}\n{}",
+                f.seed,
+                f.report.violations.len().max(1), // at least the schedule itself
+                f.minimal_faults.len(),
+                f.minimal_report.trace_digest,
+                f.minimal_report.summary(),
+            ));
+        }
+        s
+    }
+}
+
+impl Scenario {
+    /// Run the scenario once per seed (each run is independent and
+    /// deterministic). Failing seeds are shrunk to minimal schedules.
+    pub fn sweep(&self, seeds: &[u64]) -> SweepOutcome {
+        let mut outcome = SweepOutcome { passed: vec![], failures: vec![] };
+        for &seed in seeds {
+            let mut sc = self.clone();
+            sc.cfg = sc.cfg.clone().with_seed(seed);
+            let report = sc.run();
+            if report.ok() {
+                outcome.passed.push(seed);
+            } else {
+                let (minimal_faults, minimal_report) = shrink(&sc);
+                outcome.failures.push(FailureCase { seed, report, minimal_faults, minimal_report });
+            }
+        }
+        outcome
+    }
+}
+
+/// Greedy delta-debugging: repeatedly drop any single fault whose
+/// removal keeps the run failing, until no single removal does.
+fn shrink(failing: &Scenario) -> (Vec<FaultEvent>, RunReport) {
+    let mut current = failing.clone();
+    let mut best = current.run();
+    debug_assert!(!best.ok(), "shrink requires a failing scenario");
+    loop {
+        let mut improved = false;
+        for i in 0..current.faults.len() {
+            let mut candidate = current.clone();
+            candidate.faults.remove(i);
+            let r = candidate.run();
+            if !r.ok() {
+                current = candidate;
+                best = r;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return (current.faults.clone(), best);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariant::{CheckCtx, Invariant};
+    use crate::scenario::{FaultOp, Traffic};
+    use ampnet_core::{ClusterConfig, SimDuration};
+
+    #[test]
+    fn benign_sweep_passes_every_seed() {
+        let outcome = Scenario::builder(ClusterConfig::small(4).with_seed(0))
+            .traffic(Traffic::ping_pong(0, 3))
+            .steps(4)
+            .standard_invariants()
+            .build()
+            .sweep(&[1, 2, 3, 4]);
+        assert!(outcome.ok(), "{}", outcome.summary());
+        assert_eq!(outcome.passed, vec![1, 2, 3, 4]);
+    }
+
+    /// Trips as soon as two or more roster episodes have completed
+    /// (boot is one) — i.e. whenever at least one fault actually
+    /// disturbed the ring.
+    struct FailOnSecondEpisode;
+    impl Invariant for FailOnSecondEpisode {
+        fn name(&self) -> &'static str {
+            "fail-on-second-episode"
+        }
+        fn check(&self, ctx: &CheckCtx<'_>) -> Result<(), String> {
+            if ctx.cluster.roster_history().len() >= 2 {
+                Err(format!("{} episodes", ctx.cluster.roster_history().len()))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    #[test]
+    fn failing_seed_is_shrunk_to_minimal_schedule() {
+        let outcome = Scenario::builder(ClusterConfig::small(6).with_seed(0))
+            .traffic(Traffic::ping_pong(0, 1))
+            .fault_in(SimDuration::from_millis(5), FaultOp::CrashNode(4))
+            .fault_in(SimDuration::from_millis(15), FaultOp::CrashNode(5))
+            .fault_in(SimDuration::from_millis(25), FaultOp::ErrorBurst {
+                node: 3,
+                seed: 9,
+                errors: 0, // zero errors: absorbed, no episode
+            })
+            .invariant(FailOnSecondEpisode)
+            .build()
+            .sweep(&[7]);
+        assert!(!outcome.ok());
+        let case = &outcome.failures[0];
+        assert_eq!(case.seed, 7);
+        // Either crash alone reproduces; the inert burst never survives.
+        assert_eq!(case.minimal_faults.len(), 1, "{}", outcome.summary());
+        assert!(matches!(case.minimal_faults[0].op, FaultOp::CrashNode(_)));
+        assert!(!case.minimal_report.ok());
+        assert!(!case.minimal_report.trace_dump.is_empty());
+    }
+}

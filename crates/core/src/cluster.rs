@@ -10,6 +10,7 @@
 //! afterwards (slide 18's smart data recovery).
 
 use crate::config::ClusterConfig;
+use crate::observe::ObservedEvent;
 use ampnet_cache::atomics;
 use ampnet_cache::seqlock_msg::{self, ReadOutcome, RecordLayout};
 use ampnet_cache::{NetworkCache, SemaphoreAction, SemaphoreClient};
@@ -96,6 +97,8 @@ pub(crate) enum Ev {
     ThreadRetry { node: u8, slot: u32, tries: u8 },
     /// Background diagnostic sweep over spare components.
     DiagSweep,
+    /// A phy-level bit-error burst on a node's receive fiber.
+    ErrorBurst { node: u8, seed: u64, errors: u32 },
 }
 
 /// The simulated AmpNet cluster.
@@ -128,6 +131,8 @@ pub struct Cluster {
     spare_faults: Vec<(SimTime, Component)>,
     /// Spare faults already reported (avoid duplicates).
     known_spare_faults: std::collections::HashSet<String>,
+    /// Journal of externally visible transitions (see `observe.rs`).
+    observations: Vec<(SimTime, ObservedEvent)>,
 }
 
 impl Cluster {
@@ -183,6 +188,7 @@ impl Cluster {
             sweep_interval: None,
             spare_faults: vec![],
             known_spare_faults: Default::default(),
+            observations: vec![],
             cfg,
         };
         cluster.ring_pos = vec![usize::MAX; cluster.cfg.n_nodes];
@@ -247,6 +253,18 @@ impl Cluster {
             let now = self.sim.now();
             self.trace.log(now, level, subsystem, message);
         }
+    }
+
+    /// The observation journal: every externally visible transition
+    /// (failures applied, roster episodes, repairs, bursts), stamped
+    /// with simulated time. Deterministic for a given config and seed.
+    pub fn observations(&self) -> &[(SimTime, ObservedEvent)] {
+        &self.observations
+    }
+
+    pub(crate) fn observe(&mut self, ev: ObservedEvent) {
+        let now = self.sim.now();
+        self.observations.push((now, ev));
     }
 
     /// Join attempts rejected by DK policy.
@@ -533,6 +551,68 @@ impl Cluster {
         self.sim.schedule_at(at, Ev::Repair(c));
     }
 
+    /// Schedule a phy-level bit-error burst on `node`'s receive fiber:
+    /// `errors` single-bit corruptions of the serial stream, replayable
+    /// from `seed`. A detected burst escalates exactly like a carrier
+    /// loss — the receiving NIU declares its upstream ring link dead
+    /// and rostering heals around it; replay then restores any traffic
+    /// the corrupted window cost (paper slides 16–18).
+    pub fn schedule_error_burst(&mut self, at: SimTime, node: u8, seed: u64, errors: u32) {
+        assert!((node as usize) < self.cfg.n_nodes, "no such node");
+        self.sim.schedule_at(at, Ev::ErrorBurst { node, seed, errors });
+    }
+
+    fn apply_error_burst(&mut self, node: u8, seed: u64, errors: u32) {
+        use ampnet_phy::{Decoder, Encoder, ErrorBurst, Symbol};
+        // The deserializer sees a window of inter-frame fill while the
+        // burst is active; corrupt it and count violations the way the
+        // NIU's 8b/10b checker does. A disparity slip may surface a few
+        // groups late — scanning the whole window models that.
+        let mut burst = ErrorBurst::new(seed, errors);
+        let mut enc = Encoder::new();
+        let mut dec = Decoder::new();
+        let mut detected = 0u32;
+        let window = (errors as usize).max(1) * 4;
+        for i in 0..window {
+            let byte = (i % 251) as u8;
+            let clean = enc.encode(Symbol::Data(byte)).expect("data encodes");
+            let wire = if i % 4 == 0 {
+                burst.corrupt_group(clean)
+            } else {
+                clean
+            };
+            match dec.decode(wire) {
+                Ok(sym) if sym == Symbol::Data(byte) => {}
+                _ => detected += 1,
+            }
+        }
+        self.observe(ObservedEvent::ErrorBurst { node, errors, detected });
+        self.log(
+            Level::Warn,
+            "phy",
+            format!("node {node}: bit-error burst, {errors} injected, {detected} violations"),
+        );
+        let pos = self.ring_pos[node as usize];
+        if detected == 0 || !self.ring_up || pos == usize::MAX || self.ring.order.len() < 2 {
+            // Nothing detectable, or the lasers are already down /
+            // re-syncing: the burst changes nothing.
+            self.observe(ObservedEvent::ErrorBurstAbsorbed { node });
+            return;
+        }
+        // Loss-of-sync on the incoming fiber: the link from the
+        // upstream hop switch into this node is declared dead.
+        let n = self.ring.order.len();
+        let sw = self.ring.hops[(pos + n - 1) % n];
+        let link = Component::Link(NodeId(node), sw);
+        self.observe(ObservedEvent::ErrorBurstEscalated { node, link });
+        self.log(
+            Level::Warn,
+            "phy",
+            format!("node {node}: burst escalated, {link:?} lost sync"),
+        );
+        self.inject_failure(link);
+    }
+
     // ----- internals: transport -----
 
     pub(crate) fn enqueue_own(&mut self, node: u8, pkt: MicroPacket) {
@@ -719,6 +799,7 @@ impl Cluster {
 
     fn inject_failure(&mut self, c: Component) {
         crate::diagnostics::abandon_if_running(self);
+        self.observe(ObservedEvent::FailureInjected(c));
         apply_failure(&mut self.topo, c);
         if let Component::Node(n) = c {
             self.nodes[n.0 as usize].online = false;
@@ -746,6 +827,7 @@ impl Cluster {
                     },
                 );
                 self.pending_roster = Some((RosterReason::Failure(c), outcome));
+                self.observe(ObservedEvent::RosterStarted { epoch: self.epoch });
             }
             Err(RosterSkip::SpareComponent) => {
                 self.log(
@@ -753,12 +835,14 @@ impl Cluster {
                     "roster",
                     format!("{c:?} failed but is spare; ring unaffected"),
                 );
+                self.observe(ObservedEvent::SpareFault(c));
             }
             Err(RosterSkip::NoSurvivors) => {
                 self.ring_up = false;
                 self.ring = LogicalRing::empty();
                 self.ring_pos.fill(usize::MAX);
                 self.log(Level::Warn, "roster", format!("{c:?} failed; no survivors"));
+                self.observe(ObservedEvent::NoSurvivors(c));
             }
         }
     }
@@ -793,6 +877,10 @@ impl Cluster {
         self.history.push(RosterEvent {
             reason,
             outcome,
+        });
+        self.observe(ObservedEvent::RingRestored {
+            epoch,
+            ring_len: self.ring.len(),
         });
         self.ring_up = true;
         self.tx_busy.fill(false);
@@ -843,6 +931,7 @@ impl Cluster {
             "repair",
             format!("{c:?} repaired"),
         );
+        self.observe(ObservedEvent::RepairApplied(c));
         let best = ampnet_topo::largest_ring(&self.topo);
         if best.len() > self.ring.len() && self.ring_up {
             // Re-roster to absorb the recovered capacity.
@@ -877,6 +966,7 @@ impl Cluster {
             }
             Err(f) => {
                 self.rejections.push((node, f));
+                self.observe(ObservedEvent::JoinRejected(node));
             }
         }
     }
@@ -904,6 +994,7 @@ impl Cluster {
             me.cache = rehomed;
         }
         self.nodes[node as usize].online = true;
+        self.observe(ObservedEvent::NodeOnline(node));
         // Extend the ring: a join-triggered roster episode.
         if let Ok(mut outcome) = initial_rostering(&self.topo, &self.cfg.timing.roster) {
             let now = self.sim.now();
@@ -1000,6 +1091,7 @@ impl Cluster {
                 }
             }
             Ev::DiagSweep => self.run_diag_sweep(),
+            Ev::ErrorBurst { node, seed, errors } => self.apply_error_burst(node, seed, errors),
         }
     }
 }

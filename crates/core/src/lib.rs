@@ -32,12 +32,14 @@ mod collectives;
 mod config;
 mod diagnostics;
 mod multiseg;
+mod observe;
 
 pub use apps::{
     CounterAppConfig, CounterAppReport, ResumeRecord, SemStressConfig, SemStressReport,
     SeqProbeConfig, SeqProbeReport,
 };
 pub use cluster::{Cluster, RosterEvent, RosterReason};
+pub use observe::ObservedEvent;
 pub use diagnostics::Certification;
 pub use multiseg::{Bridge, GlobalAddr, GlobalDatagram, MultiSegment, ROUTE_STREAM};
 pub use collectives::COLLECTIVE_STREAM;

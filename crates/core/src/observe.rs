@@ -1,0 +1,64 @@
+//! Deterministic observation journal.
+//!
+//! External harnesses (the chaos engine in `ampnet-chaos`, soak tests)
+//! need to see *when* the cluster reacted to an injected fault without
+//! reaching into its internals or installing callbacks — callbacks
+//! would let observer code perturb the simulation. The cluster instead
+//! appends an [`ObservedEvent`] to a journal at every externally
+//! meaningful transition; the journal is part of the deterministic
+//! simulation state, so two runs with the same config and seed produce
+//! byte-identical journals.
+
+use ampnet_topo::montecarlo::Component;
+
+/// One externally visible cluster transition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObservedEvent {
+    /// A component failure was applied to the plant.
+    FailureInjected(Component),
+    /// The failed component was spare: the ring is unaffected.
+    SpareFault(Component),
+    /// The failure left no viable ring.
+    NoSurvivors(Component),
+    /// A roster episode began (ring down until `RingRestored`).
+    RosterStarted {
+        /// Episode epoch.
+        epoch: u64,
+    },
+    /// A roster episode committed a new ring.
+    RingRestored {
+        /// Episode epoch.
+        epoch: u64,
+        /// Members in the committed ring.
+        ring_len: usize,
+    },
+    /// A switch or fiber was returned to service.
+    RepairApplied(Component),
+    /// A joining node failed assimilation.
+    JoinRejected(u8),
+    /// An assimilated node came online (roster episode follows).
+    NodeOnline(u8),
+    /// A phy-level bit-error burst hit a node's receive path.
+    ErrorBurst {
+        /// Victim node.
+        node: u8,
+        /// Bit errors injected.
+        errors: u32,
+        /// 8b/10b / disparity violations the receiver detected.
+        detected: u32,
+    },
+    /// The receiver escalated a detected burst to a link failure
+    /// (loss-of-sync → rostering, as on real hardware).
+    ErrorBurstEscalated {
+        /// Victim node.
+        node: u8,
+        /// The ring link declared dead.
+        link: Component,
+    },
+    /// A burst arrived while the ring was already down, the node was
+    /// outside the ring, or no error was detectable; nothing happened.
+    ErrorBurstAbsorbed {
+        /// Victim node.
+        node: u8,
+    },
+}

@@ -428,4 +428,83 @@ mod tests {
         assert_eq!(r2.old_leader, 3);
         assert_eq!(r2.new_leader, 2);
     }
+
+    #[test]
+    fn zero_misses_allowed_is_a_hair_trigger() {
+        let mut g = group();
+        let policy = FailoverPolicy {
+            misses_allowed: 0,
+            ..Default::default()
+        };
+        assert_eq!(policy.detection_latency(), SimDuration::ZERO);
+        let mut e = FailoverEngine::new(policy, Some(1), SimTime::ZERO);
+        // With a zero detection window, the very first poll declares
+        // the leader failed — even a freshly heartbeating one. That is
+        // the documented consequence of misses_allowed = 0: any
+        // silence at all (including none) exceeds the window.
+        e.on_heartbeat(SimTime::ZERO, 1);
+        e.leader_died(SimTime::ZERO);
+        g.mark_offline(1);
+        assert!(e.poll(SimTime::ZERO, &g).is_none(), "declares, not completes");
+        assert!(matches!(e.phase(), FailoverPhase::Waiting { .. }));
+        let r = run_to_completion(&mut e, &g, SimTime::ZERO, SimDuration::from_micros(50), 100_000)
+            .expect("failover completes");
+        assert_eq!(r.detected_at, SimTime::ZERO, "declared at the first poll");
+        // All remaining outage is grace + recovery, none of it detection.
+        assert_eq!(r.detection_latency(), SimDuration::ZERO);
+        assert!(r.takeover_at - r.detected_at >= policy.failover_period);
+    }
+
+    #[test]
+    fn restart_recovery_rule_times_the_takeover() {
+        let mut g = group();
+        let startup = SimDuration::from_millis(7);
+        let policy = FailoverPolicy {
+            recovery: RecoveryRule::Restart { startup },
+            ..Default::default()
+        };
+        let mut e = FailoverEngine::new(policy, Some(1), SimTime::ZERO);
+        e.leader_died(SimTime::ZERO);
+        g.mark_offline(1);
+        let step = SimDuration::from_micros(50);
+        let r = run_to_completion(&mut e, &g, SimTime::ZERO, step, 1_000_000)
+            .expect("failover completes");
+        let recovering = r.recovered_at - r.takeover_at;
+        assert!(
+            recovering >= startup && recovering < startup + step + step,
+            "restart rule must gate recovery: {recovering} vs {startup}"
+        );
+        assert_eq!(e.leader(), Some(3));
+    }
+
+    #[test]
+    fn candidate_dying_mid_grace_period_falls_through() {
+        let mut g = group();
+        let policy = FailoverPolicy {
+            failover_period: SimDuration::from_millis(5),
+            ..Default::default()
+        };
+        let mut e = FailoverEngine::new(policy, Some(1), SimTime::ZERO);
+        e.leader_died(SimTime::ZERO);
+        g.mark_offline(1);
+        // Poll until the failure is declared, then — mid-grace — the
+        // best-qualified heir (node 3, qualification 85) dies too.
+        let mut now = SimTime::ZERO;
+        let step = SimDuration::from_micros(100);
+        while !matches!(e.phase(), FailoverPhase::Waiting { .. }) {
+            assert!(e.poll(now, &g).is_none());
+            now += step;
+        }
+        let declared = now;
+        g.mark_offline(3);
+        e.poll(declared + SimDuration::from_millis(1), &g); // still waiting
+        assert!(matches!(e.phase(), FailoverPhase::Waiting { .. }));
+        let r = run_to_completion(&mut e, &g, declared + SimDuration::from_millis(1), step, 200_000)
+            .expect("failover still completes");
+        // The grace period was not restarted by the second death, and
+        // the takeover skipped the dead heir.
+        assert_eq!(r.new_leader, 2, "fell through to the last survivor");
+        assert!(r.takeover_at - r.detected_at >= policy.failover_period);
+        assert_eq!(e.leader(), Some(2));
+    }
 }

@@ -1,0 +1,145 @@
+//! Injectable bit-error bursts.
+//!
+//! Chaos testing needs a way to model a fiber segment going marginal —
+//! a burst of bit errors on the serial stream, as opposed to a clean
+//! loss of light. [`ErrorBurst`] is a deterministic generator of bit
+//! flips: seeded once, it dispenses a bounded number of single-bit
+//! corruptions, each at a pseudo-random position. On real AmpNet
+//! hardware such errors surface as 8b/10b code violations or CRC
+//! failures; the receiving NIU treats a sustained burst exactly like a
+//! carrier loss and triggers rostering (paper, slides 16–17). The
+//! cluster layer reuses that path: a burst-corrupted frame is detected
+//! (never silently accepted) and escalates to a link failure.
+//!
+//! The generator is self-contained (SplitMix64) so bursts replay
+//! identically for a given seed regardless of what else the simulation
+//! RNG was used for.
+
+/// A bounded, deterministic stream of single-bit corruptions.
+#[derive(Debug, Clone)]
+pub struct ErrorBurst {
+    state: u64,
+    remaining: u32,
+}
+
+impl ErrorBurst {
+    /// A burst of `n_errors` bit flips, replayable from `seed`.
+    pub fn new(seed: u64, n_errors: u32) -> Self {
+        ErrorBurst { state: seed ^ 0x9e37_79b9_7f4a_7c15, remaining: n_errors }
+    }
+
+    /// Bit flips not yet dispensed.
+    pub fn remaining(&self) -> u32 {
+        self.remaining
+    }
+
+    /// Whether the burst has dispensed all its errors.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining == 0
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Corrupt one bit of a 10-bit transmission group. Returns the
+    /// corrupted group, or the group unchanged if the burst is spent.
+    pub fn corrupt_group(&mut self, group: u16) -> u16 {
+        debug_assert!(group < 1024);
+        if self.remaining == 0 {
+            return group;
+        }
+        self.remaining -= 1;
+        let bit = (self.next() % 10) as u16;
+        group ^ (1 << bit)
+    }
+
+    /// Corrupt up to one bit of `data` (a frame payload). Returns the
+    /// number of flips applied (0 if the burst is spent or the frame is
+    /// empty, 1 otherwise).
+    pub fn corrupt_bytes(&mut self, data: &mut [u8]) -> u32 {
+        if self.remaining == 0 || data.is_empty() {
+            return 0;
+        }
+        self.remaining -= 1;
+        let r = self.next();
+        let idx = (r % data.len() as u64) as usize;
+        let bit = ((r >> 32) % 8) as u8;
+        data[idx] ^= 1 << bit;
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crc32;
+    use crate::{Decoder, Encoder, Symbol};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ErrorBurst::new(7, 16);
+        let mut b = ErrorBurst::new(7, 16);
+        let mut c = ErrorBurst::new(8, 16);
+        let mut da = [0xAAu8; 32];
+        let mut db = [0xAAu8; 32];
+        let mut dc = [0xAAu8; 32];
+        for _ in 0..16 {
+            a.corrupt_bytes(&mut da);
+            b.corrupt_bytes(&mut db);
+            c.corrupt_bytes(&mut dc);
+        }
+        assert_eq!(da, db);
+        assert_ne!(da, dc);
+        assert!(a.is_exhausted() && b.is_exhausted());
+    }
+
+    #[test]
+    fn exhausted_burst_is_inert() {
+        let mut burst = ErrorBurst::new(1, 1);
+        let mut data = [0u8; 8];
+        assert_eq!(burst.corrupt_bytes(&mut data), 1);
+        assert_eq!(burst.corrupt_bytes(&mut data), 0);
+        let before = data;
+        assert_eq!(burst.corrupt_bytes(&mut data), 0);
+        assert_eq!(data, before);
+        assert_eq!(burst.corrupt_group(0x155), 0x155);
+    }
+
+    #[test]
+    fn crc_detects_every_burst_flip() {
+        // CRC-32 detects all single-bit errors, so a burst-corrupted
+        // frame can never pass the FCS check.
+        for seed in 0..50u64 {
+            let mut burst = ErrorBurst::new(seed, 1);
+            let data: Vec<u8> = (0..64u8).collect();
+            let mut hit = data.clone();
+            assert_eq!(burst.corrupt_bytes(&mut hit), 1);
+            assert_ne!(crc32(&data), crc32(&hit), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn corrupted_group_never_silently_decodes_same_byte() {
+        // A single-bit flip in a 10-bit group either breaks decode
+        // (code violation / disparity error) or yields a different
+        // byte; it is never silently the original data.
+        for seed in 0..100u64 {
+            let mut enc = Encoder::new();
+            let byte = (seed as u8).wrapping_mul(37).wrapping_add(11);
+            let group = enc.encode(Symbol::Data(byte)).unwrap();
+            let mut burst = ErrorBurst::new(seed, 1);
+            let bad = burst.corrupt_group(group);
+            assert_ne!(bad, group);
+            let mut dec = Decoder::new();
+            match dec.decode(bad) {
+                Err(_) => {}
+                Ok(sym) => assert_ne!(sym, Symbol::Data(byte), "seed {seed}"),
+            }
+        }
+    }
+}

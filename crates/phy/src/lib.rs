@@ -23,6 +23,7 @@
 mod align;
 mod crc;
 mod enc8b10b;
+mod error;
 mod link;
 mod ordered;
 
@@ -32,5 +33,6 @@ pub use enc8b10b::{
     cumulative_disparity, max_run_length, CodeError, Decoder, Disparity, Encoder, Symbol, K23_7,
     K27_7, K28_1, K28_5, K29_7, K30_7, VALID_K,
 };
+pub use error::ErrorBurst;
 pub use link::{CarrierMonitor, LinkParams, LinkState, FC_GIGABIT_BAUD, FIBER_M_PER_S};
 pub use ordered::OrderedSet;

@@ -103,3 +103,39 @@ proptest! {
         }
     }
 }
+
+/// Promoted from `prop_roster.proptest-regressions`: the shrunk
+/// counterexample `(Topology::redundant(3, 2, 10.0), pre = [10678,
+/// 21230, 5623, 30044], last = 13760)` that once broke
+/// `rostering_is_maximal_and_valid`. Replayed here as a plain,
+/// deterministic test so the case survives any change to the
+/// property-test framework's seeding or shrinking.
+#[test]
+fn regression_redundant3x2_predamaged_then_failed() {
+    let mut topo = Topology::redundant(3, 2, 10.0);
+    let comps = components(&topo, FailureDomain::Everything);
+    let pre: [u16; 4] = [10678, 21230, 5623, 30044];
+    for f in pre {
+        apply(&mut topo, comps[f as usize % comps.len()]);
+    }
+    let current = largest_ring(&topo);
+    let failed = comps[13760usize % comps.len()];
+    apply(&mut topo, failed);
+    match run_rostering(&topo, &current, failed, SimTime::ZERO, 7, &RosterParams::default()) {
+        Ok(out) => {
+            assert!(out.ring.validate(&topo).is_ok());
+            let exact = largest_ring(&topo);
+            assert_eq!(out.ring.len(), exact.len(), "committed ring not maximal");
+            assert_eq!(out.epoch, 8);
+            let total = out.detect_time + out.explore_time + out.commit_time;
+            assert_eq!(out.completed_at - out.failed_at, total);
+            assert!(out.explore_time >= out.ring_tour);
+        }
+        Err(RosterSkip::SpareComponent) => {
+            assert!(current.validate(&topo).is_ok());
+        }
+        Err(RosterSkip::NoSurvivors) => {
+            assert!(largest_ring(&topo).is_empty() || topo.alive_nodes().is_empty());
+        }
+    }
+}

@@ -63,6 +63,20 @@ pub struct Trace {
     capacity: usize,
     min_level: Option<Level>,
     dropped: u64,
+    digest: u64,
+    accepted: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv_fold(mut h: u64, bytes: &[u8]) -> u64 {
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
 }
 
 impl Trace {
@@ -73,6 +87,8 @@ impl Trace {
             capacity: 0,
             min_level: None,
             dropped: 0,
+            digest: FNV_OFFSET,
+            accepted: 0,
         }
     }
 
@@ -84,6 +100,8 @@ impl Trace {
             capacity,
             min_level: Some(min_level),
             dropped: 0,
+            digest: FNV_OFFSET,
+            accepted: 0,
         }
     }
 
@@ -99,6 +117,14 @@ impl Trace {
         if !self.wants(level) {
             return;
         }
+        // Fold into the running digest before any capacity eviction so
+        // the digest covers every accepted entry, not just the retained
+        // window.
+        self.digest = fnv_fold(self.digest, &at.0.to_le_bytes());
+        self.digest = fnv_fold(self.digest, &[level as u8]);
+        self.digest = fnv_fold(self.digest, subsystem.as_bytes());
+        self.digest = fnv_fold(self.digest, message.as_bytes());
+        self.accepted += 1;
         if self.entries.len() == self.capacity {
             self.entries.pop_front();
             self.dropped += 1;
@@ -109,6 +135,29 @@ impl Trace {
             subsystem,
             message,
         });
+    }
+
+    /// FNV-64 digest over every accepted entry (time, level, subsystem,
+    /// message), in log order. Independent of the capacity bound — two
+    /// traces that accepted the same entry stream have the same digest
+    /// even if one evicted more aggressively. Used by the chaos engine
+    /// as a deterministic replay fingerprint.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Total entries accepted (including ones since evicted).
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Render all retained entries, one per line (oldest first).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&format!("{e}\n"));
+        }
+        out
     }
 
     /// Entries currently retained, oldest first.
@@ -165,6 +214,45 @@ mod tests {
         assert_eq!(t.dropped(), 2);
         let first = t.entries().next().unwrap();
         assert_eq!(first.message, "m2");
+    }
+
+    #[test]
+    fn digest_is_eviction_independent() {
+        let mut small = Trace::enabled(2, Level::Debug);
+        let mut large = Trace::enabled(100, Level::Debug);
+        for i in 0..10u64 {
+            small.log(SimTime(i), Level::Info, "x", format!("m{i}"));
+            large.log(SimTime(i), Level::Info, "x", format!("m{i}"));
+        }
+        assert!(small.dropped() > 0);
+        assert_eq!(large.dropped(), 0);
+        assert_eq!(small.digest(), large.digest());
+        assert_eq!(small.accepted(), 10);
+    }
+
+    #[test]
+    fn digest_sensitive_to_content() {
+        let mut a = Trace::enabled(10, Level::Debug);
+        let mut b = Trace::enabled(10, Level::Debug);
+        a.log(SimTime(1), Level::Info, "x", "one".into());
+        b.log(SimTime(1), Level::Info, "x", "two".into());
+        assert_ne!(a.digest(), b.digest());
+
+        let mut c = Trace::enabled(10, Level::Debug);
+        let mut d = Trace::enabled(10, Level::Debug);
+        c.log(SimTime(1), Level::Info, "x", "one".into());
+        d.log(SimTime(2), Level::Info, "x", "one".into());
+        assert_ne!(c.digest(), d.digest());
+    }
+
+    #[test]
+    fn dump_renders_lines() {
+        let mut t = Trace::enabled(10, Level::Debug);
+        t.log(SimTime(1), Level::Info, "ring", "hello".into());
+        t.log(SimTime(2), Level::Warn, "ring", "world".into());
+        let s = t.dump();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("hello"));
     }
 
     #[test]

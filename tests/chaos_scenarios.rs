@@ -1,0 +1,268 @@
+//! Chaos scenarios: scripted fault storms against a live cluster with
+//! the full invariant catalogue attached — loss-freedom across
+//! failover replay, no duplicate delivery, seqlock coherence, bounded
+//! ring reconvergence, failover within policy, mutual exclusion and
+//! end-of-run state conservation.
+//!
+//! Every scenario here runs the standard catalogue; the paper's
+//! availability claims must hold under each fault schedule.
+
+use ampnet::chaos::{FaultOp, Scenario, Traffic};
+use ampnet::core::{ClusterConfig, SimDuration};
+
+fn ms(n: u64) -> SimDuration {
+    SimDuration::from_millis(n)
+}
+
+/// One node crashes under simultaneous all-to-all traffic: the ring
+/// self-heals and every message between survivors is delivered
+/// exactly once.
+#[test]
+fn crash_single_node_under_all_to_all() {
+    let report = Scenario::builder(ClusterConfig::small(6).with_seed(0xC0))
+        .traffic(Traffic::all_to_all())
+        .fault_in(ms(10), FaultOp::CrashNode(3))
+        .standard_invariants()
+        .build()
+        .run();
+    assert!(report.ok(), "{}", report.summary());
+    assert!(report.roster_episodes >= 2, "boot + failure recovery");
+    assert_eq!(report.sent, report.delivered + report.doomed);
+}
+
+/// A whole switch fails: every node routed through it reroutes to a
+/// redundant switch with no message loss anywhere.
+#[test]
+fn switch_failure_reroutes_without_loss() {
+    let report = Scenario::builder(ClusterConfig::small(8).with_seed(0xC1))
+        .traffic(Traffic::all_to_all())
+        .fault_in(ms(12), FaultOp::FailSwitch(0))
+        .standard_invariants()
+        .build()
+        .run();
+    assert!(report.ok(), "{}", report.summary());
+    assert_eq!(report.doomed, 0, "no endpoint died; nothing may be excused");
+    assert_eq!(report.sent, report.delivered);
+}
+
+/// A fiber is cut, then spliced back: the ring heals around the cut
+/// and later re-expands over the repaired link.
+#[test]
+fn fiber_cut_then_splice() {
+    let report = Scenario::builder(ClusterConfig::small(6).with_seed(0xC2))
+        .traffic(Traffic::all_to_all())
+        .fault_in(ms(8), FaultOp::CutFiber(2, 1))
+        .fault_in(ms(30), FaultOp::SpliceFiber(2, 1))
+        .standard_invariants()
+        .build()
+        .run();
+    assert!(report.ok(), "{}", report.summary());
+    assert_eq!(report.doomed, 0);
+    assert_eq!(report.sent, report.delivered);
+}
+
+/// A node crashes and later re-assimilates: DK admits it, its cache
+/// refreshes, and traffic to it resumes losslessly.
+#[test]
+fn crash_then_rejoin() {
+    let report = Scenario::builder(ClusterConfig::small(6).with_seed(0xC3))
+        .traffic(Traffic::all_to_all())
+        .traffic(Traffic::cache_storm())
+        .fault_in(ms(10), FaultOp::CrashNode(5))
+        .fault_in(ms(35), FaultOp::Rejoin(5))
+        // Assimilation is slow by design (~70 ms boot + diagnostics +
+        // refresh); settle long enough for the node to come online.
+        .settle(ms(90))
+        .standard_invariants()
+        .build()
+        .run();
+    assert!(report.ok(), "{}", report.summary());
+    assert!(report.roster_episodes >= 3, "boot + failure + join");
+}
+
+/// A detected phy-level bit-error burst escalates like carrier loss:
+/// the upstream link is declared dead, the ring reroutes, and replay
+/// keeps delivery lossless.
+#[test]
+fn error_burst_escalates_and_heals() {
+    let report = Scenario::builder(ClusterConfig::small(6).with_seed(0xC4))
+        .traffic(Traffic::all_to_all())
+        .fault_in(ms(14), FaultOp::ErrorBurst { node: 2, seed: 0xB00, errors: 6 })
+        .standard_invariants()
+        .build()
+        .run();
+    assert!(report.ok(), "{}", report.summary());
+    assert!(report.roster_episodes >= 2, "the burst must escalate");
+    assert_eq!(report.doomed, 0, "links failed, no endpoint died");
+    assert_eq!(report.sent, report.delivered);
+}
+
+/// A zero-error burst is inert: nothing to detect, nothing escalates.
+#[test]
+fn empty_error_burst_is_absorbed() {
+    let report = Scenario::builder(ClusterConfig::small(6).with_seed(0xC5))
+        .traffic(Traffic::all_to_all())
+        .fault_in(ms(14), FaultOp::ErrorBurst { node: 2, seed: 0xB01, errors: 0 })
+        .standard_invariants()
+        .build()
+        .run();
+    assert!(report.ok(), "{}", report.summary());
+    assert_eq!(report.roster_episodes, 1, "boot only — the burst was inert");
+}
+
+/// Guarded seqlock readers keep taking consistent snapshots while an
+/// uninvolved node crashes and the ring reforms underneath them.
+#[test]
+fn seqlock_readers_survive_a_crash() {
+    let report = Scenario::builder(ClusterConfig::small(6).with_seed(0xC6))
+        .traffic(Traffic::seqlock(0, vec![1, 2, 3]))
+        .traffic(Traffic::ping_pong(0, 1))
+        .fault_in(ms(15), FaultOp::CrashNode(4))
+        .standard_invariants()
+        .build()
+        .run();
+    assert!(report.ok(), "{}", report.summary());
+}
+
+/// D64 semaphore contention stays mutually exclusive while a fiber
+/// cut forces the ring to reroute mid-protocol.
+#[test]
+fn semaphores_stay_exclusive_through_fiber_cut() {
+    let report = Scenario::builder(ClusterConfig::small(6).with_seed(0xC7))
+        .traffic(Traffic::semaphores(vec![1, 2, 3, 4], 8))
+        .fault_in(ms(10), FaultOp::CutFiber(3, 0))
+        .standard_invariants()
+        .settle(ms(40))
+        .build()
+        .run();
+    assert!(report.ok(), "{}", report.summary());
+}
+
+/// The replicated-counter app fails over when its leader crashes:
+/// detection, takeover and recovery all land within the policy's
+/// bounds and no committed increment is lost.
+#[test]
+fn counter_app_fails_over_within_policy() {
+    let report = Scenario::builder(ClusterConfig::small(6).with_seed(0xC8))
+        .traffic(Traffic::counter_failover(vec![(1, 90), (2, 70), (3, 80)]))
+        .traffic(Traffic::ping_pong(0, 4))
+        .fault_in(ms(10), FaultOp::CrashNode(1))
+        .steps(10)
+        .standard_invariants()
+        .build()
+        .run();
+    assert!(report.ok(), "{}", report.summary());
+    assert!(report.roster_episodes >= 2);
+}
+
+/// A cache write storm keeps hammering replicated regions through a
+/// switch failure; all online replicas converge by the end.
+#[test]
+fn cache_storm_converges_through_switch_failure() {
+    let report = Scenario::builder(ClusterConfig::small(8).with_seed(0xC9))
+        .traffic(Traffic::cache_storm())
+        .traffic(Traffic::all_to_all())
+        .fault_in(ms(18), FaultOp::FailSwitch(1))
+        .standard_invariants()
+        .build()
+        .run();
+    assert!(report.ok(), "{}", report.summary());
+}
+
+/// A switch repair mid-run re-expands the healthy topology without
+/// disturbing delivery.
+#[test]
+fn switch_failure_then_repair() {
+    let report = Scenario::builder(ClusterConfig::small(6).with_seed(0xCA))
+        .traffic(Traffic::all_to_all())
+        .fault_in(ms(8), FaultOp::FailSwitch(2))
+        .fault_in(ms(28), FaultOp::RepairSwitch(2))
+        .standard_invariants()
+        .build()
+        .run();
+    assert!(report.ok(), "{}", report.summary());
+    assert_eq!(report.sent, report.delivered);
+}
+
+/// The kitchen sink: crash, fiber cut, error burst and rejoin layered
+/// over four kinds of simultaneous traffic.
+#[test]
+fn layered_fault_storm() {
+    let report = Scenario::builder(ClusterConfig::small(8).with_seed(0xCB))
+        .traffic(Traffic::all_to_all())
+        .traffic(Traffic::cache_storm())
+        .traffic(Traffic::seqlock(0, vec![1, 2]))
+        .traffic(Traffic::ping_pong(6, 7))
+        .fault_in(ms(8), FaultOp::CrashNode(3))
+        .fault_in(ms(16), FaultOp::CutFiber(5, 0))
+        .fault_in(ms(24), FaultOp::ErrorBurst { node: 6, seed: 0xFEED, errors: 4 })
+        .fault_in(ms(40), FaultOp::Rejoin(3))
+        .steps(14)
+        .settle(ms(30))
+        .standard_invariants()
+        .build()
+        .run();
+    assert!(report.ok(), "{}", report.summary());
+    assert!(report.roster_episodes >= 4, "crash + cut + burst + rejoin");
+    assert_eq!(report.sent, report.delivered + report.doomed);
+}
+
+/// The acceptance sweep: a combined node-crash + switch-failure
+/// (partition-style) schedule replayed under 16 seeds. Every seed
+/// must pass every invariant, deterministically.
+#[test]
+fn combined_crash_and_partition_sweep_16_seeds() {
+    let scenario = Scenario::builder(ClusterConfig::small(6).with_seed(0))
+        .traffic(Traffic::all_to_all())
+        .traffic(Traffic::cache_storm())
+        .fault_in(ms(10), FaultOp::CrashNode(4))
+        .fault_in(ms(20), FaultOp::FailSwitch(0))
+        .standard_invariants()
+        .build();
+    let seeds: Vec<u64> = (1..=16).collect();
+    let outcome = scenario.sweep(&seeds);
+    assert!(outcome.ok(), "{}", outcome.summary());
+    assert_eq!(outcome.passed, seeds);
+}
+
+/// Determinism regression: the same `ClusterConfig` and seed produce
+/// bit-identical milestone traces — equal FNV digests — across two
+/// independent runs, fault storm included.
+#[test]
+fn same_seed_same_trace_digest() {
+    let run = || {
+        Scenario::builder(ClusterConfig::small(6).with_seed(0xD5))
+            .traffic(Traffic::all_to_all())
+            .traffic(Traffic::counter_failover(vec![(1, 90), (2, 70), (3, 80)]))
+            .fault_in(ms(10), FaultOp::CrashNode(1))
+            .fault_in(ms(22), FaultOp::FailSwitch(3))
+            .standard_invariants()
+            .build()
+            .run()
+    };
+    let a = run();
+    let b = run();
+    assert!(a.ok(), "{}", a.summary());
+    assert_eq!(a.trace_digest, b.trace_digest, "trace digests must match");
+    assert_eq!(a.sent, b.sent);
+    assert_eq!(a.delivered, b.delivered);
+    assert_eq!(a.doomed, b.doomed);
+    assert_eq!(a.final_epoch, b.final_epoch);
+    assert_eq!(a.final_time, b.final_time);
+}
+
+/// The digest is a real fingerprint: changing the fault schedule
+/// changes the milestone trace, and therefore the digest.
+#[test]
+fn digest_is_sensitive_to_the_fault_schedule() {
+    let digest = |victim: u8| {
+        Scenario::builder(ClusterConfig::small(6).with_seed(0xD6))
+            .traffic(Traffic::all_to_all())
+            .fault_in(ms(10), FaultOp::CrashNode(victim))
+            .standard_invariants()
+            .build()
+            .run()
+            .trace_digest
+    };
+    assert_ne!(digest(2), digest(4), "different storms, different traces");
+}

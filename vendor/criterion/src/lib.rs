@@ -1,0 +1,178 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! The build container cannot reach crates.io, so this workspace
+//! vendors the subset of the criterion API its benches use:
+//! [`Criterion`] with `sample_size`/`bench_function`/`benchmark_group`,
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], [`Throughput`],
+//! [`criterion_group!`]/[`criterion_main!`]. Measurement is a plain
+//! wall-clock mean over `sample_size` iterations — good enough to spot
+//! order-of-magnitude regressions, with none of upstream's statistics.
+
+use std::hint::black_box as bb;
+use std::time::{Duration, Instant};
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Times a single benchmark routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over the configured iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            bb(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` excluding per-iteration `setup`.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            bb(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Set the iteration count per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher { iters: self.sample_size, elapsed: Duration::ZERO };
+        f(&mut b);
+        let per_iter = b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64;
+        println!("bench {id:<40} {per_iter:>12.1} ns/iter ({} iters)", b.iters);
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.to_string() }
+    }
+}
+
+/// A named set of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate throughput (recorded for display only).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.c.run_one(&full, &mut f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Declare a group of benchmark functions (upstream-compatible forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `main` running the given groups. CLI arguments (such as
+/// the `--bench` flag cargo passes) are ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(c: &mut Criterion) {
+        c.bench_function("standalone", |b| b.iter(|| 1u64 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Bytes(64));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.iter().map(|&x| x as u64).sum::<u64>(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(5);
+        targets = work
+    }
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}
