@@ -4,6 +4,10 @@
 //! 8b/10b coding rates, MicroPacket codec throughput, CRC, and the
 //! host seqlock — the pieces a real AmpNet driver would run per packet.
 
+// `to_vec` is deprecated for hot paths; benchmarking the allocating
+// encode against `encode_into` is exactly this file's job.
+#![allow(deprecated)]
+
 use ampnet_cache::host::SeqLockBuffer;
 use ampnet_packet::{build, DmaCtrl, MicroPacket};
 use ampnet_phy::{crc32, Decoder, Encoder, Symbol};
@@ -69,6 +73,17 @@ fn bench_packet_codec(c: &mut Criterion) {
     });
     g.bench_function("decode_dma64", |b| {
         b.iter(|| black_box(MicroPacket::decode(black_box(&dma_bytes)).unwrap()))
+    });
+    // The zero-copy counterparts: encode into a caller-owned word
+    // buffer and decode to a borrowing view.
+    let mut slot = [0u32; 19];
+    let n = dma.encode_into(&mut slot).unwrap();
+    let words = slot[..n].to_vec();
+    g.bench_function("encode_into_dma64", |b| {
+        b.iter(|| black_box(black_box(&dma).encode_into(black_box(&mut slot)).unwrap()))
+    });
+    g.bench_function("decode_ref_dma64", |b| {
+        b.iter(|| black_box(MicroPacket::decode_ref(black_box(&words)).unwrap()))
     });
     g.finish();
 }

@@ -4,11 +4,127 @@
 //! cargo run -p ampnet-bench --release --bin figures          # everything
 //! cargo run -p ampnet-bench --release --bin figures -- E8    # one experiment
 //! cargo run -p ampnet-bench --release --bin figures -- --json out.json
+//! cargo run -p ampnet-bench --release --bin figures -- --bench-ring BENCH_ring.json
 //! ```
+//!
+//! `--bench-ring` runs the data-plane perf baseline: a 6-node segment
+//! under 1.5x all-to-all broadcast, once with the zero-copy frame
+//! arena (the shipping path) and once with the legacy per-hop heap
+//! serialization cost model, counting heap allocations with an
+//! instrumented global allocator. The JSON snapshot is committed so
+//! regressions in per-packet allocation count show up in review.
 
 use ampnet_bench::experiments as ex;
 use ampnet_bench::host_seqlock::e5_host_seqlock;
 use ampnet_bench::report::{tables_to_json, Table};
+use ampnet_ring::{Segment, SegmentParams};
+use ampnet_sim::SimDuration;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every heap allocation (alloc + realloc) made by the process.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to the system allocator; the counter is a
+// relaxed atomic with no allocation of its own.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+struct RingLeg {
+    allocs: u64,
+    delivered: u64,
+    allocs_per_packet: f64,
+    goodput_mbps: f64,
+    tour_p50_ns: u64,
+    tour_p99_ns: u64,
+}
+
+/// One leg of the before/after comparison. `heap_serialize` replays
+/// the pre-arena cost model (decode + heap-serialize on every hop).
+fn ring_leg(heap_serialize: bool) -> RingLeg {
+    let params = SegmentParams {
+        n_nodes: 6,
+        link: ampnet_phy::LinkParams::gigabit(25.0),
+        ..Default::default()
+    };
+    let mut seg = Segment::new(params, 0xBEEF);
+    seg.all_to_all_broadcast(1.5);
+    seg.set_heap_serialize(heap_serialize);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let r = seg.run_for(SimDuration::from_millis(3));
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    RingLeg {
+        allocs,
+        delivered: r.delivered_packets,
+        allocs_per_packet: allocs as f64 / r.delivered_packets.max(1) as f64,
+        goodput_mbps: r.aggregate_goodput_mbps,
+        tour_p50_ns: r.tour_latency.p50(),
+        tour_p99_ns: r.tour_latency.quantile(0.99),
+    }
+}
+
+fn leg_json(leg: &RingLeg) -> String {
+    format!(
+        concat!(
+            "{{\"allocs\": {}, \"delivered_packets\": {}, ",
+            "\"allocs_per_packet\": {:.4}, \"goodput_mbps\": {:.3}, ",
+            "\"tour_p50_ns\": {}, \"tour_p99_ns\": {}}}"
+        ),
+        leg.allocs,
+        leg.delivered,
+        leg.allocs_per_packet,
+        leg.goodput_mbps,
+        leg.tour_p50_ns,
+        leg.tour_p99_ns,
+    )
+}
+
+fn bench_ring(path: &str) {
+    // Warm-up leg absorbs one-time lazy init (thread-locals, stdout
+    // buffers) so neither measured leg is charged for it.
+    let _ = ring_leg(false);
+    let arena = ring_leg(false);
+    let heap = ring_leg(true);
+    let reduction_pct = if heap.allocs_per_packet > 0.0 {
+        100.0 * (1.0 - arena.allocs_per_packet / heap.allocs_per_packet)
+    } else {
+        0.0
+    };
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"ring_all_to_all\",\n",
+            "  \"nodes\": 6,\n  \"offered_load\": 1.5,\n",
+            "  \"duration_ms\": 3,\n",
+            "  \"arena\": {},\n",
+            "  \"heap_serialize\": {},\n",
+            "  \"alloc_reduction_pct\": {:.2}\n}}\n"
+        ),
+        leg_json(&arena),
+        leg_json(&heap),
+        reduction_pct,
+    );
+    std::fs::write(path, &json).expect("write bench json");
+    print!("{json}");
+    println!("wrote {path}");
+}
 
 fn all_tables(quick: bool) -> Vec<Table> {
     let trials = if quick { 100 } else { 400 };
@@ -34,6 +150,14 @@ fn all_tables(quick: bool) -> Vec<Table> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--bench-ring") {
+        let path = args
+            .get(i + 1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_ring.json");
+        bench_ring(path);
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let json_path = args
         .iter()

@@ -234,6 +234,8 @@ fn schedule_faults(cluster: &mut Cluster, sc: &Scenario) -> Vec<(SimTime, u8)> {
                 );
             }
             FaultOp::ErrorBurst { node, seed, errors } => {
+                // Addressed at the victim's PHY plane: the NodeStack's
+                // 8b/10b checker decides whether this escalates.
                 cluster.schedule_error_burst(at, node, seed, errors);
             }
         }

@@ -5,6 +5,13 @@ use ampnet_core::{ClusterConfig, FailoverPolicy, RecordLayout, SemaphoreAddr, Si
 use std::rc::Rc;
 
 /// One fault operation the engine can inject.
+///
+/// Faults address the layer where the real failure would occur:
+/// `CrashNode`/`FailSwitch`/`CutFiber` hit the physical plant (the
+/// topology loses a component and rostering heals around it), while
+/// `ErrorBurst` is injected at the victim node's **PHY plane** — the
+/// `ampnet-ring` `NodeStack` assesses it with the 8b/10b checker and
+/// only a detected burst escalates into a topology-level link failure.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultOp {
     /// Power off a node (its traffic is doomed until it rejoins).
@@ -20,8 +27,9 @@ pub enum FaultOp {
     RepairSwitch(u8),
     /// Re-assimilate a crashed node (DK join, cache refresh, roster).
     Rejoin(u8),
-    /// Phy-level bit-error burst on a node's receive fiber: `errors`
-    /// single-bit corruptions replayable from `seed`.
+    /// Bit-error burst delivered to the victim's PHY plane (`errors`
+    /// single-bit corruptions replayable from `seed`); escalation is
+    /// the plane's own 8b/10b verdict, not the scenario's decision.
     ErrorBurst {
         /// Victim node.
         node: u8,

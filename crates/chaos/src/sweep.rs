@@ -98,7 +98,7 @@ fn shrink(failing: &Scenario) -> (Vec<FaultEvent>, RunReport) {
             }
         }
         if !improved {
-            return (current.faults.clone(), best);
+            return (current.faults, best);
         }
     }
 }

@@ -2,28 +2,32 @@
 //! discrete-event simulation.
 //!
 //! A [`Cluster`] owns the physical plant (`ampnet-topo`), one node
-//! context per host (ring MAC, network cache replica, message
-//! endpoints, semaphore client, DK lifecycle) and the global event
-//! loop. Failures injected into the plant trigger detection and
-//! rostering exactly as slides 16/18 describe; while the ring heals,
-//! traffic pauses, and sources replay their unacknowledged packets
-//! afterwards (slide 18's smart data recovery).
+//! context per host (layered ring data-plane, network cache replica,
+//! message endpoints, semaphore client, DK lifecycle) and the global
+//! event loop. The per-node data-plane is an `ampnet-ring`
+//! [`NodeStack`] (PhyPort → InsertionMac → DeliveryPlane) fed from a
+//! cluster-owned [`FrameArena`]: each packet is serialized once at its
+//! source and hops move pooled frame handles. Failures injected into
+//! the plant trigger detection and rostering exactly as slides 16/18
+//! describe (see `membership.rs`); while the ring heals, traffic
+//! pauses, and sources replay their unacknowledged packets afterwards
+//! (slide 18's smart data recovery). The hop-by-hop machinery lives in
+//! `transport.rs`.
 
 use crate::config::ClusterConfig;
 use crate::observe::ObservedEvent;
-use ampnet_cache::atomics;
 use ampnet_cache::seqlock_msg::{self, ReadOutcome, RecordLayout};
-use ampnet_cache::{NetworkCache, SemaphoreAction, SemaphoreClient};
-use ampnet_dk::{assimilate, AssimilationFailure, JoinRequest};
+use ampnet_cache::{NetworkCache, SemaphoreClient};
+use ampnet_dk::{AssimilationFailure, JoinRequest};
 use ampnet_packet::build::{self, InterruptPayload};
-use ampnet_packet::{MicroPacket, PacketType};
-use ampnet_ring::{ArrivalAction, RingNode, TxChoice};
-use ampnet_roster::{initial_rostering, run_rostering, RosterOutcome, RosterSkip};
+use ampnet_packet::{FrameArena, FrameRef, MicroPacket};
+use ampnet_ring::{HostQueues, NodeStack, RegisterMac, SerialPhy};
+use ampnet_roster::{initial_rostering, RosterOutcome};
 use ampnet_services::msg::{Datagram, MsgRx, MsgTx};
-use ampnet_services::socket::{AmpIp, Received, SockAddr, SocketError, AMPIP_STREAM};
-use ampnet_services::threads::{TaskKind, TaskTable, THREAD_VECTOR};
+use ampnet_services::socket::{AmpIp, Received, SockAddr, SocketError};
+use ampnet_services::threads::{TaskKind, TaskTable};
 use ampnet_sim::{Level, Sim, SimDuration, SimTime, Trace};
-use ampnet_topo::montecarlo::{apply as apply_failure, Component};
+use ampnet_topo::montecarlo::Component;
 use ampnet_topo::{LogicalRing, NodeId, Topology};
 use std::collections::VecDeque;
 
@@ -51,7 +55,8 @@ pub struct RosterEvent {
 
 /// Per-node composite state.
 pub(crate) struct NodeCtx {
-    pub(crate) mac: RingNode,
+    /// The layered data-plane (PHY / insertion MAC / host delivery).
+    pub(crate) stack: NodeStack<SerialPhy, RegisterMac, HostQueues>,
     pub(crate) cache: NetworkCache,
     pub(crate) online: bool,
     pub(crate) msg_tx: MsgTx,
@@ -76,7 +81,7 @@ pub(crate) struct NodeCtx {
 
 #[derive(Debug)]
 pub(crate) enum Ev {
-    Arrival { epoch: u64, node: u8, pkt: MicroPacket },
+    Arrival { epoch: u64, node: u8, frame: FrameRef },
     TxDone { epoch: u64, node: u8 },
     Retry { node: u8 },
     Fail(Component),
@@ -110,29 +115,33 @@ pub struct Cluster {
     pub(crate) epoch: u64,
     pub(crate) sim: Sim<Ev>,
     pub(crate) nodes: Vec<NodeCtx>,
+    /// Pooled wire frames shared by every node's data-plane.
+    pub(crate) arena: FrameArena,
     pub(crate) tx_busy: Vec<bool>,
-    retry_pending: Vec<bool>,
-    pending_roster: Option<(RosterReason, RosterOutcome)>,
-    history: Vec<RosterEvent>,
-    rejections: Vec<(u8, AssimilationFailure)>,
+    pub(crate) retry_pending: Vec<bool>,
+    pub(crate) pending_roster: Option<(RosterReason, RosterOutcome)>,
+    pub(crate) history: Vec<RosterEvent>,
+    pub(crate) rejections: Vec<(u8, AssimilationFailure)>,
     /// Position of each node in the current ring (usize::MAX = not a
     /// member).
-    ring_pos: Vec<usize>,
+    pub(crate) ring_pos: Vec<usize>,
     pub(crate) apps: crate::apps::AppState,
     pub(crate) diag: crate::diagnostics::DiagState,
     pub(crate) trace: Trace,
     /// AmpThreads task table (enabled by `enable_threads`).
-    task_table: Option<TaskTable>,
+    pub(crate) task_table: Option<TaskTable>,
     /// Instant the ring last went down (replay-window anchor).
-    ring_down_at: SimTime,
+    pub(crate) ring_down_at: SimTime,
     /// Background sweep interval (None = disabled).
-    sweep_interval: Option<SimDuration>,
+    pub(crate) sweep_interval: Option<SimDuration>,
     /// Spare faults found by the background sweep: (found at, component).
-    spare_faults: Vec<(SimTime, Component)>,
+    pub(crate) spare_faults: Vec<(SimTime, Component)>,
     /// Spare faults already reported (avoid duplicates).
-    known_spare_faults: std::collections::HashSet<String>,
+    pub(crate) known_spare_faults: std::collections::HashSet<String>,
     /// Journal of externally visible transitions (see `observe.rs`).
-    observations: Vec<(SimTime, ObservedEvent)>,
+    pub(crate) observations: Vec<(SimTime, ObservedEvent)>,
+    /// Reusable same-instant event batch (allocated once).
+    batch: Vec<(SimTime, Ev)>,
 }
 
 impl Cluster {
@@ -140,6 +149,7 @@ impl Cluster {
     /// for (the ring is up after its two tours).
     pub fn new(cfg: ClusterConfig) -> Self {
         let topo = Topology::redundant(cfg.n_nodes, cfg.n_switches, cfg.fiber_length_m);
+        let nominal_link = cfg.timing.link(cfg.fiber_length_m);
         let nodes = (0..cfg.n_nodes)
             .map(|i| {
                 let mut cache = NetworkCache::new(i as u8);
@@ -147,7 +157,11 @@ impl Cluster {
                     cache.define_region(region, size).expect("unique regions");
                 }
                 NodeCtx {
-                    mac: RingNode::new(i as u8, cfg.mac),
+                    stack: NodeStack::new(
+                        SerialPhy::new(nominal_link, cfg.timing.node_latency),
+                        RegisterMac::new(i as u8, cfg.mac),
+                        HostQueues::retaining(cfg.n_nodes),
+                    ),
                     cache,
                     online: true,
                     msg_tx: MsgTx::new(i as u8),
@@ -174,6 +188,7 @@ impl Cluster {
             epoch: 1,
             sim,
             nodes,
+            arena: FrameArena::new(),
             tx_busy: vec![false; n],
             retry_pending: vec![false; n],
             pending_roster: Some((RosterReason::Boot, boot)),
@@ -189,6 +204,7 @@ impl Cluster {
             spare_faults: vec![],
             known_spare_faults: Default::default(),
             observations: vec![],
+            batch: vec![],
             cfg,
         };
         cluster.ring_pos = vec![usize::MAX; cluster.cfg.n_nodes];
@@ -202,11 +218,21 @@ impl Cluster {
         self.sim.now()
     }
 
-    /// Run the event loop until `deadline`.
+    /// Run the event loop until `deadline`. Events are dispatched in
+    /// same-instant batches; the order is identical to one-at-a-time
+    /// popping (see [`Sim::pop_batch`]).
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some((_, ev)) = self.sim.pop_next(deadline) {
-            self.handle(ev);
+        let mut batch = std::mem::take(&mut self.batch);
+        loop {
+            batch.clear();
+            if self.sim.pop_batch(deadline, &mut batch) == 0 {
+                break;
+            }
+            for (_, ev) in batch.drain(..) {
+                self.handle(ev);
+            }
         }
+        self.batch = batch;
     }
 
     /// Run the event loop for `d` more simulated time.
@@ -277,9 +303,17 @@ impl Cluster {
         &self.topo
     }
 
+    /// The shared frame pool (occupancy/reuse statistics).
+    pub fn arena(&self) -> &FrameArena {
+        &self.arena
+    }
+
     /// Sum of `would_drop` across all MACs — the paper says always 0.
     pub fn total_drops(&self) -> u64 {
-        self.nodes.iter().map(|n| n.mac.stats().would_drop).sum()
+        self.nodes
+            .iter()
+            .map(|n| n.stack.mac.stats().would_drop)
+            .sum()
     }
 
     /// Is the node online (assimilated and alive)?
@@ -350,42 +384,6 @@ impl Cluster {
         &self.spare_faults
     }
 
-    fn run_diag_sweep(&mut self) {
-        let Some(interval) = self.sweep_interval else {
-            return;
-        };
-        let now = self.sim.now();
-        // Scan: failed links/switches that are not on the current ring
-        // (ring faults trigger rostering through loss of light).
-        let mut found: Vec<Component> = vec![];
-        for s in self.topo.switch_ids() {
-            if !self.topo.switch_alive(s) {
-                found.push(Component::Switch(s));
-            }
-        }
-        for n in self.topo.node_ids() {
-            for s in self.topo.switch_ids() {
-                if let Some(l) = self.topo.link(n, s) {
-                    if !l.up {
-                        found.push(Component::Link(n, s));
-                    }
-                }
-            }
-        }
-        for c in found {
-            let key = format!("{c:?}");
-            if self.known_spare_faults.insert(key) {
-                self.log(
-                    Level::Warn,
-                    "diag",
-                    format!("background sweep found failed spare {c:?}"),
-                );
-                self.spare_faults.push((now, c));
-            }
-        }
-        self.sim.schedule_in(interval, Ev::DiagSweep);
-    }
-
     /// Enable AmpThreads: the task table lives in `region` (must be a
     /// configured cache region of at least `slots × 16` bytes); thread
     /// doorbell interrupts then execute automatically at their target.
@@ -420,40 +418,6 @@ impl Cluster {
         }
         self.kick(node);
         Some(result)
-    }
-
-    /// A THREAD_VECTOR doorbell arrived: run the task against this
-    /// node's replica and publish the result. The doorbell is an
-    /// urgent cell and can overtake the task-entry DMA packets, so a
-    /// miss re-checks after a short delay (bounded retries).
-    fn on_thread_interrupt(&mut self, node: u8, slot: u32) {
-        self.try_thread_execute(node, slot, 0);
-    }
-
-    fn try_thread_execute(&mut self, node: u8, slot: u32, tries: u8) {
-        let Some(table) = self.task_table else {
-            return;
-        };
-        match table.execute(&mut self.nodes[node as usize].cache, slot) {
-            Ok(Some((_result, pkts, completion))) => {
-                for p in pkts {
-                    self.enqueue_own(node, p);
-                }
-                self.enqueue_own(node, completion);
-                self.kick(node);
-            }
-            _ if tries < 10 => {
-                self.sim.schedule_in(
-                    SimDuration::from_micros(5),
-                    Ev::ThreadRetry {
-                        node,
-                        slot,
-                        tries: tries + 1,
-                    },
-                );
-            }
-            _ => {} // entry never materialized; drop the doorbell
-        }
     }
 
     /// Bind an AmpIP port at `node`.
@@ -527,7 +491,7 @@ impl Cluster {
         seqlock_msg::try_read(&self.nodes[node as usize].cache, layout).expect("valid layout")
     }
 
-    // ----- fault injection and membership -----
+    // ----- fault injection scheduling -----
 
     /// Schedule a component failure.
     pub fn schedule_failure(&mut self, at: SimTime, c: Component) {
@@ -560,538 +524,5 @@ impl Cluster {
     pub fn schedule_error_burst(&mut self, at: SimTime, node: u8, seed: u64, errors: u32) {
         assert!((node as usize) < self.cfg.n_nodes, "no such node");
         self.sim.schedule_at(at, Ev::ErrorBurst { node, seed, errors });
-    }
-
-    fn apply_error_burst(&mut self, node: u8, seed: u64, errors: u32) {
-        use ampnet_phy::{Decoder, Encoder, ErrorBurst, Symbol};
-        // The deserializer sees a window of inter-frame fill while the
-        // burst is active; corrupt it and count violations the way the
-        // NIU's 8b/10b checker does. A disparity slip may surface a few
-        // groups late — scanning the whole window models that.
-        let mut burst = ErrorBurst::new(seed, errors);
-        let mut enc = Encoder::new();
-        let mut dec = Decoder::new();
-        let mut detected = 0u32;
-        let window = (errors as usize).max(1) * 4;
-        for i in 0..window {
-            let byte = (i % 251) as u8;
-            let clean = enc.encode(Symbol::Data(byte)).expect("data encodes");
-            let wire = if i % 4 == 0 {
-                burst.corrupt_group(clean)
-            } else {
-                clean
-            };
-            match dec.decode(wire) {
-                Ok(sym) if sym == Symbol::Data(byte) => {}
-                _ => detected += 1,
-            }
-        }
-        self.observe(ObservedEvent::ErrorBurst { node, errors, detected });
-        self.log(
-            Level::Warn,
-            "phy",
-            format!("node {node}: bit-error burst, {errors} injected, {detected} violations"),
-        );
-        let pos = self.ring_pos[node as usize];
-        if detected == 0 || !self.ring_up || pos == usize::MAX || self.ring.order.len() < 2 {
-            // Nothing detectable, or the lasers are already down /
-            // re-syncing: the burst changes nothing.
-            self.observe(ObservedEvent::ErrorBurstAbsorbed { node });
-            return;
-        }
-        // Loss-of-sync on the incoming fiber: the link from the
-        // upstream hop switch into this node is declared dead.
-        let n = self.ring.order.len();
-        let sw = self.ring.hops[(pos + n - 1) % n];
-        let link = Component::Link(NodeId(node), sw);
-        self.observe(ObservedEvent::ErrorBurstEscalated { node, link });
-        self.log(
-            Level::Warn,
-            "phy",
-            format!("node {node}: burst escalated, {link:?} lost sync"),
-        );
-        self.inject_failure(link);
-    }
-
-    // ----- internals: transport -----
-
-    pub(crate) fn enqueue_own(&mut self, node: u8, pkt: MicroPacket) {
-        let stream = pkt.ctrl.tag % self.cfg.mac.n_streams as u8;
-        if pkt.ctrl.flags.contains(ampnet_packet::Flags::URGENT) {
-            self.nodes[node as usize].mac.enqueue_urgent(pkt);
-        } else {
-            self.nodes[node as usize].mac.enqueue_own(stream, pkt);
-        }
-    }
-
-    fn ring_successor(&self, node: u8) -> Option<(u8, f64)> {
-        let pos = self.ring_pos[node as usize];
-        if pos == usize::MAX || self.ring.order.is_empty() {
-            return None;
-        }
-        let n = self.ring.order.len();
-        let v = self.ring.order[(pos + 1) % n];
-        let s = self.ring.hops[pos];
-        let lu = self.topo.link(NodeId(node), s).map(|l| l.length_m)?;
-        let lv = self.topo.link(v, s).map(|l| l.length_m)?;
-        Some((v.0, lu + lv))
-    }
-
-    pub(crate) fn kick(&mut self, node: u8) {
-        let i = node as usize;
-        if !self.ring_up || !self.nodes[i].online || self.tx_busy[i] {
-            return;
-        }
-        let Some((succ, fiber_m)) = self.ring_successor(node) else {
-            return;
-        };
-        let now = self.sim.now();
-        match self.nodes[i].mac.next_tx(now) {
-            Some(TxChoice { packet, own, .. }) => {
-                if own {
-                    if packet.ctrl.is_broadcast() {
-                        self.nodes[i].outstanding.push(packet.clone());
-                    } else {
-                        self.nodes[i].outstanding_unicast.push((now, packet.clone()));
-                    }
-                }
-                let link = self.cfg.timing.link(fiber_m);
-                let ser = link.serialize_time(packet.wire_bytes());
-                let latency = ser + link.propagation() + self.cfg.timing.node_latency;
-                self.tx_busy[i] = true;
-                let epoch = self.epoch;
-                self.sim.schedule_in(ser, Ev::TxDone { epoch, node });
-                self.sim.schedule_in(
-                    latency,
-                    Ev::Arrival {
-                        epoch,
-                        node: succ,
-                        pkt: packet,
-                    },
-                );
-            }
-            None => {
-                if self.nodes[i].mac.streams_ref().has_traffic() && !self.retry_pending[i] {
-                    let at = self.nodes[i].mac.next_insert_allowed().max(now);
-                    if at > now {
-                        self.retry_pending[i] = true;
-                        self.sim.schedule_at(at, Ev::Retry { node });
-                    }
-                }
-            }
-        }
-    }
-
-    fn kick_all(&mut self) {
-        for node in 0..self.cfg.n_nodes as u8 {
-            self.kick(node);
-        }
-    }
-
-    /// One quiet roster-speed tour (for unicast replay expiry).
-    fn quiet_tour(&self) -> SimDuration {
-        let n = self.ring.order.len().max(1) as u64;
-        let link = self.cfg.timing.link(self.cfg.fiber_length_m * 2.0);
-        (link.serialize_time(84) + link.propagation() + self.cfg.timing.node_latency)
-            .saturating_mul(n)
-    }
-
-    // ----- internals: packet dispatch -----
-
-    fn dispatch(&mut self, node: u8, pkt: MicroPacket) {
-        let i = node as usize;
-        match pkt.ctrl.ptype {
-            PacketType::Dma => {
-                if MsgRx::is_message(&pkt) {
-                    if let Some(d) = self.nodes[i].msg_rx.on_packet(&pkt) {
-                        if d.stream == AMPIP_STREAM {
-                            self.nodes[i].ampip.on_datagram(d);
-                        } else if !self.try_collective(node, d.stream, &d.payload) {
-                            self.nodes[i].inbox.push_back(d);
-                        }
-                    }
-                } else {
-                    // Cache update; tolerate regions this replica has
-                    // not defined (e.g. a node that joined later).
-                    let _ = self.nodes[i].cache.apply_packet(&pkt);
-                    crate::apps::on_cache_update(self, node, &pkt);
-                }
-            }
-            PacketType::Data => {
-                // Raw data cells: surfaced via the interrupt-style
-                // inbox as 8-byte datagrams.
-                self.nodes[i].inbox.push_back(Datagram {
-                    src: pkt.ctrl.src,
-                    stream: pkt.ctrl.tag,
-                    payload: pkt.fixed_payload().to_vec(),
-                });
-            }
-            PacketType::D64Atomic => {
-                if pkt.ctrl.flags.contains(ampnet_packet::Flags::RESPONSE) {
-                    self.on_atomic_response(node, &pkt);
-                } else if let Some(req) = build::parse_atomic_request(&pkt) {
-                    let requester = pkt.ctrl.src;
-                    if let Ok(effect) =
-                        atomics::execute(&mut self.nodes[i].cache, requester, req)
-                    {
-                        self.enqueue_own(node, effect.response);
-                        for u in effect.updates {
-                            self.enqueue_own(node, u);
-                        }
-                        self.kick(node);
-                    }
-                }
-            }
-            PacketType::Interrupt => {
-                if let Some(ip) = build::parse_interrupt(&pkt) {
-                    if ip.vector == THREAD_VECTOR && self.task_table.is_some() {
-                        self.on_thread_interrupt(node, ip.cookie as u32);
-                    } else {
-                        self.nodes[i].interrupts.push_back(ip);
-                    }
-                }
-            }
-            PacketType::Diagnostic | PacketType::Rostering => {
-                // Rostering runs out-of-band (see inject_failure);
-                // diagnostics echo handled at the app layer.
-            }
-        }
-    }
-
-    /// Send a semaphore protocol packet and arm its retransmission
-    /// timer. The tagged D64 operations are idempotent, so a spurious
-    /// resend (packet survived after all) is harmless.
-    pub(crate) fn sem_send(&mut self, node: u8, pkt: MicroPacket) {
-        let i = node as usize;
-        self.nodes[i].sem_seq += 1;
-        let seq = self.nodes[i].sem_seq;
-        self.enqueue_own(node, pkt);
-        self.kick(node);
-        self.sim.schedule_in(
-            SimDuration::from_micros(500),
-            Ev::SemTimeout { node, seq },
-        );
-    }
-
-    fn on_atomic_response(&mut self, node: u8, pkt: &MicroPacket) {
-        let now = self.sim.now();
-        let i = node as usize;
-        if self.nodes[i].sem.is_some() {
-            // Any response settles the in-flight request: invalidate
-            // the pending retransmission timer.
-            self.nodes[i].sem_seq += 1;
-            let sem = self.nodes[i].sem.as_mut().expect("checked");
-            match sem.on_response(now, pkt) {
-                SemaphoreAction::Send(p) => {
-                    self.sem_send(node, p);
-                }
-                SemaphoreAction::WaitUntil(t) => {
-                    self.sim.schedule_at(t, Ev::SemPoll { node });
-                }
-                SemaphoreAction::None => {
-                    crate::apps::on_sem_transition(self, node);
-                }
-            }
-        }
-    }
-
-    // ----- internals: failure / rostering -----
-
-    fn inject_failure(&mut self, c: Component) {
-        crate::diagnostics::abandon_if_running(self);
-        self.observe(ObservedEvent::FailureInjected(c));
-        apply_failure(&mut self.topo, c);
-        if let Component::Node(n) = c {
-            self.nodes[n.0 as usize].online = false;
-            crate::apps::on_node_death(self, n.0);
-        }
-        let now = self.sim.now();
-        match run_rostering(&self.topo, &self.ring, c, now, self.epoch, &self.cfg.timing.roster)
-        {
-            Ok(outcome) => {
-                self.ring_up = false;
-                self.ring_down_at = now;
-                self.epoch = outcome.epoch;
-                self.log(
-                    Level::Warn,
-                    "roster",
-                    format!(
-                        "{c:?} failed; epoch {} rostering, ETA {}",
-                        outcome.epoch, outcome.completed_at
-                    ),
-                );
-                self.sim.schedule_at(
-                    outcome.completed_at,
-                    Ev::RingRestored {
-                        epoch: outcome.epoch,
-                    },
-                );
-                self.pending_roster = Some((RosterReason::Failure(c), outcome));
-                self.observe(ObservedEvent::RosterStarted { epoch: self.epoch });
-            }
-            Err(RosterSkip::SpareComponent) => {
-                self.log(
-                    Level::Info,
-                    "roster",
-                    format!("{c:?} failed but is spare; ring unaffected"),
-                );
-                self.observe(ObservedEvent::SpareFault(c));
-            }
-            Err(RosterSkip::NoSurvivors) => {
-                self.ring_up = false;
-                self.ring = LogicalRing::empty();
-                self.ring_pos.fill(usize::MAX);
-                self.log(Level::Warn, "roster", format!("{c:?} failed; no survivors"));
-                self.observe(ObservedEvent::NoSurvivors(c));
-            }
-        }
-    }
-
-    fn install_ring(&mut self, outcome: &RosterOutcome) {
-        self.ring = outcome.ring.clone();
-        self.ring_pos.fill(usize::MAX);
-        for (pos, n) in self.ring.order.iter().enumerate() {
-            self.ring_pos[n.0 as usize] = pos;
-        }
-    }
-
-    fn restore_ring(&mut self, epoch: u64) {
-        if epoch != self.epoch {
-            return; // superseded by a newer episode
-        }
-        let Some((reason, outcome)) = self.pending_roster.take() else {
-            return;
-        };
-        self.install_ring(&outcome);
-        self.log(
-            Level::Info,
-            "roster",
-            format!(
-                "epoch {} live: {} nodes in {:.2} ring tours ({:?})",
-                epoch,
-                outcome.ring.len(),
-                outcome.recovery_in_tours(),
-                reason
-            ),
-        );
-        self.history.push(RosterEvent {
-            reason,
-            outcome,
-        });
-        self.observe(ObservedEvent::RingRestored {
-            epoch,
-            ring_len: self.ring.len(),
-        });
-        self.ring_up = true;
-        self.tx_busy.fill(false);
-        self.retry_pending.fill(false);
-        // Smart data recovery: every surviving member replays its
-        // unacknowledged traffic (idempotent at the receivers). A
-        // unicast is possibly-lost — and therefore replayed — if it
-        // was inserted within two quiet tours of the instant the ring
-        // went down; anything older had certainly been delivered. The
-        // outage duration itself must not count against the window.
-        let expiry = self.quiet_tour().saturating_mul(2);
-        let replay_after = self.ring_down_at - expiry.min(SimDuration::from_nanos(self.ring_down_at.as_nanos()));
-        for i in 0..self.nodes.len() {
-            if !self.nodes[i].online {
-                self.nodes[i].outstanding.clear();
-                self.nodes[i].outstanding_unicast.clear();
-                continue;
-            }
-            let replay: Vec<MicroPacket> = self.nodes[i].outstanding.drain(..).collect();
-            let unicast: Vec<(SimTime, MicroPacket)> =
-                self.nodes[i].outstanding_unicast.drain(..).collect();
-            for p in replay {
-                self.enqueue_own(i as u8, p);
-            }
-            for (t, p) in unicast {
-                if t >= replay_after {
-                    self.enqueue_own(i as u8, p);
-                }
-            }
-        }
-        self.kick_all();
-        self.start_certification();
-        crate::apps::on_ring_restored(self);
-    }
-
-    /// Restore a failed switch or fiber. A repair that would let a
-    /// strictly larger ring exist (some node was excluded) triggers a
-    /// roster episode to capture the capacity; otherwise it silently
-    /// returns the component to the spare pool.
-    fn apply_repair(&mut self, c: Component) {
-        match c {
-            Component::Switch(s) => self.topo.restore_switch(s),
-            Component::Link(n, s) => self.topo.restore_link(n, s),
-            Component::Node(_) => return,
-        }
-        self.log(
-            Level::Info,
-            "repair",
-            format!("{c:?} repaired"),
-        );
-        self.observe(ObservedEvent::RepairApplied(c));
-        let best = ampnet_topo::largest_ring(&self.topo);
-        if best.len() > self.ring.len() && self.ring_up {
-            // Re-roster to absorb the recovered capacity.
-            if let Ok(mut outcome) = initial_rostering(&self.topo, &self.cfg.timing.roster) {
-                let now = self.sim.now();
-                self.epoch += 1;
-                outcome.epoch = self.epoch;
-                outcome.failed_at = now;
-                let cost = outcome.explore_time + outcome.commit_time;
-                outcome.completed_at = now + cost;
-                self.ring_up = false;
-                self.sim
-                    .schedule_at(outcome.completed_at, Ev::RingRestored { epoch: self.epoch });
-                self.pending_roster = Some((RosterReason::Repair(c), outcome));
-            }
-        }
-    }
-
-    fn handle_join(&mut self, node: u8, req: JoinRequest) {
-        let cache_bytes: u64 = self
-            .cfg
-            .cache_regions
-            .iter()
-            .map(|&(_, sz)| sz as u64)
-            .sum();
-        match assimilate(req, self.cfg.compat, cache_bytes, &self.cfg.timing.assimilation) {
-            Ok(timeline) => {
-                // The node becomes ring-eligible (lasers up, conforming
-                // to the assimilation rules) only when it comes online.
-                self.sim
-                    .schedule_in(timeline.total(), Ev::NodeOnline { node });
-            }
-            Err(f) => {
-                self.rejections.push((node, f));
-                self.observe(ObservedEvent::JoinRejected(node));
-            }
-        }
-    }
-
-    fn handle_node_online(&mut self, node: u8) {
-        self.topo.restore_node(NodeId(node));
-        // Cache refresh completed (time already charged): copy the
-        // sponsor's replica. The packet-level protocol is validated in
-        // ampnet-cache::refresh.
-        let sponsor = (0..self.nodes.len())
-            .find(|&i| i != node as usize && self.nodes[i].online);
-        if let Some(s) = sponsor {
-            let snapshot = self.nodes[s].cache.clone();
-            let me = &mut self.nodes[node as usize];
-            let id = me.cache.node();
-            me.cache = snapshot;
-            // Re-home the replica.
-            let mut rehomed = NetworkCache::new(id);
-            for region in me.cache.region_ids() {
-                let size = me.cache.region_size(region).expect("listed");
-                rehomed.define_region(region, size).expect("fresh");
-                let data = me.cache.read(region, 0, size).expect("whole region");
-                let _ = rehomed.write(region, 0, data, 0, 0);
-            }
-            me.cache = rehomed;
-        }
-        self.nodes[node as usize].online = true;
-        self.observe(ObservedEvent::NodeOnline(node));
-        // Extend the ring: a join-triggered roster episode.
-        if let Ok(mut outcome) = initial_rostering(&self.topo, &self.cfg.timing.roster) {
-            let now = self.sim.now();
-            self.epoch += 1;
-            outcome.epoch = self.epoch;
-            outcome.failed_at = now;
-            let cost = outcome.explore_time + outcome.commit_time;
-            outcome.completed_at = now + cost;
-            self.ring_up = false;
-            self.sim
-                .schedule_at(outcome.completed_at, Ev::RingRestored { epoch: self.epoch });
-            self.pending_roster = Some((RosterReason::Join(NodeId(node)), outcome));
-        }
-    }
-
-    // ----- the event handler -----
-
-    fn handle(&mut self, ev: Ev) {
-        match ev {
-            Ev::Arrival { epoch, node, pkt } => {
-                if epoch != self.epoch || !self.nodes[node as usize].online {
-                    return; // packet lost in a ring reconfiguration
-                }
-                let now = self.sim.now();
-                match self.nodes[node as usize].mac.on_arrival(now, pkt) {
-                    ArrivalAction::Deliver(p) => self.dispatch(node, p),
-                    ArrivalAction::DeliverAndForward(p) => self.dispatch(node, p),
-                    ArrivalAction::Strip => {
-                        crate::apps::on_strip(self, node);
-                        // Retire the acknowledged broadcast.
-                        if !self.nodes[node as usize].outstanding.is_empty() {
-                            let acked = self.nodes[node as usize].outstanding.remove(0);
-                            self.on_diag_strip(node, &acked);
-                        }
-                    }
-                    ArrivalAction::Forward => {}
-                }
-                // Expire confirmed unicasts (anything older than two
-                // tours has certainly reached its destination).
-                let expiry = self.quiet_tour().saturating_mul(2);
-                let now = self.sim.now();
-                self.nodes[node as usize]
-                    .outstanding_unicast
-                    .retain(|(t, _)| now.saturating_since(*t) <= expiry);
-                self.kick(node);
-            }
-            Ev::TxDone { epoch, node } => {
-                if epoch != self.epoch {
-                    return;
-                }
-                self.tx_busy[node as usize] = false;
-                self.kick(node);
-            }
-            Ev::Retry { node } => {
-                self.retry_pending[node as usize] = false;
-                self.kick(node);
-            }
-            Ev::Fail(c) => self.inject_failure(c),
-            Ev::Repair(c) => self.apply_repair(c),
-            Ev::RingRestored { epoch } => self.restore_ring(epoch),
-            Ev::Join { node, req } => self.handle_join(node, req),
-            Ev::NodeOnline { node } => self.handle_node_online(node),
-            Ev::SemPoll { node } => {
-                let now = self.sim.now();
-                if let Some(sem) = self.nodes[node as usize].sem.as_mut() {
-                    match sem.poll(now) {
-                        SemaphoreAction::Send(p) => {
-                            self.sem_send(node, p);
-                        }
-                        SemaphoreAction::WaitUntil(t) => {
-                            self.sim.schedule_at(t, Ev::SemPoll { node });
-                        }
-                        SemaphoreAction::None => {}
-                    }
-                }
-            }
-            Ev::SemTimeout { node, seq } => {
-                let i = node as usize;
-                if self.nodes[i].sem_seq != seq || !self.nodes[i].online {
-                    return; // settled or superseded
-                }
-                if let Some(pkt) = self.nodes[i].sem.as_ref().and_then(|s| s.resend()) {
-                    self.sem_send(node, pkt);
-                }
-            }
-            Ev::SemCritDone { node } => crate::apps::on_crit_done(self, node),
-            Ev::CounterTick => crate::apps::on_counter_tick(self),
-            Ev::FailoverPoll { node } => crate::apps::on_failover_poll(self, node),
-            Ev::SeqWriterTick => crate::apps::on_seq_writer_tick(self),
-            Ev::SeqReaderTick { node } => crate::apps::on_seq_reader_tick(self, node),
-            Ev::ThreadRetry { node, slot, tries } => {
-                if self.nodes[node as usize].online {
-                    self.try_thread_execute(node, slot, tries);
-                }
-            }
-            Ev::DiagSweep => self.run_diag_sweep(),
-            Ev::ErrorBurst { node, seed, errors } => self.apply_error_burst(node, seed, errors),
-        }
     }
 }

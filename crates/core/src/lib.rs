@@ -31,8 +31,10 @@ mod cluster;
 mod collectives;
 mod config;
 mod diagnostics;
+mod membership;
 mod multiseg;
 mod observe;
+mod transport;
 
 pub use apps::{
     CounterAppConfig, CounterAppReport, ResumeRecord, SemStressConfig, SemStressReport,

@@ -1,0 +1,304 @@
+//! Cluster control-plane: failure detection, rostering episodes,
+//! repairs, joins, and the background diagnostic sweep.
+//!
+//! Faults address a *plane* of the layered data-plane where they can:
+//! a bit-error burst is assessed by the target node's PHY plane
+//! ([`PlaneFault::Phy`]) and escalates to a topology-level link failure
+//! only if the 8b/10b checker flags violations. Topology faults
+//! (crashed nodes, cut fibers, dead switches) hit the plant directly
+//! and trigger rostering through loss of light, as on slides 16/18.
+
+use crate::cluster::{Cluster, Ev, RosterEvent, RosterReason};
+use crate::observe::ObservedEvent;
+use ampnet_cache::NetworkCache;
+use ampnet_dk::{assimilate, JoinRequest};
+use ampnet_packet::MicroPacket;
+use ampnet_ring::PlaneFault;
+use ampnet_roster::{initial_rostering, run_rostering, RosterOutcome, RosterSkip};
+use ampnet_sim::{Level, SimDuration, SimTime};
+use ampnet_topo::montecarlo::{apply as apply_failure, Component};
+use ampnet_topo::{LogicalRing, NodeId};
+
+impl Cluster {
+    pub(crate) fn apply_error_burst(&mut self, node: u8, seed: u64, errors: u32) {
+        // Hand the burst to the PHY plane of the afflicted node; its
+        // 8b/10b checker decides whether anything is detectable.
+        let detected = self.nodes[node as usize]
+            .stack
+            .inject_fault(PlaneFault::Phy { seed, errors });
+        self.observe(ObservedEvent::ErrorBurst { node, errors, detected });
+        self.log(
+            Level::Warn,
+            "phy",
+            format!("node {node}: bit-error burst, {errors} injected, {detected} violations"),
+        );
+        let pos = self.ring_pos[node as usize];
+        if detected == 0 || !self.ring_up || pos == usize::MAX || self.ring.order.len() < 2 {
+            // Nothing detectable, or the lasers are already down /
+            // re-syncing: the burst changes nothing.
+            self.observe(ObservedEvent::ErrorBurstAbsorbed { node });
+            return;
+        }
+        // Loss-of-sync on the incoming fiber: the link from the
+        // upstream hop switch into this node is declared dead.
+        let n = self.ring.order.len();
+        let sw = self.ring.hops[(pos + n - 1) % n];
+        let link = Component::Link(NodeId(node), sw);
+        self.observe(ObservedEvent::ErrorBurstEscalated { node, link });
+        self.log(
+            Level::Warn,
+            "phy",
+            format!("node {node}: burst escalated, {link:?} lost sync"),
+        );
+        self.inject_failure(link);
+    }
+
+    pub(crate) fn inject_failure(&mut self, c: Component) {
+        crate::diagnostics::abandon_if_running(self);
+        self.observe(ObservedEvent::FailureInjected(c));
+        apply_failure(&mut self.topo, c);
+        if let Component::Node(n) = c {
+            self.nodes[n.0 as usize].online = false;
+            crate::apps::on_node_death(self, n.0);
+        }
+        let now = self.sim.now();
+        match run_rostering(&self.topo, &self.ring, c, now, self.epoch, &self.cfg.timing.roster)
+        {
+            Ok(outcome) => {
+                self.ring_up = false;
+                self.ring_down_at = now;
+                self.epoch = outcome.epoch;
+                self.log(
+                    Level::Warn,
+                    "roster",
+                    format!(
+                        "{c:?} failed; epoch {} rostering, ETA {}",
+                        outcome.epoch, outcome.completed_at
+                    ),
+                );
+                self.sim.schedule_at(
+                    outcome.completed_at,
+                    Ev::RingRestored {
+                        epoch: outcome.epoch,
+                    },
+                );
+                self.pending_roster = Some((RosterReason::Failure(c), outcome));
+                self.observe(ObservedEvent::RosterStarted { epoch: self.epoch });
+            }
+            Err(RosterSkip::SpareComponent) => {
+                self.log(
+                    Level::Info,
+                    "roster",
+                    format!("{c:?} failed but is spare; ring unaffected"),
+                );
+                self.observe(ObservedEvent::SpareFault(c));
+            }
+            Err(RosterSkip::NoSurvivors) => {
+                self.ring_up = false;
+                self.ring = LogicalRing::empty();
+                self.ring_pos.fill(usize::MAX);
+                self.log(Level::Warn, "roster", format!("{c:?} failed; no survivors"));
+                self.observe(ObservedEvent::NoSurvivors(c));
+            }
+        }
+    }
+
+    fn install_ring(&mut self, outcome: &RosterOutcome) {
+        self.ring = outcome.ring.clone();
+        self.ring_pos.fill(usize::MAX);
+        for (pos, n) in self.ring.order.iter().enumerate() {
+            self.ring_pos[n.0 as usize] = pos;
+        }
+    }
+
+    pub(crate) fn restore_ring(&mut self, epoch: u64) {
+        if epoch != self.epoch {
+            return; // superseded by a newer episode
+        }
+        let Some((reason, outcome)) = self.pending_roster.take() else {
+            return;
+        };
+        self.install_ring(&outcome);
+        self.log(
+            Level::Info,
+            "roster",
+            format!(
+                "epoch {} live: {} nodes in {:.2} ring tours ({:?})",
+                epoch,
+                outcome.ring.len(),
+                outcome.recovery_in_tours(),
+                reason
+            ),
+        );
+        self.history.push(RosterEvent {
+            reason,
+            outcome,
+        });
+        self.observe(ObservedEvent::RingRestored {
+            epoch,
+            ring_len: self.ring.len(),
+        });
+        self.ring_up = true;
+        self.tx_busy.fill(false);
+        self.retry_pending.fill(false);
+        // Smart data recovery: every surviving member replays its
+        // unacknowledged traffic (idempotent at the receivers). A
+        // unicast is possibly-lost — and therefore replayed — if it
+        // was inserted within two quiet tours of the instant the ring
+        // went down; anything older had certainly been delivered. The
+        // outage duration itself must not count against the window.
+        let expiry = self.quiet_tour().saturating_mul(2);
+        let replay_after = self.ring_down_at - expiry.min(SimDuration::from_nanos(self.ring_down_at.as_nanos()));
+        for i in 0..self.nodes.len() {
+            if !self.nodes[i].online {
+                self.nodes[i].outstanding.clear();
+                self.nodes[i].outstanding_unicast.clear();
+                continue;
+            }
+            let replay: Vec<MicroPacket> = self.nodes[i].outstanding.drain(..).collect();
+            let unicast: Vec<(SimTime, MicroPacket)> =
+                self.nodes[i].outstanding_unicast.drain(..).collect();
+            for p in replay {
+                self.enqueue_own(i as u8, p);
+            }
+            for (t, p) in unicast {
+                if t >= replay_after {
+                    self.enqueue_own(i as u8, p);
+                }
+            }
+        }
+        self.kick_all();
+        self.start_certification();
+        crate::apps::on_ring_restored(self);
+    }
+
+    /// Restore a failed switch or fiber. A repair that would let a
+    /// strictly larger ring exist (some node was excluded) triggers a
+    /// roster episode to capture the capacity; otherwise it silently
+    /// returns the component to the spare pool.
+    pub(crate) fn apply_repair(&mut self, c: Component) {
+        match c {
+            Component::Switch(s) => self.topo.restore_switch(s),
+            Component::Link(n, s) => self.topo.restore_link(n, s),
+            Component::Node(_) => return,
+        }
+        self.log(
+            Level::Info,
+            "repair",
+            format!("{c:?} repaired"),
+        );
+        self.observe(ObservedEvent::RepairApplied(c));
+        let best = ampnet_topo::largest_ring(&self.topo);
+        if best.len() > self.ring.len() && self.ring_up {
+            // Re-roster to absorb the recovered capacity.
+            if let Ok(mut outcome) = initial_rostering(&self.topo, &self.cfg.timing.roster) {
+                let now = self.sim.now();
+                self.epoch += 1;
+                outcome.epoch = self.epoch;
+                outcome.failed_at = now;
+                let cost = outcome.explore_time + outcome.commit_time;
+                outcome.completed_at = now + cost;
+                self.ring_up = false;
+                self.sim
+                    .schedule_at(outcome.completed_at, Ev::RingRestored { epoch: self.epoch });
+                self.pending_roster = Some((RosterReason::Repair(c), outcome));
+            }
+        }
+    }
+
+    pub(crate) fn handle_join(&mut self, node: u8, req: JoinRequest) {
+        let cache_bytes: u64 = self
+            .cfg
+            .cache_regions
+            .iter()
+            .map(|&(_, sz)| sz as u64)
+            .sum();
+        match assimilate(req, self.cfg.compat, cache_bytes, &self.cfg.timing.assimilation) {
+            Ok(timeline) => {
+                // The node becomes ring-eligible (lasers up, conforming
+                // to the assimilation rules) only when it comes online.
+                self.sim
+                    .schedule_in(timeline.total(), Ev::NodeOnline { node });
+            }
+            Err(f) => {
+                self.rejections.push((node, f));
+                self.observe(ObservedEvent::JoinRejected(node));
+            }
+        }
+    }
+
+    pub(crate) fn handle_node_online(&mut self, node: u8) {
+        self.topo.restore_node(NodeId(node));
+        // Cache refresh completed (time already charged): copy the
+        // sponsor's replica. The packet-level protocol is validated in
+        // ampnet-cache::refresh.
+        let sponsor = (0..self.nodes.len())
+            .find(|&i| i != node as usize && self.nodes[i].online);
+        if let Some(s) = sponsor {
+            let snapshot = self.nodes[s].cache.clone();
+            let me = &mut self.nodes[node as usize];
+            let id = me.cache.node();
+            me.cache = snapshot;
+            // Re-home the replica.
+            let mut rehomed = NetworkCache::new(id);
+            for region in me.cache.region_ids() {
+                let size = me.cache.region_size(region).expect("listed");
+                rehomed.define_region(region, size).expect("fresh");
+                let data = me.cache.read(region, 0, size).expect("whole region");
+                let _ = rehomed.write(region, 0, data, 0, 0);
+            }
+            me.cache = rehomed;
+        }
+        self.nodes[node as usize].online = true;
+        self.observe(ObservedEvent::NodeOnline(node));
+        // Extend the ring: a join-triggered roster episode.
+        if let Ok(mut outcome) = initial_rostering(&self.topo, &self.cfg.timing.roster) {
+            let now = self.sim.now();
+            self.epoch += 1;
+            outcome.epoch = self.epoch;
+            outcome.failed_at = now;
+            let cost = outcome.explore_time + outcome.commit_time;
+            outcome.completed_at = now + cost;
+            self.ring_up = false;
+            self.sim
+                .schedule_at(outcome.completed_at, Ev::RingRestored { epoch: self.epoch });
+            self.pending_roster = Some((RosterReason::Join(NodeId(node)), outcome));
+        }
+    }
+
+    pub(crate) fn run_diag_sweep(&mut self) {
+        let Some(interval) = self.sweep_interval else {
+            return;
+        };
+        let now = self.sim.now();
+        // Scan: failed links/switches that are not on the current ring
+        // (ring faults trigger rostering through loss of light).
+        let mut found: Vec<Component> = vec![];
+        for s in self.topo.switch_ids() {
+            if !self.topo.switch_alive(s) {
+                found.push(Component::Switch(s));
+            }
+        }
+        for n in self.topo.node_ids() {
+            for s in self.topo.switch_ids() {
+                if let Some(l) = self.topo.link(n, s) {
+                    if !l.up {
+                        found.push(Component::Link(n, s));
+                    }
+                }
+            }
+        }
+        for c in found {
+            let key = format!("{c:?}");
+            if self.known_spare_faults.insert(key) {
+                self.log(
+                    Level::Warn,
+                    "diag",
+                    format!("background sweep found failed spare {c:?}"),
+                );
+                self.spare_faults.push((now, c));
+            }
+        }
+        self.sim.schedule_in(interval, Ev::DiagSweep);
+    }
+}

@@ -20,10 +20,12 @@
 
 pub mod build;
 mod control;
+mod frame;
 mod types;
 mod wire;
 
 pub use control::{ControlError, ControlWord, Flags, BROADCAST};
+pub use frame::{ArenaStats, FrameArena, FrameRef, FrameView, MAX_FRAME_WORDS};
 pub use types::{LengthClass, PacketType};
 pub use wire::{
     Body, DmaCtrl, MicroPacket, PacketError, FIXED_PAYLOAD, FRAME_OVERHEAD, MAX_DMA_PAYLOAD, WORD,

@@ -1,6 +1,11 @@
 //! Property tests: MicroPacket encode/decode is a bijection on valid
 //! packets, and wire sizes always match the slide-5/6 formats.
 
+// The roundtrip properties deliberately exercise the deprecated
+// heap-serializing `to_vec` (it is the reference encoding the
+// zero-copy paths must match).
+#![allow(deprecated)]
+
 use ampnet_packet::build::{self, AtomicOp, AtomicRequest, InterruptPayload};
 use ampnet_packet::{Body, ControlWord, DmaCtrl, MicroPacket, PacketType, FIXED_PAYLOAD};
 use proptest::prelude::*;

@@ -8,8 +8,20 @@
 //! simultaneous all-to-all broadcast never drops a packet* — is
 //! structural here and asserted by experiment E4.
 //!
-//! * [`RingNode`] — sans-IO MAC state machine (arrival handling,
-//!   transmit selection, insertion rules, counters).
+//! The node data-plane is layered into three planes, each a trait with
+//! one canonical implementation (see `DESIGN.md` §9):
+//!
+//! * [`PhyPort`]/[`SerialPhy`] — serialization timing and the 8b/10b
+//!   line-error model.
+//! * [`InsertionMac`]/[`RegisterMac`] — the register-insertion state
+//!   machine itself (arrival handling, transmit selection, insertion
+//!   rules, counters), operating on pooled [`WireFrame`]s.
+//! * [`DeliveryPlane`]/[`HostQueues`] — what happens to packets
+//!   addressed to this node.
+//!
+//! [`NodeStack`] composes the three; [`RingNode`] is a packet-valued
+//! adapter over [`RegisterMac`] for sans-IO unit-level use.
+//!
 //! * [`StreamSet`] — deficit-round-robin multi-stream scheduler
 //!   (slide 7).
 //! * [`InsertionGovernor`]/[`PacingMode`] — AIMD flow control
@@ -20,14 +32,23 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod mac;
 mod node;
 mod pacing;
 mod segment;
+mod stack;
 mod stream;
 
-pub use node::{ArrivalAction, RingNode, RingNodeParams, RingNodeStats, TxChoice, MAX_PACKET_WIRE};
+pub use mac::{
+    InsertionMac, MacAction, MacTx, RegisterMac, RingNodeParams, RingNodeStats, WireFrame,
+    MAX_PACKET_WIRE,
+};
+pub use node::{ArrivalAction, RingNode, TxChoice};
 pub use pacing::{AimdParams, InsertionGovernor, PacingMode};
 pub use segment::{
     ArrivalProcess, DstPattern, PacketKind, Segment, SegmentParams, SegmentReport, StreamWorkload,
 };
-pub use stream::{StreamId, StreamSet};
+pub use stack::{
+    DeliveryPlane, HostQueues, NodeStack, PhyPort, PlaneFault, SerialPhy, StackOutcome,
+};
+pub use stream::{StreamId, StreamSet, WireSized};

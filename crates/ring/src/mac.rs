@@ -1,0 +1,439 @@
+//! The insertion-MAC plane: register-insertion logic over pooled
+//! wire frames.
+//!
+//! Classic register insertion (slide 8, "a variant of a register
+//! insertion ring") with AmpNet's adaptations:
+//!
+//! * **Transit priority.** Packets in flight around the ring are never
+//!   blocked by local traffic: the output port always serves the
+//!   insertion (transit) buffer first.
+//! * **Insert-when-empty rule.** A node may start inserting its own
+//!   packet only while its insertion buffer is empty. While the
+//!   insertion is on the wire, at most one maximum-size packet can
+//!   finish arriving from upstream plus one more already in flight, so
+//!   an insertion buffer of `2 × MAX_PACKET` bytes structurally cannot
+//!   overflow — this is the "guaranteed not to drop packets even under
+//!   all-to-all broadcast" property. The node still counts hypothetical
+//!   overflows (`would_drop`) so experiments can assert the guarantee.
+//! * **Source stripping.** Broadcast packets circulate one full tour
+//!   and are removed by their source; unicast packets are removed by
+//!   their destination (spatial reuse).
+//! * **Adaptive contribution** (see [`crate::pacing`]): the node
+//!   watches its own insertion-buffer high-water mark and modulates its
+//!   insertion rate.
+//!
+//! The MAC never touches packet payloads: it operates on [`WireFrame`]
+//! descriptors — a decoded control word, cached sizes, and a
+//! [`FrameRef`] into the serialized frame pool — so forwarding a
+//! packet moves 16 bytes and zero heap.
+
+use crate::pacing::{InsertionGovernor, PacingMode};
+use crate::stream::{StreamId, StreamSet, WireSized};
+use ampnet_packet::{ControlWord, Flags, FrameArena, FrameRef, MicroPacket};
+use ampnet_sim::SimTime;
+use std::collections::VecDeque;
+
+/// Largest MicroPacket on the wire (full DMA cell), bytes.
+pub const MAX_PACKET_WIRE: usize = 84;
+
+/// Configuration of one ring MAC.
+#[derive(Debug, Clone, Copy)]
+pub struct RingNodeParams {
+    /// Insertion (transit) buffer capacity in bytes. The structural
+    /// no-drop bound is `2 × MAX_PACKET_WIRE`; the default adds slack
+    /// for measurement.
+    pub transit_capacity: usize,
+    /// Insertion pacing policy.
+    pub pacing: PacingMode,
+    /// Number of local transmit streams.
+    pub n_streams: usize,
+}
+
+impl Default for RingNodeParams {
+    fn default() -> Self {
+        RingNodeParams {
+            transit_capacity: 2 * MAX_PACKET_WIRE,
+            pacing: PacingMode::Adaptive(Default::default()),
+            n_streams: 4,
+        }
+    }
+}
+
+/// MAC counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RingNodeStats {
+    /// Own packets inserted onto the segment.
+    pub inserted: u64,
+    /// Transit packets forwarded.
+    pub forwarded: u64,
+    /// Packets delivered to this node (unicast + broadcast copies).
+    pub delivered: u64,
+    /// Own packets stripped after a full tour.
+    pub stripped: u64,
+    /// Times the insertion buffer would have overflowed. The paper's
+    /// guarantee is that this is always zero.
+    pub would_drop: u64,
+    /// Peak insertion-buffer occupancy in bytes.
+    pub transit_highwater: usize,
+    /// Delivered payload bytes.
+    pub delivered_payload_bytes: u64,
+}
+
+/// Descriptor of one serialized packet in flight: the decoded control
+/// word, the sizes every MAC decision needs, and a handle to the
+/// pooled frame body. This is what transit buffers, stream queues and
+/// arrival events carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireFrame {
+    /// Word 0, decoded once at the source.
+    pub ctrl: ControlWord,
+    /// Total line bytes including SOF/EOF (serialization cost).
+    pub wire_bytes: u16,
+    /// Application payload bytes carried (delivery accounting).
+    pub payload_bytes: u16,
+    /// The serialized frame body in the segment's [`FrameArena`].
+    pub frame: FrameRef,
+}
+
+impl WireFrame {
+    /// Serialize `pkt` into `arena` — the *single* encode of a
+    /// packet's life, at its source — and describe it.
+    pub fn insert(arena: &mut FrameArena, pkt: &MicroPacket) -> WireFrame {
+        WireFrame {
+            ctrl: pkt.ctrl,
+            wire_bytes: pkt.wire_bytes() as u16,
+            payload_bytes: pkt.payload_bytes() as u16,
+            frame: arena.insert(pkt),
+        }
+    }
+
+    /// Describe an already-pooled frame.
+    pub fn of(arena: &FrameArena, frame: FrameRef) -> WireFrame {
+        let v = arena.view(frame);
+        WireFrame {
+            ctrl: v.ctrl,
+            wire_bytes: v.wire_bytes() as u16,
+            payload_bytes: v.payload_bytes() as u16,
+            frame,
+        }
+    }
+}
+
+impl WireSized for WireFrame {
+    fn wire_bytes(&self) -> usize {
+        self.wire_bytes as usize
+    }
+}
+
+/// What the MAC decided about an arriving frame.
+///
+/// Frame ownership: `Deliver` and `Strip` hand the frame back to the
+/// caller (release it after use); `DeliverAndForward` keeps the frame
+/// queued in the transit buffer — the descriptor is a loan for the
+/// delivery copy; `Forward` keeps it queued with no local action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MacAction {
+    /// Unicast to this node: consumed, not forwarded.
+    Deliver(WireFrame),
+    /// Broadcast: a copy is delivered here and the packet continues.
+    DeliverAndForward(WireFrame),
+    /// Own packet back after a full tour: stripped off the ring.
+    Strip(WireFrame),
+    /// In transit: forwarded downstream unchanged.
+    Forward,
+}
+
+/// What the output port should send next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacTx {
+    /// The frame to put on the wire.
+    pub frame: WireFrame,
+    /// True when this is locally sourced traffic (an insertion).
+    pub own: bool,
+    /// Source stream for own traffic.
+    pub stream: Option<StreamId>,
+}
+
+/// The insertion-MAC plane interface: arrival classification, transmit
+/// selection, and local enqueueing, all in terms of [`WireFrame`]s.
+///
+/// [`RegisterMac`] is the paper's register-insertion behavior; the
+/// trait exists so experiments (and faults) can interpose at the plane
+/// boundary.
+pub trait InsertionMac {
+    /// This node's ring address.
+    fn id(&self) -> u8;
+
+    /// Handle a frame arriving from the upstream link.
+    fn on_arrival(&mut self, now: SimTime, frame: WireFrame) -> MacAction;
+
+    /// Choose the next frame for a free output port, or `None` if
+    /// nothing is eligible right now. `now` drives the pacing governor.
+    fn next_tx(&mut self, now: SimTime) -> Option<MacTx>;
+
+    /// Queue a normal own frame on `stream`.
+    fn enqueue_own(&mut self, stream: StreamId, frame: WireFrame);
+
+    /// Queue an urgent (Rostering / Interrupt) frame; bypasses the
+    /// stream scheduler and the pacing governor.
+    fn enqueue_urgent(&mut self, frame: WireFrame);
+
+    /// Earliest time a governed insertion may occur (for scheduling a
+    /// retry when `next_tx` returned `None` but streams have traffic).
+    fn next_insert_allowed(&self) -> SimTime;
+
+    /// Whether any local stream has traffic waiting.
+    fn has_pending_streams(&self) -> bool;
+
+    /// Whether the node has anything to send at all.
+    fn has_backlog(&self) -> bool;
+
+    /// Current transit (insertion) buffer occupancy in bytes.
+    fn transit_bytes(&self) -> usize;
+
+    /// Counters.
+    fn stats(&self) -> &RingNodeStats;
+}
+
+/// The per-node register-insertion MAC (the paper's behavior; the
+/// default [`InsertionMac`] implementation).
+#[derive(Debug)]
+pub struct RegisterMac {
+    id: u8,
+    params: RingNodeParams,
+    transit: VecDeque<WireFrame>,
+    transit_bytes: usize,
+    urgent: VecDeque<WireFrame>,
+    streams: StreamSet<WireFrame>,
+    governor: InsertionGovernor,
+    /// High-water mark of the transit buffer since the last insertion —
+    /// the node's "local view of the network" congestion signal.
+    highwater_since_insert: usize,
+    stats: RingNodeStats,
+}
+
+impl RegisterMac {
+    /// New MAC for node `id`.
+    pub fn new(id: u8, params: RingNodeParams) -> Self {
+        RegisterMac {
+            id,
+            params,
+            transit: VecDeque::new(),
+            transit_bytes: 0,
+            urgent: VecDeque::new(),
+            streams: StreamSet::new(params.n_streams),
+            governor: InsertionGovernor::new(params.pacing),
+            highwater_since_insert: 0,
+            stats: RingNodeStats::default(),
+        }
+    }
+
+    /// Immutable view of stream accounting.
+    pub fn streams_ref(&self) -> &StreamSet<WireFrame> {
+        &self.streams
+    }
+
+    /// Governor back-off count (ablation metric).
+    pub fn backoffs(&self) -> u64 {
+        self.governor.backoffs()
+    }
+
+    /// This node's ring address.
+    pub fn id(&self) -> u8 {
+        self.id
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &RingNodeStats {
+        &self.stats
+    }
+
+    /// Current transit (insertion) buffer occupancy in bytes.
+    pub fn transit_bytes(&self) -> usize {
+        self.transit_bytes
+    }
+
+    fn push_transit(&mut self, frame: WireFrame) {
+        let sz = frame.wire_bytes as usize;
+        if self.transit_bytes + sz > self.params.transit_capacity {
+            // The structural guarantee says this cannot happen; count
+            // it rather than dropping so experiments can assert == 0
+            // while the simulation stays live.
+            self.stats.would_drop += 1;
+        }
+        self.transit_bytes += sz;
+        self.highwater_since_insert = self.highwater_since_insert.max(self.transit_bytes);
+        self.stats.transit_highwater = self.stats.transit_highwater.max(self.transit_bytes);
+        self.transit.push_back(frame);
+    }
+}
+
+impl RegisterMac {
+    /// Handle a frame arriving from the upstream link (see
+    /// [`InsertionMac::on_arrival`]).
+    pub fn on_arrival(&mut self, _now: SimTime, frame: WireFrame) -> MacAction {
+        if frame.ctrl.src == self.id {
+            // Our own packet completed its tour.
+            self.stats.stripped += 1;
+            return MacAction::Strip(frame);
+        }
+        if frame.ctrl.is_broadcast() {
+            self.stats.delivered += 1;
+            self.stats.delivered_payload_bytes += frame.payload_bytes as u64;
+            self.push_transit(frame);
+            return MacAction::DeliverAndForward(frame);
+        }
+        if frame.ctrl.dst == self.id {
+            self.stats.delivered += 1;
+            self.stats.delivered_payload_bytes += frame.payload_bytes as u64;
+            return MacAction::Deliver(frame);
+        }
+        self.push_transit(frame);
+        MacAction::Forward
+    }
+
+    /// Choose the next frame for a free output port (see
+    /// [`InsertionMac::next_tx`]).
+    pub fn next_tx(&mut self, now: SimTime) -> Option<MacTx> {
+        // 1. Transit traffic has absolute priority.
+        if let Some(frame) = self.transit.pop_front() {
+            self.transit_bytes -= frame.wire_bytes as usize;
+            self.stats.forwarded += 1;
+            return Some(MacTx {
+                frame,
+                own: false,
+                stream: None,
+            });
+        }
+        // 2. Urgent own traffic (rostering, interrupts): insertion
+        //    buffer is empty here by rule 1.
+        if let Some(frame) = self.urgent.pop_front() {
+            self.stats.inserted += 1;
+            return Some(MacTx {
+                frame,
+                own: true,
+                stream: None,
+            });
+        }
+        // 3. Normal own traffic, governed.
+        if !self.governor.may_insert(now) {
+            return None;
+        }
+        let (stream, frame) = self.streams.dequeue()?;
+        self.stats.inserted += 1;
+        self.governor.on_insert(now, self.highwater_since_insert);
+        self.highwater_since_insert = 0;
+        Some(MacTx {
+            frame,
+            own: true,
+            stream: Some(stream),
+        })
+    }
+
+    /// Queue a normal own frame on `stream`.
+    pub fn enqueue_own(&mut self, stream: StreamId, frame: WireFrame) {
+        self.streams.enqueue(stream, frame);
+    }
+
+    /// Queue an urgent frame ahead of the stream scheduler.
+    pub fn enqueue_urgent(&mut self, frame: WireFrame) {
+        debug_assert!(frame.ctrl.flags.contains(Flags::URGENT));
+        self.urgent.push_back(frame);
+    }
+
+    /// Earliest time a governed insertion may occur.
+    pub fn next_insert_allowed(&self) -> SimTime {
+        self.governor.next_allowed()
+    }
+
+    /// Whether any local stream has traffic waiting.
+    pub fn has_pending_streams(&self) -> bool {
+        self.streams.has_traffic()
+    }
+
+    /// Whether the node has anything to send at all.
+    pub fn has_backlog(&self) -> bool {
+        !self.transit.is_empty() || !self.urgent.is_empty() || self.streams.has_traffic()
+    }
+}
+
+impl InsertionMac for RegisterMac {
+    fn id(&self) -> u8 {
+        RegisterMac::id(self)
+    }
+
+    fn on_arrival(&mut self, now: SimTime, frame: WireFrame) -> MacAction {
+        RegisterMac::on_arrival(self, now, frame)
+    }
+
+    fn next_tx(&mut self, now: SimTime) -> Option<MacTx> {
+        RegisterMac::next_tx(self, now)
+    }
+
+    fn enqueue_own(&mut self, stream: StreamId, frame: WireFrame) {
+        RegisterMac::enqueue_own(self, stream, frame);
+    }
+
+    fn enqueue_urgent(&mut self, frame: WireFrame) {
+        RegisterMac::enqueue_urgent(self, frame);
+    }
+
+    fn next_insert_allowed(&self) -> SimTime {
+        RegisterMac::next_insert_allowed(self)
+    }
+
+    fn has_pending_streams(&self) -> bool {
+        RegisterMac::has_pending_streams(self)
+    }
+
+    fn has_backlog(&self) -> bool {
+        RegisterMac::has_backlog(self)
+    }
+
+    fn transit_bytes(&self) -> usize {
+        RegisterMac::transit_bytes(self)
+    }
+
+    fn stats(&self) -> &RingNodeStats {
+        RegisterMac::stats(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampnet_packet::build;
+
+    #[test]
+    fn wireframe_descriptor_matches_packet() {
+        let mut arena = FrameArena::new();
+        let pkt = build::data(1, 5, 7, [3; 8]);
+        let wf = WireFrame::insert(&mut arena, &pkt);
+        assert_eq!(wf.ctrl, pkt.ctrl);
+        assert_eq!(wf.wire_bytes as usize, pkt.wire_bytes());
+        assert_eq!(wf.payload_bytes as usize, pkt.payload_bytes());
+        // `of` reconstructs the same descriptor from the pooled frame.
+        assert_eq!(WireFrame::of(&arena, wf.frame), wf);
+    }
+
+    #[test]
+    fn forwarding_keeps_the_same_frame_ref() {
+        let mut arena = FrameArena::new();
+        let mut mac = RegisterMac::new(
+            2,
+            RingNodeParams {
+                pacing: PacingMode::Greedy,
+                ..Default::default()
+            },
+        );
+        let pkt = build::data_broadcast(0, 0, [7; 8]);
+        let wf = WireFrame::insert(&mut arena, &pkt);
+        match mac.on_arrival(SimTime(0), wf) {
+            MacAction::DeliverAndForward(copy) => assert_eq!(copy.frame, wf.frame),
+            other => panic!("expected DeliverAndForward, got {other:?}"),
+        }
+        let tx = mac.next_tx(SimTime(0)).unwrap();
+        assert_eq!(tx.frame.frame, wf.frame, "no copy on the forwarding path");
+        assert_eq!(arena.stats().acquired, 1, "one encode for the whole hop");
+    }
+}

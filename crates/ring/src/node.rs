@@ -1,57 +1,20 @@
-//! Register-insertion ring MAC — per-node state machine.
+//! Packet-valued adapter over the register-insertion MAC plane.
 //!
-//! Classic register insertion (slide 8, "a variant of a register
-//! insertion ring") with AmpNet's adaptations:
-//!
-//! * **Transit priority.** Packets in flight around the ring are never
-//!   blocked by local traffic: the output port always serves the
-//!   insertion (transit) buffer first.
-//! * **Insert-when-empty rule.** A node may start inserting its own
-//!   packet only while its insertion buffer is empty. While the
-//!   insertion is on the wire, at most one maximum-size packet can
-//!   finish arriving from upstream plus one more already in flight, so
-//!   an insertion buffer of `2 × MAX_PACKET` bytes structurally cannot
-//!   overflow — this is the "guaranteed not to drop packets even under
-//!   all-to-all broadcast" property. The node still counts hypothetical
-//!   overflows (`would_drop`) so experiments can assert the guarantee.
-//! * **Source stripping.** Broadcast packets circulate one full tour
-//!   and are removed by their source; unicast packets are removed by
-//!   their destination (spatial reuse).
-//! * **Adaptive contribution** (see [`crate::pacing`]): the node
-//!   watches its own insertion-buffer high-water mark and modulates its
-//!   insertion rate.
+//! The MAC logic itself lives in [`crate::mac`] and operates on pooled
+//! [`WireFrame`](crate::WireFrame)s (see [`crate::stack`] for the full
+//! layered data-plane). [`RingNode`] wraps a [`RegisterMac`] plus a
+//! private [`FrameArena`] behind the original by-value
+//! `MicroPacket` API — handy for unit tests and sans-IO callers that
+//! want the slide-8 state machine without managing a frame pool. There
+//! is exactly one MAC implementation; this adapter encodes each packet
+//! on arrival and decodes on the way out.
 
-use crate::pacing::{InsertionGovernor, PacingMode};
+use crate::mac::{MacAction, MacTx, RegisterMac, WireFrame};
 use crate::stream::{StreamId, StreamSet};
-use ampnet_packet::{Flags, MicroPacket};
+use ampnet_packet::{FrameArena, MicroPacket};
 use ampnet_sim::SimTime;
-use std::collections::VecDeque;
 
-/// Largest MicroPacket on the wire (full DMA cell), bytes.
-pub const MAX_PACKET_WIRE: usize = 84;
-
-/// Configuration of one ring MAC.
-#[derive(Debug, Clone, Copy)]
-pub struct RingNodeParams {
-    /// Insertion (transit) buffer capacity in bytes. The structural
-    /// no-drop bound is `2 × MAX_PACKET_WIRE`; the default adds slack
-    /// for measurement.
-    pub transit_capacity: usize,
-    /// Insertion pacing policy.
-    pub pacing: PacingMode,
-    /// Number of local transmit streams.
-    pub n_streams: usize,
-}
-
-impl Default for RingNodeParams {
-    fn default() -> Self {
-        RingNodeParams {
-            transit_capacity: 2 * MAX_PACKET_WIRE,
-            pacing: PacingMode::Adaptive(Default::default()),
-            n_streams: 4,
-        }
-    }
-}
+pub use crate::mac::{RingNodeParams, RingNodeStats};
 
 /// What happened to an arriving packet.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,193 +40,107 @@ pub struct TxChoice {
     pub stream: Option<StreamId>,
 }
 
-/// MAC counters.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct RingNodeStats {
-    /// Own packets inserted onto the segment.
-    pub inserted: u64,
-    /// Transit packets forwarded.
-    pub forwarded: u64,
-    /// Packets delivered to this node (unicast + broadcast copies).
-    pub delivered: u64,
-    /// Own packets stripped after a full tour.
-    pub stripped: u64,
-    /// Times the insertion buffer would have overflowed. The paper's
-    /// guarantee is that this is always zero.
-    pub would_drop: u64,
-    /// Peak insertion-buffer occupancy in bytes.
-    pub transit_highwater: usize,
-    /// Delivered payload bytes.
-    pub delivered_payload_bytes: u64,
-}
-
-/// The per-node register-insertion MAC.
+/// The per-node register-insertion MAC, packet-valued facade.
 #[derive(Debug)]
 pub struct RingNode {
-    id: u8,
-    params: RingNodeParams,
-    transit: VecDeque<MicroPacket>,
-    transit_bytes: usize,
-    urgent: VecDeque<MicroPacket>,
-    streams: StreamSet,
-    governor: InsertionGovernor,
-    /// High-water mark of the transit buffer since the last insertion —
-    /// the node's "local view of the network" congestion signal.
-    highwater_since_insert: usize,
-    stats: RingNodeStats,
+    mac: RegisterMac,
+    arena: FrameArena,
 }
 
 impl RingNode {
     /// New MAC for node `id`.
     pub fn new(id: u8, params: RingNodeParams) -> Self {
         RingNode {
-            id,
-            params,
-            transit: VecDeque::new(),
-            transit_bytes: 0,
-            urgent: VecDeque::new(),
-            streams: StreamSet::new(params.n_streams),
-            governor: InsertionGovernor::new(params.pacing),
-            highwater_since_insert: 0,
-            stats: RingNodeStats::default(),
+            mac: RegisterMac::new(id, params),
+            arena: FrameArena::new(),
         }
     }
 
     /// This node's ring address.
     pub fn id(&self) -> u8 {
-        self.id
+        self.mac.id()
     }
 
     /// Counters.
     pub fn stats(&self) -> &RingNodeStats {
-        self.stats_ref()
-    }
-
-    fn stats_ref(&self) -> &RingNodeStats {
-        &self.stats
-    }
-
-    /// Mutable access to the local transmit streams (for enqueueing).
-    pub fn streams(&mut self) -> &mut StreamSet {
-        &mut self.streams
+        self.mac.stats()
     }
 
     /// Immutable view of stream accounting.
-    pub fn streams_ref(&self) -> &StreamSet {
-        &self.streams
+    pub fn streams_ref(&self) -> &StreamSet<WireFrame> {
+        self.mac.streams_ref()
     }
 
     /// Queue an urgent (Rostering / Interrupt) packet; bypasses the
     /// stream scheduler and the pacing governor.
     pub fn enqueue_urgent(&mut self, pkt: MicroPacket) {
-        debug_assert!(pkt.ctrl.flags.contains(Flags::URGENT));
-        self.urgent.push_back(pkt);
+        let wf = WireFrame::insert(&mut self.arena, &pkt);
+        self.mac.enqueue_urgent(wf);
     }
 
     /// Queue a normal own packet on `stream`.
     pub fn enqueue_own(&mut self, stream: StreamId, pkt: MicroPacket) {
-        self.streams.enqueue(stream, pkt);
+        let wf = WireFrame::insert(&mut self.arena, &pkt);
+        self.mac.enqueue_own(stream, wf);
     }
 
     /// Current transit (insertion) buffer occupancy in bytes.
     pub fn transit_bytes(&self) -> usize {
-        self.transit_bytes
+        self.mac.transit_bytes()
     }
 
     /// Whether the node has anything to send.
     pub fn has_backlog(&self) -> bool {
-        !self.transit.is_empty() || !self.urgent.is_empty() || self.streams.has_traffic()
+        self.mac.has_backlog()
     }
 
     /// Handle a packet arriving from the upstream link.
-    pub fn on_arrival(&mut self, _now: SimTime, pkt: MicroPacket) -> ArrivalAction {
-        if pkt.ctrl.src == self.id {
-            // Our own packet completed its tour.
-            self.stats.stripped += 1;
-            return ArrivalAction::Strip;
+    pub fn on_arrival(&mut self, now: SimTime, pkt: MicroPacket) -> ArrivalAction {
+        let wf = WireFrame::insert(&mut self.arena, &pkt);
+        match self.mac.on_arrival(now, wf) {
+            MacAction::Deliver(wf) => {
+                let p = self.arena.decode(wf.frame);
+                self.arena.release(wf.frame);
+                ArrivalAction::Deliver(p)
+            }
+            MacAction::DeliverAndForward(wf) => {
+                // Frame stays queued in transit; the delivery copy is
+                // decoded from the pooled body.
+                ArrivalAction::DeliverAndForward(self.arena.decode(wf.frame))
+            }
+            MacAction::Strip(wf) => {
+                self.arena.release(wf.frame);
+                ArrivalAction::Strip
+            }
+            MacAction::Forward => ArrivalAction::Forward,
         }
-        if pkt.ctrl.is_broadcast() {
-            self.stats.delivered += 1;
-            self.stats.delivered_payload_bytes += pkt.payload_bytes() as u64;
-            self.push_transit(pkt.clone());
-            return ArrivalAction::DeliverAndForward(pkt);
-        }
-        if pkt.ctrl.dst == self.id {
-            self.stats.delivered += 1;
-            self.stats.delivered_payload_bytes += pkt.payload_bytes() as u64;
-            return ArrivalAction::Deliver(pkt);
-        }
-        self.push_transit(pkt);
-        ArrivalAction::Forward
-    }
-
-    fn push_transit(&mut self, pkt: MicroPacket) {
-        let sz = pkt.wire_bytes();
-        if self.transit_bytes + sz > self.params.transit_capacity {
-            // The structural guarantee says this cannot happen; count
-            // it rather than dropping so experiments can assert == 0
-            // while the simulation stays live.
-            self.stats.would_drop += 1;
-        }
-        self.transit_bytes += sz;
-        self.highwater_since_insert = self.highwater_since_insert.max(self.transit_bytes);
-        self.stats.transit_highwater = self.stats.transit_highwater.max(self.transit_bytes);
-        self.transit.push_back(pkt);
     }
 
     /// Choose the next packet for a free output port, or `None` if
     /// nothing is eligible right now. `now` drives the pacing governor.
     pub fn next_tx(&mut self, now: SimTime) -> Option<TxChoice> {
-        // 1. Transit traffic has absolute priority.
-        if let Some(pkt) = self.transit.pop_front() {
-            self.transit_bytes -= pkt.wire_bytes();
-            self.stats.forwarded += 1;
-            return Some(TxChoice {
-                packet: pkt,
-                own: false,
-                stream: None,
-            });
-        }
-        // 2. Urgent own traffic (rostering, interrupts): insertion
-        //    buffer is empty here by rule 1.
-        if let Some(pkt) = self.urgent.pop_front() {
-            self.stats.inserted += 1;
-            return Some(TxChoice {
-                packet: pkt,
-                own: true,
-                stream: None,
-            });
-        }
-        // 3. Normal own traffic, governed.
-        if !self.governor.may_insert(now) {
-            return None;
-        }
-        let (stream, pkt) = self.streams.dequeue()?;
-        self.stats.inserted += 1;
-        self.governor.on_insert(now, self.highwater_since_insert);
-        self.highwater_since_insert = 0;
-        Some(TxChoice {
-            packet: pkt,
-            own: true,
-            stream: Some(stream),
-        })
+        let MacTx { frame, own, stream } = self.mac.next_tx(now)?;
+        let packet = self.arena.decode(frame.frame);
+        self.arena.release(frame.frame);
+        Some(TxChoice { packet, own, stream })
     }
 
     /// Earliest time a governed insertion may occur (for scheduling a
     /// retry when `next_tx` returned `None` but streams have traffic).
     pub fn next_insert_allowed(&self) -> SimTime {
-        self.governor.next_allowed()
+        self.mac.next_insert_allowed()
     }
 
     /// Governor back-off count (ablation metric).
     pub fn backoffs(&self) -> u64 {
-        self.governor.backoffs()
+        self.mac.backoffs()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pacing::PacingMode;
     use ampnet_packet::build;
 
     fn node(id: u8) -> RingNode {
@@ -405,7 +282,24 @@ mod tests {
             &[0; 64],
         )
         .unwrap();
-        n.on_arrival(SimTime(0), full.clone());
+        n.on_arrival(SimTime(0), full);
         assert_eq!(n.stats().would_drop, 0);
+    }
+
+    #[test]
+    fn adapter_recycles_frames_in_steady_state() {
+        // A long unicast transit flow through the adapter must reuse a
+        // handful of arena slots, not grow without bound.
+        let mut n = node(1);
+        for i in 0..200u8 {
+            n.on_arrival(SimTime(0), build::data(0, 5, i, [i; 8]));
+            let tx = n.next_tx(SimTime(0)).unwrap();
+            assert!(!tx.own);
+        }
+        assert!(
+            n.arena.capacity() <= 2,
+            "steady state must recycle slots, grew to {}",
+            n.arena.capacity()
+        );
     }
 }

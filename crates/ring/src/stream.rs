@@ -10,10 +10,24 @@
 use ampnet_packet::MicroPacket;
 use std::collections::VecDeque;
 
+/// Anything with a wire footprint the DRR scheduler can meter:
+/// whole [`MicroPacket`] values or pooled
+/// [`WireFrame`](crate::WireFrame) descriptors.
+pub trait WireSized {
+    /// Total line bytes including SOF/EOF framing.
+    fn wire_bytes(&self) -> usize;
+}
+
+impl WireSized for MicroPacket {
+    fn wire_bytes(&self) -> usize {
+        MicroPacket::wire_bytes(self)
+    }
+}
+
 /// One local transmit stream.
 #[derive(Debug)]
-struct Stream {
-    queue: VecDeque<MicroPacket>,
+struct Stream<T> {
+    queue: VecDeque<T>,
     /// DRR weight: quantum bytes added per round.
     weight: u32,
     deficit: i64,
@@ -24,9 +38,13 @@ struct Stream {
 }
 
 /// Deficit-round-robin scheduler over a node's transmit streams.
+///
+/// Generic over the queued item: the legacy packet-valued API uses
+/// `StreamSet<MicroPacket>` (the default), the zero-copy MAC plane
+/// queues [`WireFrame`](crate::WireFrame) descriptors.
 #[derive(Debug)]
-pub struct StreamSet {
-    streams: Vec<Stream>,
+pub struct StreamSet<T: WireSized = MicroPacket> {
+    streams: Vec<Stream<T>>,
     /// Round-robin cursor.
     cursor: usize,
     /// Quantum granted per weight unit per round, in bytes.
@@ -37,7 +55,7 @@ pub struct StreamSet {
 /// Identifier of a stream within one node (also the MicroPacket tag).
 pub type StreamId = u8;
 
-impl StreamSet {
+impl<T: WireSized> StreamSet<T> {
     /// A scheduler with `n` streams of equal weight.
     pub fn new(n: usize) -> Self {
         Self::with_weights(&vec![1; n])
@@ -86,7 +104,7 @@ impl StreamSet {
     }
 
     /// Enqueue a packet on a stream.
-    pub fn enqueue(&mut self, stream: StreamId, pkt: MicroPacket) {
+    pub fn enqueue(&mut self, stream: StreamId, pkt: T) {
         let s = &mut self.streams[stream as usize];
         s.enqueued_bytes += pkt.wire_bytes() as u64;
         s.queue.push_back(pkt);
@@ -94,7 +112,7 @@ impl StreamSet {
     }
 
     /// Pick the next packet to insert, honouring DRR fairness.
-    pub fn dequeue(&mut self) -> Option<(StreamId, MicroPacket)> {
+    pub fn dequeue(&mut self) -> Option<(StreamId, T)> {
         if self.queued_packets == 0 {
             return None;
         }
@@ -167,7 +185,7 @@ mod tests {
 
     #[test]
     fn empty_dequeues_none() {
-        let mut s = StreamSet::new(2);
+        let mut s: StreamSet = StreamSet::new(2);
         assert!(s.dequeue().is_none());
         assert!(!s.has_traffic());
     }
@@ -272,6 +290,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one stream")]
     fn zero_streams_rejected() {
-        StreamSet::with_weights(&[]);
+        let _: StreamSet = StreamSet::with_weights(&[]);
     }
 }

@@ -1,0 +1,88 @@
+//! Old-vs-new equivalence guard for the NodeStack data-plane refactor.
+//!
+//! The golden values below were captured from the pre-refactor tree
+//! (commit bd0f695, `RingNode`/`Cluster` monolith driving `MicroPacket`
+//! values through the event loop). The refactored layered `NodeStack`
+//! must reproduce them bit-for-bit: identical milestone-trace digests
+//! for a fixed seed, and identical segment-level packet accounting.
+//! Any divergence means the refactor changed event ordering or packet
+//! semantics, not just code structure.
+
+use ampnet::chaos::{FaultOp, Scenario, Traffic};
+use ampnet_core::{ClusterConfig, SimDuration};
+use ampnet_phy::LinkParams;
+use ampnet_ring::{Segment, SegmentParams};
+
+/// Pre-refactor `Trace::digest()` of the fixed chaos scenario below.
+const GOLDEN_TRACE_DIGEST: u64 = 0x024e2491afb824f9;
+
+/// Pre-refactor delivery accounting of the fixed all-to-all segment.
+const GOLDEN_SEG_DELIVERED: u64 = 79705;
+const GOLDEN_SEG_PER_SOURCE: [u64; 6] =
+    [102696, 110640, 138184, 115392, 64112, 106616];
+
+fn golden_scenario() -> Scenario {
+    Scenario::builder(ClusterConfig::small(6).with_seed(0xA11CE))
+        .traffic(Traffic::all_to_all())
+        .traffic(Traffic::ping_pong(1, 4))
+        .fault_in(
+            SimDuration::from_millis(8),
+            FaultOp::ErrorBurst { node: 2, seed: 77, errors: 9 },
+        )
+        .fault_in(SimDuration::from_millis(14), FaultOp::CrashNode(3))
+        .fault_in(SimDuration::from_millis(22), FaultOp::CutFiber(0, 1))
+        .standard_invariants()
+        .build()
+}
+
+#[test]
+fn chaos_trace_digest_matches_pre_refactor_golden() {
+    let report = golden_scenario().run();
+    assert!(report.ok(), "{}", report.summary());
+    assert_eq!(
+        report.trace_digest, GOLDEN_TRACE_DIGEST,
+        "trace digest diverged from the pre-refactor golden \
+         (got {:#018x}); the refactor changed observable behavior",
+        report.trace_digest
+    );
+}
+
+#[test]
+fn segment_all_to_all_matches_pre_refactor_golden() {
+    let mut seg = Segment::new(
+        SegmentParams {
+            n_nodes: 6,
+            link: LinkParams::gigabit(25.0),
+            ..Default::default()
+        },
+        0xBEEF,
+    );
+    seg.all_to_all_broadcast(1.5);
+    let r = seg.run_for(SimDuration::from_millis(3));
+    assert_eq!(r.drops, 0);
+    assert_eq!(
+        (r.delivered_packets, r.per_source_bytes.as_slice()),
+        (GOLDEN_SEG_DELIVERED, GOLDEN_SEG_PER_SOURCE.as_slice()),
+        "segment accounting diverged from the pre-refactor golden"
+    );
+}
+
+/// Prints the goldens (run with --nocapture and --ignored to refresh).
+#[test]
+#[ignore = "golden refresh helper, not a check"]
+fn print_goldens() {
+    let report = golden_scenario().run();
+    println!("GOLDEN_TRACE_DIGEST = {:#018x}", report.trace_digest);
+    let mut seg = Segment::new(
+        SegmentParams {
+            n_nodes: 6,
+            link: LinkParams::gigabit(25.0),
+            ..Default::default()
+        },
+        0xBEEF,
+    );
+    seg.all_to_all_broadcast(1.5);
+    let r = seg.run_for(SimDuration::from_millis(3));
+    println!("GOLDEN_SEG_DELIVERED = {}", r.delivered_packets);
+    println!("GOLDEN_SEG_PER_SOURCE = {:?}", r.per_source_bytes);
+}
