@@ -5,20 +5,30 @@
 //! cargo run -p ampnet-bench --release --bin figures -- E8    # one experiment
 //! cargo run -p ampnet-bench --release --bin figures -- --json out.json
 //! cargo run -p ampnet-bench --release --bin figures -- --bench-ring BENCH_ring.json
+//! cargo run -p ampnet-bench --release --bin figures -- --metrics METRICS_snapshot.json
+//! cargo run -p ampnet-bench --release --bin figures -- --metrics-doc > docs/METRICS.md
 //! ```
 //!
 //! `--bench-ring` runs the data-plane perf baseline: a 6-node segment
 //! under 1.5x all-to-all broadcast, once with the zero-copy frame
-//! arena (the shipping path) and once with the legacy per-hop heap
-//! serialization cost model, counting heap allocations with an
-//! instrumented global allocator. The JSON snapshot is committed so
-//! regressions in per-packet allocation count show up in review.
+//! arena (the shipping path), once with the legacy per-hop heap
+//! serialization cost model, and once with the arena path plus live
+//! telemetry, counting heap allocations with an instrumented global
+//! allocator. The JSON snapshot is committed so regressions in
+//! per-packet allocation count — or telemetry overhead creeping onto
+//! the hot path — show up in review.
+//!
+//! `--metrics` runs the deterministic full-stack telemetry exercise
+//! (`ampnet_bench::metrics`) and writes the registry snapshot; same
+//! seed ⇒ byte-identical JSON. `--metrics-doc` prints the generated
+//! `docs/METRICS.md` metrics reference.
 
 use ampnet_bench::experiments as ex;
 use ampnet_bench::host_seqlock::e5_host_seqlock;
 use ampnet_bench::report::{tables_to_json, Table};
 use ampnet_ring::{Segment, SegmentParams};
 use ampnet_sim::SimDuration;
+use ampnet_telemetry::{defs, Telemetry};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -57,9 +67,12 @@ struct RingLeg {
     tour_p99_ns: u64,
 }
 
-/// One leg of the before/after comparison. `heap_serialize` replays
-/// the pre-arena cost model (decode + heap-serialize on every hop).
-fn ring_leg(heap_serialize: bool) -> RingLeg {
+/// One leg of the comparison. `heap_serialize` replays the pre-arena
+/// cost model (decode + heap-serialize on every hop); `telemetry`
+/// runs the shipping path with a live registry + flight recorder.
+/// Telemetry registration happens before the measured window — the
+/// record path itself must not allocate.
+fn ring_leg(heap_serialize: bool, telemetry: bool) -> RingLeg {
     let params = SegmentParams {
         n_nodes: 6,
         link: ampnet_phy::LinkParams::gigabit(25.0),
@@ -68,6 +81,10 @@ fn ring_leg(heap_serialize: bool) -> RingLeg {
     let mut seg = Segment::new(params, 0xBEEF);
     seg.all_to_all_broadcast(1.5);
     seg.set_heap_serialize(heap_serialize);
+    let tel = telemetry.then(|| Telemetry::new(256));
+    if let Some(tel) = &tel {
+        seg.enable_telemetry(tel);
+    }
     let before = ALLOCS.load(Ordering::Relaxed);
     let r = seg.run_for(SimDuration::from_millis(3));
     let allocs = ALLOCS.load(Ordering::Relaxed) - before;
@@ -99,12 +116,23 @@ fn leg_json(leg: &RingLeg) -> String {
 
 fn bench_ring(path: &str) {
     // Warm-up leg absorbs one-time lazy init (thread-locals, stdout
-    // buffers) so neither measured leg is charged for it.
-    let _ = ring_leg(false);
-    let arena = ring_leg(false);
-    let heap = ring_leg(true);
+    // buffers) so no measured leg is charged for it.
+    let _ = ring_leg(false, false);
+    let arena = ring_leg(false, false);
+    let heap = ring_leg(true, false);
+    let arena_telemetry = ring_leg(false, true);
     let reduction_pct = if heap.allocs_per_packet > 0.0 {
         100.0 * (1.0 - arena.allocs_per_packet / heap.allocs_per_packet)
+    } else {
+        0.0
+    };
+    // Extra per-packet allocations attributable to live telemetry,
+    // relative to the heap-serialize baseline spread (the quantity the
+    // arena refactor bought). CI fails the telemetry job when this
+    // exceeds 5%.
+    let telemetry_overhead_pct = if heap.allocs_per_packet > 0.0 {
+        100.0 * (arena_telemetry.allocs_per_packet - arena.allocs_per_packet)
+            / heap.allocs_per_packet
     } else {
         0.0
     };
@@ -115,14 +143,34 @@ fn bench_ring(path: &str) {
             "  \"duration_ms\": 3,\n",
             "  \"arena\": {},\n",
             "  \"heap_serialize\": {},\n",
-            "  \"alloc_reduction_pct\": {:.2}\n}}\n"
+            "  \"arena_telemetry\": {},\n",
+            "  \"alloc_reduction_pct\": {:.2},\n",
+            "  \"telemetry_overhead_pct\": {:.2}\n}}\n"
         ),
         leg_json(&arena),
         leg_json(&heap),
+        leg_json(&arena_telemetry),
         reduction_pct,
+        telemetry_overhead_pct,
     );
     std::fs::write(path, &json).expect("write bench json");
     print!("{json}");
+    println!("wrote {path}");
+}
+
+/// `--metrics`: run the deterministic full-stack telemetry exercise
+/// and write the registry snapshot as JSON. Same seed ⇒ byte-identical
+/// output.
+fn metrics_snapshot(path: &str) {
+    let ex = ampnet_bench::metrics::telemetry_exercise(0xA3B1);
+    let snap = ex.snapshot();
+    let json = snap.to_json();
+    std::fs::write(path, &json).expect("write metrics snapshot");
+    println!(
+        "telemetry exercise: {} metric entries, {} flight event(s) recorded",
+        snap.entries.len(),
+        ex.tel.flight_recorded(),
+    );
     println!("wrote {path}");
 }
 
@@ -156,6 +204,18 @@ fn main() {
             .map(String::as_str)
             .unwrap_or("BENCH_ring.json");
         bench_ring(path);
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--metrics") {
+        let path = args
+            .get(i + 1)
+            .map(String::as_str)
+            .unwrap_or("METRICS_snapshot.json");
+        metrics_snapshot(path);
+        return;
+    }
+    if args.iter().any(|a| a == "--metrics-doc") {
+        print!("{}", defs::reference_doc());
         return;
     }
     let quick = args.iter().any(|a| a == "--quick");

@@ -6,4 +6,5 @@
 
 pub mod experiments;
 pub mod host_seqlock;
+pub mod metrics;
 pub mod report;

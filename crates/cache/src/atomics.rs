@@ -78,6 +78,7 @@ pub fn execute(
             0,
         );
     }
+    cache.note_atomic();
     let response = build::atomic_response(cache.node(), requester, req.op, previous);
     Ok(AtomicEffect {
         previous,

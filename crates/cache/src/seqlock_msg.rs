@@ -93,6 +93,7 @@ pub fn write_record(
         channel,
         stream,
     )?);
+    cache.note_seqlock_write();
     Ok(pkts)
 }
 
@@ -101,6 +102,7 @@ pub fn try_read(cache: &NetworkCache, layout: RecordLayout) -> Result<ReadOutcom
     let c1 = cache.read_u64(layout.region, layout.offset)?;
     let c2 = cache.read_u64(layout.region, layout.counter2_offset())?;
     if c1 != c2 {
+        cache.note_seqlock_read(false);
         return Ok(ReadOutcome::Busy);
     }
     let data = cache
@@ -108,8 +110,10 @@ pub fn try_read(cache: &NetworkCache, layout: RecordLayout) -> Result<ReadOutcom
         .to_vec();
     let c1_again = cache.read_u64(layout.region, layout.offset)?;
     if c1_again != c1 {
+        cache.note_seqlock_read(false);
         return Ok(ReadOutcome::Busy);
     }
+    cache.note_seqlock_read(true);
     Ok(ReadOutcome::Ok {
         data,
         generation: c1,

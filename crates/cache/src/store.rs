@@ -9,6 +9,7 @@
 
 use ampnet_packet::{build, DmaCtrl, MicroPacket, BROADCAST, MAX_DMA_PAYLOAD};
 use ampnet_phy::crc32;
+use ampnet_telemetry::{defs, CounterHandle, Telemetry};
 
 /// Identifier of a cache region (the DMA control `region` byte).
 pub type RegionId = u8;
@@ -53,6 +54,31 @@ impl std::fmt::Display for CacheError {
 
 impl std::error::Error for CacheError {}
 
+/// Per-replica handles into a shared telemetry registry (inert until
+/// [`NetworkCache::set_telemetry`]).
+#[derive(Debug, Clone)]
+struct CacheTelemetry {
+    tel: Telemetry,
+    updates: CounterHandle,
+    seq_writes: CounterHandle,
+    seq_reads_ok: CounterHandle,
+    seq_reads_busy: CounterHandle,
+    atomics: CounterHandle,
+}
+
+impl CacheTelemetry {
+    fn disabled() -> Self {
+        CacheTelemetry {
+            tel: Telemetry::disabled(),
+            updates: CounterHandle::NONE,
+            seq_writes: CounterHandle::NONE,
+            seq_reads_ok: CounterHandle::NONE,
+            seq_reads_busy: CounterHandle::NONE,
+            atomics: CounterHandle::NONE,
+        }
+    }
+}
+
 /// One node's replica of the network cache.
 #[derive(Debug, Clone)]
 pub struct NetworkCache {
@@ -60,6 +86,7 @@ pub struct NetworkCache {
     regions: Vec<Option<Vec<u8>>>,
     /// Writes applied (local + remote), for audit.
     applied_writes: u64,
+    telemetry: CacheTelemetry,
 }
 
 impl NetworkCache {
@@ -69,7 +96,42 @@ impl NetworkCache {
             node,
             regions: vec![None; 256],
             applied_writes: 0,
+            telemetry: CacheTelemetry::disabled(),
         }
+    }
+
+    /// Register this replica's cache-plane counters in `tel`. All
+    /// registration happens here; the counting paths are zero-alloc
+    /// and work through `&self` (the read protocol never takes `&mut`).
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.telemetry = CacheTelemetry {
+            tel: tel.clone(),
+            updates: tel.counter(&defs::CACHE_UPDATES_APPLIED, self.node),
+            seq_writes: tel.counter(&defs::CACHE_SEQLOCK_WRITES, self.node),
+            seq_reads_ok: tel.counter(&defs::CACHE_SEQLOCK_READS_OK, self.node),
+            seq_reads_busy: tel.counter(&defs::CACHE_SEQLOCK_READS_BUSY, self.node),
+            atomics: tel.counter(&defs::CACHE_ATOMICS_EXECUTED, self.node),
+        };
+    }
+
+    /// Count a published seqlock record (crate-internal hook).
+    pub(crate) fn note_seqlock_write(&self) {
+        self.telemetry.tel.inc(self.telemetry.seq_writes);
+    }
+
+    /// Count a seqlock read attempt's outcome (crate-internal hook).
+    pub(crate) fn note_seqlock_read(&self, ok: bool) {
+        let h = if ok {
+            self.telemetry.seq_reads_ok
+        } else {
+            self.telemetry.seq_reads_busy
+        };
+        self.telemetry.tel.inc(h);
+    }
+
+    /// Count an executed D64 atomic (crate-internal hook).
+    pub(crate) fn note_atomic(&self) {
+        self.telemetry.tel.inc(self.telemetry.atomics);
     }
 
     /// The owning node id (used as the source of update packets).
@@ -181,6 +243,7 @@ impl NetworkCache {
         if let ampnet_packet::Body::Variable { ctrl, .. } = &pkt.body {
             let payload = pkt.dma_payload().expect("variable body");
             self.apply_dma(ctrl, payload)?;
+            self.telemetry.tel.inc(self.telemetry.updates);
             return Ok(true);
         }
         Ok(false)

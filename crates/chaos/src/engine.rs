@@ -19,6 +19,10 @@ const HEARTBEAT_OFFSET: u32 = 4160;
 const STORM_BASE: u32 = 8192;
 const STORM_STRIDE: u32 = 64;
 
+/// Flight-recorder ring depth for chaos runs: enough to hold the
+/// plane events surrounding the last few fault reactions.
+const FLIGHT_CAPACITY: usize = 1024;
+
 /// One invariant violation. Only the first violation of each
 /// invariant is recorded per run.
 #[derive(Debug, Clone)]
@@ -57,6 +61,9 @@ pub struct RunReport {
     pub trace_digest: u64,
     /// Rendered milestone trace; populated only for failing runs.
     pub trace_dump: String,
+    /// Flight-recorder timeline (the last plane events before the
+    /// first violation); populated only for failing runs.
+    pub flight_dump: String,
 }
 
 impl RunReport {
@@ -95,6 +102,7 @@ impl Scenario {
     pub fn run(&self) -> RunReport {
         let mut cluster = Cluster::new(self.cfg.clone());
         cluster.enable_trace(self.trace_capacity);
+        cluster.enable_telemetry(FLIGHT_CAPACITY);
         cluster.run_for(self.warmup);
 
         let active = self.step.saturating_mul(self.steps as u64);
@@ -127,10 +135,10 @@ impl Scenario {
             &mut violations,
         );
 
-        let trace_dump = if violations.is_empty() {
-            String::new()
+        let (trace_dump, flight_dump) = if violations.is_empty() {
+            (String::new(), String::new())
         } else {
-            cluster.trace().dump()
+            (cluster.trace().dump(), cluster.flight_dump())
         };
         RunReport {
             seed: self.cfg.seed,
@@ -143,6 +151,7 @@ impl Scenario {
             final_time: cluster.now(),
             trace_digest: cluster.trace().digest(),
             trace_dump,
+            flight_dump,
         }
     }
 }
@@ -359,6 +368,7 @@ mod tests {
         assert_eq!(report.delivered, 6);
         assert_eq!(report.doomed, 0);
         assert!(report.trace_dump.is_empty(), "dump only on failure");
+        assert!(report.flight_dump.is_empty(), "flight dump only on failure");
     }
 
     #[test]
@@ -418,6 +428,11 @@ mod tests {
         assert_eq!(report.violations.len(), 1);
         assert_eq!(report.violations[0].invariant, "always-fails");
         assert!(!report.trace_dump.is_empty(), "failing runs dump the trace");
+        assert!(
+            report.flight_dump.starts_with("flight recorder:"),
+            "failing runs attach the flight-recorder timeline: {:?}",
+            report.flight_dump
+        );
         assert!(report.summary().contains("VIOLATION"));
     }
 }

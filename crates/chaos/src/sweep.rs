@@ -46,12 +46,13 @@ impl SweepOutcome {
         );
         for f in &self.failures {
             s.push_str(&format!(
-                "\nseed {} failed; shrunk {} -> {} fault(s); minimal digest {:#018x}\n{}",
+                "\nseed {} failed; shrunk {} -> {} fault(s); minimal digest {:#018x}\n{}\n{}",
                 f.seed,
                 f.report.violations.len().max(1), // at least the schedule itself
                 f.minimal_faults.len(),
                 f.minimal_report.trace_digest,
                 f.minimal_report.summary(),
+                f.minimal_report.flight_dump,
             ));
         }
         s
@@ -161,5 +162,10 @@ mod tests {
         assert!(matches!(case.minimal_faults[0].op, FaultOp::CrashNode(_)));
         assert!(!case.minimal_report.ok());
         assert!(!case.minimal_report.trace_dump.is_empty());
+        assert!(
+            !case.minimal_report.flight_dump.is_empty(),
+            "the shrunk schedule carries a flight-recorder dump"
+        );
+        assert!(outcome.summary().contains("flight recorder:"));
     }
 }

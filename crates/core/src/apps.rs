@@ -430,7 +430,11 @@ pub(crate) fn on_sem_transition(cluster: &mut Cluster, node: u8) {
                 .as_ref()
                 .and_then(|s| s.acquire_started())
             {
-                app.acquire_latency.record((now - t0).as_nanos());
+                let latency = (now - t0).as_nanos();
+                app.acquire_latency.record(latency);
+                cluster
+                    .tel
+                    .sem_acquired(now, node, app.cfg.addr.offset, latency);
             }
             cluster
                 .sim
@@ -573,7 +577,15 @@ pub(crate) fn on_seq_reader_tick(cluster: &mut Cluster, node: u8) {
                         app.report.torn += 1;
                     }
                 }
-                ReadOutcome::Busy => app.report.reads_busy += 1,
+                ReadOutcome::Busy => {
+                    app.report.reads_busy += 1;
+                    cluster.tel.seqlock_busy(
+                        now,
+                        node,
+                        app.cfg.layout.region,
+                        app.cfg.layout.offset,
+                    );
+                }
             }
         } else {
             let data = seqlock_msg::read_unguarded(cluster.cache(node), app.cfg.layout)

@@ -16,6 +16,7 @@
 
 use crate::config::ClusterConfig;
 use crate::observe::ObservedEvent;
+use crate::telemetry::CoreTelemetry;
 use ampnet_cache::seqlock_msg::{self, ReadOutcome, RecordLayout};
 use ampnet_cache::{NetworkCache, SemaphoreClient};
 use ampnet_dk::{AssimilationFailure, JoinRequest};
@@ -27,6 +28,7 @@ use ampnet_services::msg::{Datagram, MsgRx, MsgTx};
 use ampnet_services::socket::{AmpIp, Received, SockAddr, SocketError};
 use ampnet_services::threads::{TaskKind, TaskTable};
 use ampnet_sim::{Level, Sim, SimDuration, SimTime, Trace};
+use ampnet_telemetry::{MetricsSnapshot, Telemetry};
 use ampnet_topo::montecarlo::Component;
 use ampnet_topo::{LogicalRing, NodeId, Topology};
 use std::collections::VecDeque;
@@ -140,6 +142,8 @@ pub struct Cluster {
     pub(crate) known_spare_faults: std::collections::HashSet<String>,
     /// Journal of externally visible transitions (see `observe.rs`).
     pub(crate) observations: Vec<(SimTime, ObservedEvent)>,
+    /// Cluster-wide telemetry handles (disabled by default).
+    pub(crate) tel: CoreTelemetry,
     /// Reusable same-instant event batch (allocated once).
     batch: Vec<(SimTime, Ev)>,
 }
@@ -204,6 +208,7 @@ impl Cluster {
             spare_faults: vec![],
             known_spare_faults: Default::default(),
             observations: vec![],
+            tel: Default::default(),
             batch: vec![],
             cfg,
         };
@@ -290,7 +295,72 @@ impl Cluster {
 
     pub(crate) fn observe(&mut self, ev: ObservedEvent) {
         let now = self.sim.now();
+        match &ev {
+            ObservedEvent::SpareFault(_) => self.tel.spare_fault(),
+            ObservedEvent::RosterStarted { epoch } => self.tel.roster_started(now, *epoch),
+            ObservedEvent::RingRestored { epoch, ring_len } => {
+                self.tel.ring_restored(now, *epoch, *ring_len)
+            }
+            ObservedEvent::JoinRejected(node) => self.tel.join_rejected(now, *node),
+            ObservedEvent::NodeOnline(node) => self.tel.node_online(now, *node),
+            ObservedEvent::ErrorBurstEscalated { .. } => self.tel.burst_escalated(),
+            ObservedEvent::ErrorBurstAbsorbed { .. } => self.tel.burst_absorbed(),
+            _ => {}
+        }
         self.observations.push((now, ev));
+    }
+
+    // ----- telemetry -----
+
+    /// Enable per-plane telemetry: one shared registry spanning PHY,
+    /// MAC, delivery, cache, services and the control plane, plus a
+    /// flight recorder retaining the last `flight_capacity` plane
+    /// events. Same config + seed ⇒ byte-identical
+    /// [`Cluster::metrics_snapshot`] JSON.
+    pub fn enable_telemetry(&mut self, flight_capacity: usize) {
+        self.enable_telemetry_with(&Telemetry::new(flight_capacity));
+    }
+
+    /// Attach an existing [`Telemetry`] handle instead of creating one,
+    /// letting several drivers (e.g. a cluster and a standalone ring
+    /// segment) share one registry and one flight recorder.
+    pub fn enable_telemetry_with(&mut self, tel: &Telemetry) {
+        self.tel = CoreTelemetry::new(tel);
+        for (i, ctx) in self.nodes.iter_mut().enumerate() {
+            ctx.stack.instrument(tel);
+            ctx.cache.set_telemetry(tel);
+            ctx.msg_tx.instrument(tel);
+            ctx.msg_rx.instrument(tel, i as u8);
+        }
+    }
+
+    /// Whether [`Cluster::enable_telemetry`] has been called.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.tel.tel.enabled()
+    }
+
+    /// The shared telemetry handle (disabled unless
+    /// [`Cluster::enable_telemetry`] ran).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel.tel
+    }
+
+    /// Point-in-time snapshot of every registered instrument. Gauges
+    /// (MAC occupancy, arena pool state) are refreshed first. Empty
+    /// when telemetry is disabled.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        for ctx in &self.nodes {
+            ctx.stack.publish_metrics();
+            ctx.stack.telemetry.set_backoffs(ctx.stack.mac.backoffs());
+        }
+        self.tel.publish_arena(&self.arena);
+        self.tel.tel.snapshot()
+    }
+
+    /// Render the flight-recorder timeline (empty when telemetry is
+    /// disabled).
+    pub fn flight_dump(&self) -> String {
+        self.tel.tel.flight_dump()
     }
 
     /// Join attempts rejected by DK policy.

@@ -34,6 +34,7 @@ mod diagnostics;
 mod membership;
 mod multiseg;
 mod observe;
+mod telemetry;
 mod transport;
 
 pub use apps::{
@@ -58,5 +59,6 @@ pub use ampnet_dk::{
     FailoverPolicy, Features, JoinRequest, RecoveryRule, Version,
 };
 pub use ampnet_sim::{SimDuration, SimTime};
+pub use ampnet_telemetry::{MetricsSnapshot, Telemetry};
 pub use ampnet_topo::montecarlo::Component;
 pub use ampnet_topo::{NodeId, SwitchId};

@@ -23,9 +23,10 @@ impl Cluster {
     pub(crate) fn apply_error_burst(&mut self, node: u8, seed: u64, errors: u32) {
         // Hand the burst to the PHY plane of the afflicted node; its
         // 8b/10b checker decides whether anything is detectable.
+        let now = self.sim.now();
         let detected = self.nodes[node as usize]
             .stack
-            .inject_fault(PlaneFault::Phy { seed, errors });
+            .inject_fault_at(now, PlaneFault::Phy { seed, errors });
         self.observe(ObservedEvent::ErrorBurst { node, errors, detected });
         self.log(
             Level::Warn,
@@ -149,6 +150,7 @@ impl Cluster {
         // outage duration itself must not count against the window.
         let expiry = self.quiet_tour().saturating_mul(2);
         let replay_after = self.ring_down_at - expiry.min(SimDuration::from_nanos(self.ring_down_at.as_nanos()));
+        let now = self.sim.now();
         for i in 0..self.nodes.len() {
             if !self.nodes[i].online {
                 self.nodes[i].outstanding.clear();
@@ -158,14 +160,18 @@ impl Cluster {
             let replay: Vec<MicroPacket> = self.nodes[i].outstanding.drain(..).collect();
             let unicast: Vec<(SimTime, MicroPacket)> =
                 self.nodes[i].outstanding_unicast.drain(..).collect();
+            let bcast_count = replay.len() as u64;
+            let mut ucast_count = 0u64;
             for p in replay {
                 self.enqueue_own(i as u8, p);
             }
             for (t, p) in unicast {
                 if t >= replay_after {
+                    ucast_count += 1;
                     self.enqueue_own(i as u8, p);
                 }
             }
+            self.tel.replayed(now, i as u8, bcast_count, ucast_count);
         }
         self.kick_all();
         self.start_certification();
@@ -236,6 +242,7 @@ impl Cluster {
             .find(|&i| i != node as usize && self.nodes[i].online);
         if let Some(s) = sponsor {
             let snapshot = self.nodes[s].cache.clone();
+            let tel = self.tel.tel.clone();
             let me = &mut self.nodes[node as usize];
             let id = me.cache.node();
             me.cache = snapshot;
@@ -248,6 +255,9 @@ impl Cluster {
                 let _ = rehomed.write(region, 0, data, 0, 0);
             }
             me.cache = rehomed;
+            // The rehomed replica carries the sponsor's (or default)
+            // telemetry handles; re-register under this node's label.
+            me.cache.set_telemetry(&tel);
         }
         self.nodes[node as usize].online = true;
         self.observe(ObservedEvent::NodeOnline(node));

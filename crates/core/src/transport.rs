@@ -250,6 +250,7 @@ impl Cluster {
                     // Packet lost in a ring reconfiguration: recycle
                     // the in-flight frame.
                     self.arena.release(frame);
+                    self.tel.stale_frame(self.sim.now(), node, epoch);
                     return;
                 }
                 let now = self.sim.now();

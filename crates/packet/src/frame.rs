@@ -1,18 +1,39 @@
 //! Pooled zero-copy wire buffers for the node data-plane.
 //!
-//! The simulators used to pass whole [`MicroPacket`] values (and their
-//! `to_vec()` serializations) through every hop of the ring. The
-//! [`FrameArena`] replaces that with the register-insertion pipeline
-//! the paper describes: a packet is serialized **once** at its source
-//! into a pooled frame slot ([`MicroPacket::encode_into`]), transit
-//! nodes forward the 8-byte [`FrameRef`] handle, and only the delivery
-//! plane materializes a packet again — via the borrowing
-//! [`FrameView`] / [`MicroPacket::decode_ref`] path.
+//! The simulators used to pass whole [`MicroPacket`] values through
+//! every hop of the ring, re-serializing them with the now-deprecated
+//! `MicroPacket::to_vec` each time. The [`FrameArena`] replaces that
+//! with the register-insertion pipeline the paper describes: a packet
+//! is serialized **once** at its source into a pooled frame slot
+//! ([`MicroPacket::encode_into`]), transit nodes forward the 8-byte
+//! [`FrameRef`] handle, and only the delivery plane materializes a
+//! packet again — via the borrowing [`FrameView`] /
+//! [`MicroPacket::decode_ref`] path.
 //!
 //! Slots are recycled through a free list, so a steady-state ring
 //! forwards packets with zero heap allocations. Frames carry a
 //! generation counter: using a released [`FrameRef`] panics
 //! deterministically instead of aliasing another packet's bytes.
+//!
+//! ```
+//! use ampnet_packet::{Body, ControlWord, FrameArena, MicroPacket, PacketType};
+//!
+//! let mut arena = FrameArena::new();
+//! let ctrl = ControlWord::new(PacketType::Data, 2, 5, 7);
+//! let pkt = MicroPacket::new(ctrl, Body::Fixed([0xAB; 8])).unwrap();
+//!
+//! // Source: serialize once into a pooled slot.
+//! let frame = arena.insert(&pkt);
+//!
+//! // Transit/delivery: borrow the words, never copy the payload.
+//! let view = arena.view(frame);
+//! assert_eq!(view.ctrl.dst, 5);
+//! assert_eq!(view.to_packet(), pkt);
+//!
+//! // Strip: the slot returns to the free list for the next insert.
+//! arena.release(frame);
+//! assert_eq!(arena.live(), 0);
+//! ```
 
 use crate::control::ControlWord;
 use crate::types::LengthClass;
@@ -262,9 +283,9 @@ impl FrameArena {
         self.try_insert(pkt).expect("frame arena exhausted")
     }
 
-    /// Adopt already-serialized packet bytes (the legacy
-    /// `to_vec()`-per-hop path, kept for the before/after bench and
-    /// for ingesting frames off a real deserializer).
+    /// Adopt already-serialized packet bytes — for ingesting frames
+    /// off a real deserializer, and for the legacy serialize-per-hop
+    /// cost model the before/after bench replays.
     pub fn insert_bytes(&mut self, bytes: &[u8]) -> Result<FrameRef, PacketError> {
         if bytes.is_empty()
             || !bytes.len().is_multiple_of(WORD)

@@ -50,5 +50,6 @@ pub use segment::{
 };
 pub use stack::{
     DeliveryPlane, HostQueues, NodeStack, PhyPort, PlaneFault, SerialPhy, StackOutcome,
+    StackTelemetry,
 };
 pub use stream::{StreamId, StreamSet, WireSized};

@@ -20,11 +20,14 @@
 //! is a [`PlaneFault::Phy`] assessed by the [`PhyPort`]'s 8b/10b
 //! checker.
 
-use crate::mac::{InsertionMac, MacAction, MacTx, RegisterMac, WireFrame};
+use crate::mac::{InsertionMac, MacAction, MacTx, RegisterMac, RingNodeStats, WireFrame};
 use crate::stream::StreamId;
 use ampnet_packet::{FrameArena, FrameRef, FrameView, MicroPacket};
 use ampnet_phy::LinkParams;
 use ampnet_sim::{SimDuration, SimTime};
+use ampnet_telemetry::{
+    defs, CounterHandle, FlightEvent, FlightKind, GaugeHandle, Plane, Telemetry,
+};
 use std::collections::VecDeque;
 
 /// The PHY plane: serialization timing and the 8b/10b line interface.
@@ -57,8 +60,9 @@ pub struct SerialPhy {
     /// (elasticity buffer + one word re-timing).
     pub node_latency: SimDuration,
     /// Legacy mode for the before/after allocation bench: serialize
-    /// the packet afresh on **every** hop (decode + heap `to_vec`),
-    /// the way the pre-arena data-plane paid for forwarding.
+    /// the packet afresh on **every** hop (decode + heap re-encode,
+    /// the cost the deprecated `MicroPacket::to_vec` path paid), the
+    /// way the pre-arena data-plane paid for forwarding.
     pub heap_serialize: bool,
     /// Frames clocked out by this port.
     pub tx_frames: u64,
@@ -192,6 +196,106 @@ pub enum PlaneFault {
     },
 }
 
+/// Per-node handles into a shared [`Telemetry`] registry, one per
+/// plane metric of this stack. Constructed disabled by default; the
+/// owning `Segment`/`Cluster` calls [`NodeStack::instrument`] to make
+/// the stack record.
+///
+/// Recording through these handles is zero-alloc: registration (here,
+/// at setup time) is the only allocating step.
+#[derive(Debug, Clone)]
+pub struct StackTelemetry {
+    tel: Telemetry,
+    node: u8,
+    phy_tx: CounterHandle,
+    bursts: CounterHandle,
+    bit_errors: CounterHandle,
+    violations: CounterHandle,
+    inserted: CounterHandle,
+    forwarded: CounterHandle,
+    stripped: CounterHandle,
+    would_drop: GaugeHandle,
+    transit_hw: GaugeHandle,
+    backoffs: GaugeHandle,
+    dl_frames: CounterHandle,
+    dl_bytes: CounterHandle,
+}
+
+impl Default for StackTelemetry {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl StackTelemetry {
+    /// Inert handles: every record call is a no-op.
+    pub fn disabled() -> Self {
+        StackTelemetry {
+            tel: Telemetry::disabled(),
+            node: 0,
+            phy_tx: CounterHandle::NONE,
+            bursts: CounterHandle::NONE,
+            bit_errors: CounterHandle::NONE,
+            violations: CounterHandle::NONE,
+            inserted: CounterHandle::NONE,
+            forwarded: CounterHandle::NONE,
+            stripped: CounterHandle::NONE,
+            would_drop: GaugeHandle::NONE,
+            transit_hw: GaugeHandle::NONE,
+            backoffs: GaugeHandle::NONE,
+            dl_frames: CounterHandle::NONE,
+            dl_bytes: CounterHandle::NONE,
+        }
+    }
+
+    /// Register this node's plane instruments in `tel`.
+    pub fn new(tel: &Telemetry, node: u8) -> Self {
+        StackTelemetry {
+            tel: tel.clone(),
+            node,
+            phy_tx: tel.counter(&defs::PHY_TX_FRAMES, node),
+            bursts: tel.counter(&defs::PHY_BURSTS_INJECTED, node),
+            bit_errors: tel.counter(&defs::PHY_BURST_BIT_ERRORS, node),
+            violations: tel.counter(&defs::PHY_BURST_VIOLATIONS, node),
+            inserted: tel.counter(&defs::MAC_INSERTED, node),
+            forwarded: tel.counter(&defs::MAC_FORWARDED, node),
+            stripped: tel.counter(&defs::MAC_STRIPPED, node),
+            would_drop: tel.gauge(&defs::MAC_WOULD_DROP, node),
+            transit_hw: tel.gauge(&defs::MAC_TRANSIT_HIGHWATER, node),
+            backoffs: tel.gauge(&defs::MAC_BACKOFFS, node),
+            dl_frames: tel.counter(&defs::DELIVERY_FRAMES, node),
+            dl_bytes: tel.counter(&defs::DELIVERY_PAYLOAD_BYTES, node),
+        }
+    }
+
+    /// Sync the MAC gauges from the MAC's own counters (called before
+    /// a snapshot; gauges are sampled, not pushed).
+    pub fn publish_mac_gauges(&self, stats: &RingNodeStats) {
+        self.tel.set(self.would_drop, stats.would_drop as i64);
+        self.tel.set(self.transit_hw, stats.transit_highwater as i64);
+    }
+
+    /// Publish the pacing governor's backoff count (lives outside the
+    /// [`InsertionMac`] trait, so the owner samples it explicitly).
+    pub fn set_backoffs(&self, backoffs: u64) {
+        self.tel.set(self.backoffs, backoffs as i64);
+    }
+
+    #[inline]
+    fn delivered(&self, now: SimTime, wf: &WireFrame) {
+        self.tel.inc(self.dl_frames);
+        self.tel.add(self.dl_bytes, wf.payload_bytes as u64);
+        self.tel.flight(FlightEvent {
+            at_ns: now.0,
+            node: self.node,
+            plane: Plane::Delivery,
+            kind: FlightKind::MacDeliver,
+            a: wf.ctrl.src as u64,
+            b: wf.payload_bytes as u64,
+        });
+    }
+}
+
 /// What happened to a frame that arrived off the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StackOutcome {
@@ -207,6 +311,32 @@ pub enum StackOutcome {
 
 /// One node's layered data-plane: `phy` (serialization, 8b/10b),
 /// `mac` (insertion register + pacing), `delivery` (host queues).
+///
+/// # Example
+///
+/// A two-node hop: node 0 inserts a unicast packet, node 1 delivers it
+/// and the pooled frame is recycled.
+///
+/// ```
+/// use ampnet_packet::{build, FrameArena};
+/// use ampnet_ring::{NodeStack, PacingMode, RingNodeParams, StackOutcome};
+/// use ampnet_phy::LinkParams;
+/// use ampnet_sim::{SimDuration, SimTime};
+///
+/// let mut arena = FrameArena::new();
+/// let params = RingNodeParams { pacing: PacingMode::Greedy, ..Default::default() };
+/// let mk = |id| NodeStack::with_defaults(
+///     id, params, LinkParams::default(),
+///     SimDuration::from_nanos(60), 2,
+/// );
+/// let (mut tx, mut rx) = (mk(0), mk(1));
+///
+/// tx.enqueue_packet(&mut arena, 0, &build::data(0, 1, 0, [7; 8]));
+/// let sent = tx.next_tx(SimTime(0), &arena).expect("eligible to insert");
+/// let outcome = rx.on_wire_arrival(SimTime(100), &mut arena, sent.frame.frame);
+/// assert_eq!(outcome, StackOutcome::Delivered);
+/// assert_eq!(arena.live(), 0, "delivery recycled the frame slot");
+/// ```
 #[derive(Debug)]
 pub struct NodeStack<P: PhyPort = SerialPhy, M: InsertionMac = RegisterMac, D: DeliveryPlane = HostQueues>
 {
@@ -216,12 +346,27 @@ pub struct NodeStack<P: PhyPort = SerialPhy, M: InsertionMac = RegisterMac, D: D
     pub mac: M,
     /// The delivery plane.
     pub delivery: D,
+    /// Per-plane metric handles (inert until [`NodeStack::instrument`]).
+    pub telemetry: StackTelemetry,
 }
 
 impl<P: PhyPort, M: InsertionMac, D: DeliveryPlane> NodeStack<P, M, D> {
     /// Assemble a stack from its planes.
     pub fn new(phy: P, mac: M, delivery: D) -> Self {
-        NodeStack { phy, mac, delivery }
+        NodeStack { phy, mac, delivery, telemetry: StackTelemetry::disabled() }
+    }
+
+    /// Attach this stack to a shared registry: registers its per-plane
+    /// instruments under the MAC's node id. Idempotent per registry.
+    pub fn instrument(&mut self, tel: &Telemetry) {
+        self.telemetry = StackTelemetry::new(tel, self.mac.id());
+    }
+
+    /// Sample the MAC-plane gauges (`mac_would_drop`,
+    /// `mac_transit_highwater_bytes`) into the registry. Call before
+    /// taking a snapshot.
+    pub fn publish_metrics(&self) {
+        self.telemetry.publish_mac_gauges(self.mac.stats());
     }
 
     /// A frame's last byte arrived from upstream: classify it, hand
@@ -236,15 +381,26 @@ impl<P: PhyPort, M: InsertionMac, D: DeliveryPlane> NodeStack<P, M, D> {
         let wf = WireFrame::of(arena, frame);
         match self.mac.on_arrival(now, wf) {
             MacAction::Deliver(wf) => {
+                self.telemetry.delivered(now, &wf);
                 self.delivery.deliver(now, &wf, arena.view(wf.frame));
                 arena.release(wf.frame);
                 StackOutcome::Delivered
             }
             MacAction::DeliverAndForward(wf) => {
+                self.telemetry.delivered(now, &wf);
                 self.delivery.deliver(now, &wf, arena.view(wf.frame));
                 StackOutcome::DeliveredAndForwarded
             }
             MacAction::Strip(wf) => {
+                self.telemetry.tel.inc(self.telemetry.stripped);
+                self.telemetry.tel.flight(FlightEvent {
+                    at_ns: now.0,
+                    node: self.telemetry.node,
+                    plane: Plane::Mac,
+                    kind: FlightKind::MacStrip,
+                    a: wf.wire_bytes as u64,
+                    b: 0,
+                });
                 arena.release(wf.frame);
                 StackOutcome::Stripped
             }
@@ -271,6 +427,20 @@ impl<P: PhyPort, M: InsertionMac, D: DeliveryPlane> NodeStack<P, M, D> {
     pub fn next_tx(&mut self, now: SimTime, arena: &FrameArena) -> Option<MacTx> {
         let tx = self.mac.next_tx(now)?;
         self.phy.transmit(arena, &tx.frame);
+        self.telemetry.tel.inc(self.telemetry.phy_tx);
+        if tx.own {
+            self.telemetry.tel.inc(self.telemetry.inserted);
+            self.telemetry.tel.flight(FlightEvent {
+                at_ns: now.0,
+                node: self.telemetry.node,
+                plane: Plane::Mac,
+                kind: FlightKind::MacInsert,
+                a: tx.frame.ctrl.dst as u64,
+                b: tx.frame.wire_bytes as u64,
+            });
+        } else {
+            self.telemetry.tel.inc(self.telemetry.forwarded);
+        }
         Some(tx)
     }
 
@@ -278,8 +448,28 @@ impl<P: PhyPort, M: InsertionMac, D: DeliveryPlane> NodeStack<P, M, D> {
     /// detection verdict (e.g. 8b/10b violations flagged for a PHY
     /// burst) so the control plane can decide whether to escalate.
     pub fn inject_fault(&mut self, fault: PlaneFault) -> u32 {
+        self.inject_fault_at(SimTime(0), fault)
+    }
+
+    /// [`NodeStack::inject_fault`], stamped with the simulated time so
+    /// the burst lands on the flight-recorder timeline.
+    pub fn inject_fault_at(&mut self, now: SimTime, fault: PlaneFault) -> u32 {
         match fault {
-            PlaneFault::Phy { seed, errors } => self.phy.assess_burst(seed, errors),
+            PlaneFault::Phy { seed, errors } => {
+                let detected = self.phy.assess_burst(seed, errors);
+                self.telemetry.tel.inc(self.telemetry.bursts);
+                self.telemetry.tel.add(self.telemetry.bit_errors, errors as u64);
+                self.telemetry.tel.add(self.telemetry.violations, detected as u64);
+                self.telemetry.tel.flight(FlightEvent {
+                    at_ns: now.0,
+                    node: self.telemetry.node,
+                    plane: Plane::Phy,
+                    kind: FlightKind::PhyBurst,
+                    a: errors as u64,
+                    b: detected as u64,
+                });
+                detected
+            }
         }
     }
 }
@@ -298,6 +488,7 @@ impl NodeStack<SerialPhy, RegisterMac, HostQueues> {
             phy: SerialPhy::new(link, node_latency),
             mac: RegisterMac::new(id, params),
             delivery: HostQueues::new(n_sources),
+            telemetry: StackTelemetry::disabled(),
         }
     }
 }

@@ -15,6 +15,7 @@
 
 use ampnet_packet::{build, DmaCtrl, MicroPacket, PacketType, MAX_DMA_PAYLOAD};
 use ampnet_phy::crc32;
+use ampnet_telemetry::{defs, CounterHandle, Telemetry};
 use std::collections::HashMap;
 
 /// Sentinel region id marking message traffic (not a cache region).
@@ -46,6 +47,9 @@ pub struct MsgTx {
     next_id: u16,
     sent_datagrams: u64,
     sent_bytes: u64,
+    tel: Telemetry,
+    msgs_sent: CounterHandle,
+    fragments: CounterHandle,
 }
 
 impl MsgTx {
@@ -56,7 +60,17 @@ impl MsgTx {
             next_id: 0,
             sent_datagrams: 0,
             sent_bytes: 0,
+            tel: Telemetry::disabled(),
+            msgs_sent: CounterHandle::NONE,
+            fragments: CounterHandle::NONE,
         }
+    }
+
+    /// Register this sender's service-plane counters in `tel`.
+    pub fn instrument(&mut self, tel: &Telemetry) {
+        self.tel = tel.clone();
+        self.msgs_sent = tel.counter(&defs::SERVICES_MSGS_SENT, self.node);
+        self.fragments = tel.counter(&defs::SERVICES_MSG_FRAGMENTS, self.node);
     }
 
     /// Datagrams sent.
@@ -85,7 +99,8 @@ impl MsgTx {
         wire.extend_from_slice(&crc32(payload).to_be_bytes());
         wire.extend_from_slice(payload);
 
-        wire.chunks(MAX_DMA_PAYLOAD)
+        let pkts: Vec<MicroPacket> = wire
+            .chunks(MAX_DMA_PAYLOAD)
             .enumerate()
             .map(|(i, chunk)| {
                 let ctrl = DmaCtrl {
@@ -96,7 +111,10 @@ impl MsgTx {
                 };
                 build::dma(self.node, dst, stream, ctrl, chunk).expect("chunk in 1..=64")
             })
-            .collect()
+            .collect();
+        self.tel.inc(self.msgs_sent);
+        self.tel.add(self.fragments, pkts.len() as u64);
+        pkts
     }
 }
 
@@ -139,12 +157,21 @@ pub struct MsgRx {
     /// dedup (sources replay outstanding datagrams after rostering).
     delivered_ids: HashMap<u8, u16>,
     stats: MsgRxStats,
+    tel: Telemetry,
+    assembled: CounterHandle,
 }
 
 impl MsgRx {
     /// New reassembler.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Register this receiver's service-plane counters in `tel`,
+    /// labelled with the owning `node`.
+    pub fn instrument(&mut self, tel: &Telemetry, node: u8) {
+        self.tel = tel.clone();
+        self.assembled = tel.counter(&defs::SERVICES_MSGS_ASSEMBLED, node);
     }
 
     /// Counters.
@@ -226,6 +253,7 @@ impl MsgRx {
             }
             self.stats.delivered += 1;
             self.delivered_ids.insert(src, id);
+            self.tel.inc(self.assembled);
             return Some(Datagram {
                 src,
                 stream,

@@ -1,0 +1,261 @@
+//! Per-plane observability for the AmpNet reproduction: a zero-alloc
+//! hot-path metrics registry plus a bounded flight recorder.
+//!
+//! The paper's claims are availability claims — lossless all-to-all
+//! (slide 8), sub-millisecond rostering (slide 16), seqlock-coherent
+//! caching (slide 9) — and this crate is how the reproduction *shows*
+//! them happening. Two instruments, one clock:
+//!
+//! * [`MetricsRegistry`] — counters, gauges and log-linear
+//!   [`Histogram`]s behind dense `u32` handles. Registration (setup
+//!   time) allocates; recording (hot path) is an array index plus an
+//!   integer bump.
+//! * [`FlightRecorder`] — a preallocated ring of the last N plane
+//!   events on the simulated clock, dumped as a correlated timeline
+//!   when a chaos invariant fails (or on demand).
+//!
+//! Both live behind [`Telemetry`], a cheaply-clonable handle that every
+//! layer of a cluster shares. A disabled `Telemetry` (the default) is
+//! a single `None` check per call — the PR 2 allocation benchmark
+//! stays at its committed allocs/packet with telemetry compiled in.
+//!
+//! # Example
+//!
+//! ```
+//! use ampnet_telemetry::{defs, FlightEvent, FlightKind, Plane, Telemetry};
+//!
+//! let tel = Telemetry::new(64); // flight ring of 64 events
+//! let inserted = tel.counter(&defs::MAC_INSERTED, 0); // node 0
+//! tel.inc(inserted);
+//! tel.add(inserted, 2);
+//! tel.flight(FlightEvent {
+//!     at_ns: 1_500,
+//!     node: 0,
+//!     plane: Plane::Mac,
+//!     kind: FlightKind::MacInsert,
+//!     a: 3,   // destination
+//!     b: 48,  // wire bytes
+//! });
+//!
+//! let snap = tel.snapshot();
+//! assert_eq!(snap.counter_total("mac_inserted"), 3);
+//! assert!(snap.to_json().contains("\"mac_inserted\""));
+//! assert!(tel.flight_dump().contains("insert -> node 3"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod defs;
+mod hist;
+mod metric;
+mod recorder;
+mod registry;
+mod snapshot;
+
+pub use hist::{Counter, Histogram};
+pub use metric::{MetricDef, MetricKind, Plane, Unit};
+pub use recorder::{FlightEvent, FlightKind, FlightRecorder};
+pub use registry::{CounterHandle, GaugeHandle, HistHandle, MetricsRegistry, GLOBAL};
+pub use snapshot::{MetricsSnapshot, SnapValue, SnapshotEntry};
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+#[derive(Debug)]
+struct Inner {
+    metrics: MetricsRegistry,
+    recorder: FlightRecorder,
+}
+
+/// Shared handle to one registry + flight recorder.
+///
+/// Cloning is cheap (one `Rc` bump) and every clone records into the
+/// same registry, which is how a cluster's PHY, MAC, cache and service
+/// layers share a single correlated timeline. The default instance is
+/// *disabled*: every operation is a single branch and no storage
+/// exists, so instrumentation can stay compiled into hot paths.
+///
+/// All methods take `&self` (interior mutability), so read-only layers
+/// — e.g. seqlock readers holding `&NetworkCache` — can still count.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Rc<RefCell<Inner>>>,
+}
+
+impl Telemetry {
+    /// Enabled telemetry with a flight ring of `flight_capacity` events.
+    pub fn new(flight_capacity: usize) -> Self {
+        Telemetry {
+            inner: Some(Rc::new(RefCell::new(Inner {
+                metrics: MetricsRegistry::new(),
+                recorder: FlightRecorder::new(flight_capacity),
+            }))),
+        }
+    }
+
+    /// Disabled telemetry: all operations are no-ops.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Register (or look up) a counter; [`CounterHandle::NONE`] when disabled.
+    pub fn counter(&self, def: &'static MetricDef, node: u8) -> CounterHandle {
+        match &self.inner {
+            Some(inner) => inner.borrow_mut().metrics.counter(def, node),
+            None => CounterHandle::NONE,
+        }
+    }
+
+    /// Register (or look up) a gauge; [`GaugeHandle::NONE`] when disabled.
+    pub fn gauge(&self, def: &'static MetricDef, node: u8) -> GaugeHandle {
+        match &self.inner {
+            Some(inner) => inner.borrow_mut().metrics.gauge(def, node),
+            None => GaugeHandle::NONE,
+        }
+    }
+
+    /// Register (or look up) a histogram; [`HistHandle::NONE`] when disabled.
+    pub fn histogram(&self, def: &'static MetricDef, node: u8) -> HistHandle {
+        match &self.inner {
+            Some(inner) => inner.borrow_mut().metrics.histogram(def, node),
+            None => HistHandle::NONE,
+        }
+    }
+
+    /// Increment a counter by one. Zero-alloc, no-op when disabled.
+    #[inline]
+    pub fn inc(&self, h: CounterHandle) {
+        self.add(h, 1);
+    }
+
+    /// Add `n` to a counter. Zero-alloc, no-op when disabled.
+    #[inline]
+    pub fn add(&self, h: CounterHandle, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().metrics.add(h, n);
+        }
+    }
+
+    /// Set a gauge. Zero-alloc, no-op when disabled.
+    #[inline]
+    pub fn set(&self, h: GaugeHandle, v: i64) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().metrics.set(h, v);
+        }
+    }
+
+    /// Record a histogram sample. Zero-alloc, no-op when disabled.
+    #[inline]
+    pub fn record(&self, h: HistHandle, sample: u64) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().metrics.record(h, sample);
+        }
+    }
+
+    /// Append a flight event. Zero-alloc, no-op when disabled.
+    #[inline]
+    pub fn flight(&self, ev: FlightEvent) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().recorder.record(ev);
+        }
+    }
+
+    /// Current counter value (0 when disabled).
+    pub fn counter_value(&self, h: CounterHandle) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.borrow().metrics.counter_value(h),
+            None => 0,
+        }
+    }
+
+    /// Current gauge value (0 when disabled).
+    pub fn gauge_value(&self, h: GaugeHandle) -> i64 {
+        match &self.inner {
+            Some(inner) => inner.borrow().metrics.gauge_value(h),
+            None => 0,
+        }
+    }
+
+    /// Snapshot the registry (empty when disabled).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        match &self.inner {
+            Some(inner) => inner.borrow().metrics.snapshot(),
+            None => MetricsSnapshot::default(),
+        }
+    }
+
+    /// Distinct [`MetricDef`]s registered so far (empty when disabled).
+    pub fn registered_defs(&self) -> Vec<&'static MetricDef> {
+        match &self.inner {
+            Some(inner) => inner.borrow().metrics.registered_defs(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Render the flight-recorder timeline (empty string when disabled).
+    pub fn flight_dump(&self) -> String {
+        match &self.inner {
+            Some(inner) => inner.borrow().recorder.dump(),
+            None => String::new(),
+        }
+    }
+
+    /// Events currently retained by the flight recorder.
+    pub fn flight_len(&self) -> usize {
+        match &self.inner {
+            Some(inner) => inner.borrow().recorder.len(),
+            None => 0,
+        }
+    }
+
+    /// Total flight events ever recorded (including overwritten ones).
+    pub fn flight_recorded(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.borrow().recorder.recorded(),
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert_everywhere() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.enabled());
+        let c = tel.counter(&defs::MAC_INSERTED, 0);
+        assert_eq!(c, CounterHandle::NONE);
+        tel.inc(c);
+        tel.flight(FlightEvent::default());
+        assert_eq!(tel.counter_value(c), 0);
+        assert!(tel.snapshot().entries.is_empty());
+        assert!(tel.flight_dump().is_empty());
+        assert_eq!(tel.flight_recorded(), 0);
+    }
+
+    #[test]
+    fn clones_share_one_registry() {
+        let tel = Telemetry::new(16);
+        let clone = tel.clone();
+        let c = tel.counter(&defs::MAC_INSERTED, 0);
+        let same = clone.counter(&defs::MAC_INSERTED, 0);
+        assert_eq!(c, same);
+        tel.inc(c);
+        clone.add(same, 2);
+        assert_eq!(tel.counter_value(c), 3);
+        assert_eq!(tel.snapshot().counter_total("mac_inserted"), 3);
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!Telemetry::default().enabled());
+    }
+}

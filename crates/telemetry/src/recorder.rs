@@ -1,0 +1,281 @@
+//! The flight recorder: a bounded, preallocated ring of the last N
+//! plane events, stamped with simulated time.
+//!
+//! Where the [`crate::MetricsRegistry`] answers "how many / how long",
+//! the recorder answers "what happened just before it went wrong". It
+//! keeps the most recent [`FlightRecorder::capacity`] events — PHY
+//! fault bursts, MAC insert/strip decisions, roster transitions,
+//! seqlock retries, semaphore grants — and can render them as one
+//! correlated timeline. The chaos engine dumps this next to the shrunk
+//! fault schedule whenever an invariant trips.
+//!
+//! The ring is fully allocated up front; recording overwrites slots in
+//! place, so the hot path never allocates regardless of event volume.
+
+use crate::metric::Plane;
+use crate::registry::GLOBAL;
+
+/// What a flight event describes. The two payload words `a`/`b` are
+/// kind-specific (documented per variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlightKind {
+    /// Empty slot (never emitted once the ring has wrapped).
+    #[default]
+    Empty,
+    /// PHY error burst injected: `a` = bit errors, `b` = violations detected.
+    PhyBurst,
+    /// MAC inserted an own frame: `a` = destination, `b` = wire bytes.
+    MacInsert,
+    /// MAC delivered a frame to the host: `a` = source, `b` = payload bytes.
+    MacDeliver,
+    /// MAC stripped an own frame after a full tour: `a` = wire bytes.
+    MacStrip,
+    /// Roster episode started (ring down): `a` = outgoing epoch.
+    RosterDown,
+    /// Roster episode completed: `a` = new epoch, `b` = ring size.
+    RosterUp,
+    /// Stale-epoch frame released by transport: `a` = frame epoch.
+    StaleFrame,
+    /// Smart data recovery replayed traffic: `a` = broadcasts, `b` = unicasts.
+    Replay,
+    /// Seqlock reader observed a writer mid-publish: `a` = region, `b` = offset.
+    SeqlockBusy,
+    /// Network semaphore granted: `a` = semaphore id, `b` = acquire latency ns.
+    SemAcquire,
+    /// Join attempt rejected by assimilation rules: `a` = joining node.
+    JoinRejected,
+    /// Node brought online into the roster: `a` = node id.
+    NodeOnline,
+}
+
+/// One entry in the flight-recorder ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Simulated time in nanoseconds.
+    pub at_ns: u64,
+    /// Node the event happened at ([`GLOBAL`] for cluster-wide events).
+    pub node: u8,
+    /// Plane the event belongs to.
+    pub plane: Plane,
+    /// Event kind.
+    pub kind: FlightKind,
+    /// First kind-specific payload word.
+    pub a: u64,
+    /// Second kind-specific payload word.
+    pub b: u64,
+}
+
+impl Default for FlightEvent {
+    fn default() -> Self {
+        FlightEvent {
+            at_ns: 0,
+            node: GLOBAL,
+            plane: Plane::Phy,
+            kind: FlightKind::Empty,
+            a: 0,
+            b: 0,
+        }
+    }
+}
+
+impl FlightEvent {
+    fn describe(&self) -> String {
+        match self.kind {
+            FlightKind::Empty => "-".into(),
+            FlightKind::PhyBurst => {
+                format!("phy burst: {} bit error(s), {} violation(s)", self.a, self.b)
+            }
+            FlightKind::MacInsert => {
+                format!("insert -> node {} ({} wire bytes)", self.a, self.b)
+            }
+            FlightKind::MacDeliver => {
+                format!("deliver <- node {} ({} payload bytes)", self.a, self.b)
+            }
+            FlightKind::MacStrip => format!("strip own frame ({} wire bytes)", self.a),
+            FlightKind::RosterDown => format!("ring down, leaving epoch {}", self.a),
+            FlightKind::RosterUp => {
+                format!("ring up: epoch {}, {} node(s)", self.a, self.b)
+            }
+            FlightKind::StaleFrame => format!("released stale frame (epoch {})", self.a),
+            FlightKind::Replay => {
+                format!("replayed {} broadcast(s), {} unicast(s)", self.a, self.b)
+            }
+            FlightKind::SeqlockBusy => {
+                format!("seqlock busy at region {} offset {}", self.a, self.b)
+            }
+            FlightKind::SemAcquire => {
+                format!("semaphore {} acquired after {} ns", self.a, self.b)
+            }
+            FlightKind::JoinRejected => format!("join rejected for node {}", self.a),
+            FlightKind::NodeOnline => format!("node {} online", self.a),
+        }
+    }
+}
+
+/// Bounded ring of the last N [`FlightEvent`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    slots: Vec<FlightEvent>,
+    head: usize,
+    recorded: u64,
+}
+
+impl FlightRecorder {
+    /// Ring with room for `capacity` events (capacity must be > 0).
+    /// The whole ring is allocated here; recording never allocates.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder needs capacity > 0");
+        FlightRecorder {
+            slots: vec![FlightEvent::default(); capacity],
+            head: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.recorded.min(self.slots.len() as u64) as usize
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.recorded == 0
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events lost to wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.recorded - self.len() as u64
+    }
+
+    /// Append an event, overwriting the oldest once full. Zero-alloc.
+    #[inline]
+    pub fn record(&mut self, ev: FlightEvent) {
+        self.slots[self.head] = ev;
+        self.head = (self.head + 1) % self.slots.len();
+        self.recorded += 1;
+    }
+
+    /// Retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &FlightEvent> {
+        let len = self.len();
+        let start = (self.head + self.slots.len() - len) % self.slots.len();
+        (0..len).map(move |i| &self.slots[(start + i) % self.slots.len()])
+    }
+
+    /// Render the retained window as a correlated timeline, oldest
+    /// first, one line per event.
+    pub fn dump(&self) -> String {
+        let mut out = format!(
+            "flight recorder: {} event(s) retained, {} dropped to wraparound\n",
+            self.len(),
+            self.dropped()
+        );
+        for ev in self.iter() {
+            let node = if ev.node == GLOBAL {
+                "  -".to_string()
+            } else {
+                format!("{:3}", ev.node)
+            };
+            out.push_str(&format!(
+                "[{:>12} ns] node {} {:<10} {}\n",
+                ev.at_ns,
+                node,
+                ev.plane.as_str(),
+                ev.describe()
+            ));
+        }
+        out
+    }
+
+    /// Forget everything (capacity is kept).
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            *slot = FlightEvent::default();
+        }
+        self.head = 0;
+        self.recorded = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at_ns: u64, a: u64) -> FlightEvent {
+        FlightEvent {
+            at_ns,
+            node: 1,
+            plane: Plane::Mac,
+            kind: FlightKind::MacInsert,
+            a,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn retains_recent_events_in_order() {
+        let mut r = FlightRecorder::new(8);
+        for i in 0..5 {
+            r.record(ev(i * 10, i));
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.dropped(), 0);
+        let ats: Vec<u64> = r.iter().map(|e| e.at_ns).collect();
+        assert_eq!(ats, [0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn wraparound_keeps_newest_window() {
+        let mut r = FlightRecorder::new(4);
+        for i in 0..10u64 {
+            r.record(ev(i, i));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.recorded(), 10);
+        assert_eq!(r.dropped(), 6);
+        let ats: Vec<u64> = r.iter().map(|e| e.at_ns).collect();
+        assert_eq!(ats, [6, 7, 8, 9], "oldest-first window after wrap");
+        let dump = r.dump();
+        assert!(dump.contains("6 dropped to wraparound"), "{dump}");
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_capacity() {
+        let mut r = FlightRecorder::new(4);
+        for i in 0..9u64 {
+            r.record(ev(i, i));
+        }
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.capacity(), 4);
+        r.record(ev(99, 0));
+        assert_eq!(r.iter().next().unwrap().at_ns, 99);
+    }
+
+    #[test]
+    fn dump_renders_global_and_node_events() {
+        let mut r = FlightRecorder::new(4);
+        r.record(FlightEvent {
+            at_ns: 5,
+            node: GLOBAL,
+            plane: Plane::Membership,
+            kind: FlightKind::RosterUp,
+            a: 2,
+            b: 6,
+        });
+        r.record(ev(7, 3));
+        let dump = r.dump();
+        assert!(dump.contains("node   - membership ring up: epoch 2, 6 node(s)"), "{dump}");
+        assert!(dump.contains("node   1 mac"), "{dump}");
+    }
+}

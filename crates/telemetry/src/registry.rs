@@ -1,0 +1,261 @@
+//! The handle-based [`MetricsRegistry`].
+//!
+//! Registration (setup time) allocates; recording (hot path) does not.
+//! A handle is a dense `u32` index into a pre-grown instrument table,
+//! so `inc`/`add`/`set`/`record` compile down to an array index plus an
+//! integer bump — no hashing, no string comparison, no allocation.
+
+use crate::hist::Histogram;
+use crate::metric::{MetricDef, MetricKind};
+use crate::snapshot::{MetricsSnapshot, SnapValue, SnapshotEntry};
+use std::collections::BTreeMap;
+
+/// Node label on a per-node instrument; [`GLOBAL`] for cluster-wide ones.
+pub const GLOBAL: u8 = u8::MAX;
+
+macro_rules! handle {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Inert handle: recording through it is a no-op. Returned
+            /// by disabled [`crate::Telemetry`] instances so call sites
+            /// never need an `Option`.
+            pub const NONE: $name = $name(u32::MAX);
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                $name::NONE
+            }
+        }
+    };
+}
+
+handle!(
+    /// Handle to a registered counter.
+    CounterHandle
+);
+handle!(
+    /// Handle to a registered gauge.
+    GaugeHandle
+);
+handle!(
+    /// Handle to a registered histogram.
+    HistHandle
+);
+
+#[derive(Debug)]
+enum Value {
+    Counter(u64),
+    Gauge(i64),
+    Hist(Histogram),
+}
+
+#[derive(Debug)]
+struct Instrument {
+    def: &'static MetricDef,
+    node: u8,
+    value: Value,
+}
+
+/// Registry of all instruments for one cluster or segment.
+///
+/// Iteration order (and therefore snapshot order) is registration
+/// order, which the instrumented stack performs deterministically —
+/// that is what makes same-seed snapshot bytes identical.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    instruments: Vec<Instrument>,
+    by_key: BTreeMap<(&'static str, u8), u32>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(&mut self, def: &'static MetricDef, node: u8) -> u32 {
+        if let Some(&idx) = self.by_key.get(&(def.name, node)) {
+            return idx;
+        }
+        let idx = u32::try_from(self.instruments.len()).expect("registry overflow");
+        let value = match def.kind {
+            MetricKind::Counter => Value::Counter(0),
+            MetricKind::Gauge => Value::Gauge(0),
+            MetricKind::Histogram => Value::Hist(Histogram::new()),
+        };
+        self.instruments.push(Instrument { def, node, value });
+        self.by_key.insert((def.name, node), idx);
+        idx
+    }
+
+    /// Register (or look up) a counter instance. `node` labels per-node
+    /// instruments; pass [`GLOBAL`] for cluster-wide ones.
+    pub fn counter(&mut self, def: &'static MetricDef, node: u8) -> CounterHandle {
+        debug_assert_eq!(def.kind, MetricKind::Counter, "{} is not a counter", def.name);
+        CounterHandle(self.register(def, node))
+    }
+
+    /// Register (or look up) a gauge instance.
+    pub fn gauge(&mut self, def: &'static MetricDef, node: u8) -> GaugeHandle {
+        debug_assert_eq!(def.kind, MetricKind::Gauge, "{} is not a gauge", def.name);
+        GaugeHandle(self.register(def, node))
+    }
+
+    /// Register (or look up) a histogram instance.
+    pub fn histogram(&mut self, def: &'static MetricDef, node: u8) -> HistHandle {
+        debug_assert_eq!(
+            def.kind,
+            MetricKind::Histogram,
+            "{} is not a histogram",
+            def.name
+        );
+        HistHandle(self.register(def, node))
+    }
+
+    /// Add `n` to a counter. Zero-alloc; ignores [`CounterHandle::NONE`].
+    #[inline]
+    pub fn add(&mut self, h: CounterHandle, n: u64) {
+        if let Some(Instrument { value: Value::Counter(c), .. }) =
+            self.instruments.get_mut(h.0 as usize)
+        {
+            *c += n;
+        }
+    }
+
+    /// Set a gauge. Zero-alloc; ignores [`GaugeHandle::NONE`].
+    #[inline]
+    pub fn set(&mut self, h: GaugeHandle, v: i64) {
+        if let Some(Instrument { value: Value::Gauge(g), .. }) =
+            self.instruments.get_mut(h.0 as usize)
+        {
+            *g = v;
+        }
+    }
+
+    /// Record a histogram sample. Zero-alloc; ignores [`HistHandle::NONE`].
+    #[inline]
+    pub fn record(&mut self, h: HistHandle, sample: u64) {
+        if let Some(Instrument { value: Value::Hist(hist), .. }) =
+            self.instruments.get_mut(h.0 as usize)
+        {
+            hist.record(sample);
+        }
+    }
+
+    /// Current value of a counter (0 for [`CounterHandle::NONE`]).
+    pub fn counter_value(&self, h: CounterHandle) -> u64 {
+        match self.instruments.get(h.0 as usize) {
+            Some(Instrument { value: Value::Counter(c), .. }) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Current value of a gauge (0 for [`GaugeHandle::NONE`]).
+    pub fn gauge_value(&self, h: GaugeHandle) -> i64 {
+        match self.instruments.get(h.0 as usize) {
+            Some(Instrument { value: Value::Gauge(g), .. }) => *g,
+            _ => 0,
+        }
+    }
+
+    /// Number of registered instruments (instances, not defs).
+    pub fn len(&self) -> usize {
+        self.instruments.len()
+    }
+
+    /// Whether nothing has been registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.instruments.is_empty()
+    }
+
+    /// The distinct [`MetricDef`]s registered so far, in first-seen
+    /// order. Used by the docs-sync test to prove the full-stack
+    /// exercise touches every catalog entry.
+    pub fn registered_defs(&self) -> Vec<&'static MetricDef> {
+        let mut seen: Vec<&'static MetricDef> = Vec::new();
+        for inst in &self.instruments {
+            if !seen.iter().any(|d| d.name == inst.def.name) {
+                seen.push(inst.def);
+            }
+        }
+        seen
+    }
+
+    /// Point-in-time snapshot of every instrument, in registration
+    /// order. Deterministic given deterministic registration/recording.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let entries = self
+            .instruments
+            .iter()
+            .map(|inst| SnapshotEntry {
+                def: inst.def,
+                node: (inst.node != GLOBAL).then_some(inst.node),
+                value: match &inst.value {
+                    Value::Counter(c) => SnapValue::Counter(*c),
+                    Value::Gauge(g) => SnapValue::Gauge(*g),
+                    Value::Hist(h) => SnapValue::Hist {
+                        count: h.count(),
+                        sum: h.sum(),
+                        min: h.min(),
+                        max: h.max(),
+                        p50: h.p50(),
+                        p99: h.p99(),
+                    },
+                },
+            })
+            .collect();
+        MetricsSnapshot { entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defs;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let mut reg = MetricsRegistry::new();
+        let a = reg.counter(&defs::MAC_INSERTED, 3);
+        let b = reg.counter(&defs::MAC_INSERTED, 3);
+        let c = reg.counter(&defs::MAC_INSERTED, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.registered_defs().len(), 1);
+    }
+
+    #[test]
+    fn none_handles_are_inert() {
+        let mut reg = MetricsRegistry::new();
+        let real = reg.counter(&defs::MAC_INSERTED, 0);
+        reg.add(CounterHandle::NONE, 99);
+        reg.set(GaugeHandle::NONE, -5);
+        reg.record(HistHandle::NONE, 123);
+        reg.add(real, 2);
+        assert_eq!(reg.counter_value(real), 2);
+        assert_eq!(reg.counter_value(CounterHandle::NONE), 0);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_orders_by_registration() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter(&defs::MAC_STRIPPED, 1);
+        reg.gauge(&defs::MAC_WOULD_DROP, 1);
+        reg.histogram(&defs::RING_TOUR_NS, GLOBAL);
+        let snap = reg.snapshot();
+        let names: Vec<_> = snap.entries.iter().map(|e| e.def.name).collect();
+        assert_eq!(
+            names,
+            ["mac_stripped", "mac_would_drop", "ring_tour_ns"]
+        );
+        assert_eq!(snap.entries[0].node, Some(1));
+        assert_eq!(snap.entries[2].node, None);
+    }
+}

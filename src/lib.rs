@@ -16,4 +16,5 @@ pub use ampnet_ring as ring;
 pub use ampnet_roster as roster;
 pub use ampnet_services as services;
 pub use ampnet_sim as sim;
+pub use ampnet_telemetry as telemetry;
 pub use ampnet_topo as topo;
