@@ -7,6 +7,7 @@
 //! cargo run -p ampnet-bench --release --bin figures -- --bench-ring BENCH_ring.json
 //! cargo run -p ampnet-bench --release --bin figures -- --metrics METRICS_snapshot.json
 //! cargo run -p ampnet-bench --release --bin figures -- --metrics-doc > docs/METRICS.md
+//! cargo run -p ampnet-bench --release --bin figures -- --check CHECK_models.json
 //! ```
 //!
 //! `--bench-ring` runs the data-plane perf baseline: a 6-node segment
@@ -17,6 +18,11 @@
 //! allocator. The JSON snapshot is committed so regressions in
 //! per-packet allocation count — or telemetry overhead creeping onto
 //! the hot path — show up in review.
+//!
+//! `--check` runs the four `ampnet-check` protocol models (seqlock,
+//! semaphore, roster/failover, frame arena) to exhaustion and writes a
+//! JSON summary; any safety violation prints its shortest
+//! counterexample trace and fails the run.
 //!
 //! `--metrics` runs the deterministic full-stack telemetry exercise
 //! (`ampnet_bench::metrics`) and writes the registry snapshot; same
@@ -37,20 +43,24 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+#[allow(unsafe_code)] // sanctioned exception: GlobalAlloc requires unsafe
 // SAFETY: delegates verbatim to the system allocator; the counter is a
 // relaxed atomic with no allocation of its own.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller upholds GlobalAlloc's contract; forwarded as-is.
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` come from the matching `alloc` above.
         unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller upholds GlobalAlloc's contract; forwarded as-is.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -158,6 +168,60 @@ fn bench_ring(path: &str) {
     println!("wrote {path}");
 }
 
+/// `--check`: run the four protocol models exhaustively and write a
+/// JSON summary. State budget is far above the known space sizes
+/// (hundreds to thousands of states) so `complete` acts as a canary
+/// for accidental state-space blowups.
+fn check_models(path: &str) {
+    use ampnet_check::models::{arena, roster, semaphore, seqlock};
+    const BUDGET: usize = 2_000_000;
+    let runs = [
+        ("seqlock", seqlock::check_seqlock(BUDGET)),
+        ("semaphore", semaphore::check_semaphore(BUDGET)),
+        ("roster-failover", roster::check_roster(BUDGET)),
+        ("frame-arena", arena::check_arena(BUDGET)),
+    ];
+    let mut ok = true;
+    let mut entries = Vec::new();
+    for (name, report) in &runs {
+        println!("{}", report.summary(name));
+        if let Some(cx) = &report.violation {
+            print!("{}", cx.render());
+            ok = false;
+        }
+        ok &= report.complete;
+        entries.push(format!(
+            concat!(
+                "    {{\"model\": \"{}\", \"visited\": {}, ",
+                "\"transitions\": {}, \"max_depth\": {}, ",
+                "\"terminals\": {}, \"complete\": {}, \"violation\": {}}}"
+            ),
+            name,
+            report.visited,
+            report.transitions,
+            report.max_depth,
+            report.terminals,
+            report.complete,
+            report.violation.is_some(),
+        ));
+    }
+    let total: usize = runs.iter().map(|(_, r)| r.visited).sum();
+    let json = format!(
+        "{{\n  \"state_budget\": {BUDGET},\n  \"models\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write(path, &json).expect("write check json");
+    println!("wrote {path}");
+    if ok {
+        println!(
+            "model check: 4/4 models exhaustive, {total} states total, 0 violations"
+        );
+    } else {
+        println!("model check: FAILED (violation or state budget exceeded)");
+        std::process::exit(1);
+    }
+}
+
 /// `--metrics`: run the deterministic full-stack telemetry exercise
 /// and write the registry snapshot as JSON. Same seed ⇒ byte-identical
 /// output.
@@ -204,6 +268,14 @@ fn main() {
             .map(String::as_str)
             .unwrap_or("BENCH_ring.json");
         bench_ring(path);
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        let path = args
+            .get(i + 1)
+            .map(String::as_str)
+            .unwrap_or("CHECK_models.json");
+        check_models(path);
         return;
     }
     if let Some(i) = args.iter().position(|a| a == "--metrics") {

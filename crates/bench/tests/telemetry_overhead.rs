@@ -14,20 +14,24 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+#[allow(unsafe_code)] // sanctioned exception: GlobalAlloc requires unsafe
 // SAFETY: delegates verbatim to the system allocator; the counter is a
 // relaxed atomic with no allocation of its own.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller upholds GlobalAlloc's contract; forwarded as-is.
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` come from the matching `alloc` above.
         unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller upholds GlobalAlloc's contract; forwarded as-is.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

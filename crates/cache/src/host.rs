@@ -164,6 +164,13 @@ mod tests {
     use std::sync::atomic::AtomicBool;
     use std::sync::Arc;
 
+    /// Writer iterations for the threaded races. Miri interprets every
+    /// access, so the full count would take hours there; a short run
+    /// still crosses enough interleavings for the aliasing/UB checks
+    /// Miri is after (statistical torn-read hunting stays on native).
+    const SEQLOCK_WRITES: u64 = if cfg!(miri) { 200 } else { 20_000 };
+    const WRITE_THROUGH_WRITES: u64 = if cfg!(miri) { 100 } else { 10_000 };
+
     #[test]
     fn single_thread_roundtrip() {
         let b = SeqLockBuffer::new(4);
@@ -207,7 +214,7 @@ mod tests {
             }));
         }
         // Writer on this thread.
-        for generation in 1..=20_000u64 {
+        for generation in 1..=SEQLOCK_WRITES {
             buf.write(&[generation; 32]);
         }
         stop.store(true, Ordering::Relaxed);
@@ -258,7 +265,7 @@ mod tests {
                 }
             }));
         }
-        for g in 1..=10_000u64 {
+        for g in 1..=WRITE_THROUGH_WRITES {
             r.write(&[g; 16]);
         }
         stop.store(true, Ordering::Relaxed);

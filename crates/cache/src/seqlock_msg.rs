@@ -38,11 +38,14 @@ impl RecordLayout {
         8 + self.data_len + 8
     }
 
-    fn data_offset(&self) -> u32 {
+    /// Byte offset of the payload (just past `counter₁`). Public so the
+    /// model checker can address the record's pieces individually.
+    pub fn data_offset(&self) -> u32 {
         self.offset + 8
     }
 
-    fn counter2_offset(&self) -> u32 {
+    /// Byte offset of `counter₂` (just past the payload).
+    pub fn counter2_offset(&self) -> u32 {
         self.offset + 8 + self.data_len
     }
 }

@@ -2,6 +2,10 @@
 //! mutual exclusion, permit conservation and idempotency under
 //! arbitrary schedules and retransmission.
 
+// Case-count-heavy property sweeps are a poor fit for Miri's
+// interpreter; the UB surface they exercise is pure safe Rust anyway.
+#![cfg(not(miri))]
+
 use ampnet_cache::atomics::execute;
 use ampnet_cache::counting::{CountingAction, CountingClient, CountingState};
 use ampnet_cache::{

@@ -1,0 +1,119 @@
+//! Bounded adversarial message channels, modeled as explicit actions.
+//!
+//! The AmpNet ring preserves **per-source FIFO** order: a node's
+//! MicroPackets arrive at any given destination in the order they were
+//! inserted (register insertion never reorders a source's stream, it
+//! only interleaves sources). The channel model mirrors that exactly:
+//!
+//! * each source gets its own FIFO queue — reordering exists only as
+//!   the interleaving of *different* sources' deliveries, never within
+//!   one source's stream;
+//! * **loss** is an explicit `drop front` action spending a bounded
+//!   per-run budget (an unbounded adversary would trivially defeat
+//!   every liveness property);
+//! * **duplication** is driven by the sender's retransmission path
+//!   (e.g. [`ampnet_cache::SemaphoreClient::resend`]) rather than by
+//!   the wire duplicating packets on its own — that is the failure
+//!   mode the paper's idempotent tagged atomics are designed for.
+//!
+//! Modeling a fully-unordered channel instead would produce a *real*
+//! counterexample against the semaphore protocol (a stale duplicated
+//! `Clear` crossing acquire rounds can release another client's lock),
+//! which is exactly why the channel model must match the fabric's
+//! actual ordering guarantee. See DESIGN.md §11.
+
+use std::collections::VecDeque;
+
+/// One source's FIFO message queue with a shared loss budget hook.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FifoChannel<M> {
+    queue: VecDeque<M>,
+}
+
+impl<M> Default for FifoChannel<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> FifoChannel<M> {
+    /// An empty channel.
+    pub fn new() -> Self {
+        FifoChannel {
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Queue a message at the tail.
+    pub fn send(&mut self, m: M) {
+        self.queue.push_back(m);
+    }
+
+    /// Deliver (pop) the head message.
+    pub fn deliver(&mut self) -> Option<M> {
+        self.queue.pop_front()
+    }
+
+    /// Drop the head message (loss). The caller owns the budget.
+    pub fn drop_front(&mut self) -> Option<M> {
+        self.queue.pop_front()
+    }
+
+    /// Messages in flight.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Peek at the head without delivering.
+    pub fn front(&self) -> Option<&M> {
+        self.queue.front()
+    }
+
+    /// In-flight messages, head first (for fingerprinting).
+    pub fn iter(&self) -> impl Iterator<Item = &M> {
+        self.queue.iter()
+    }
+}
+
+impl<'a, M> IntoIterator for &'a FifoChannel<M> {
+    type Item = &'a M;
+    type IntoIter = std::collections::vec_deque::Iter<'a, M>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.queue.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut c = FifoChannel::new();
+        c.send(1);
+        c.send(2);
+        c.send(3);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.deliver(), Some(1));
+        assert_eq!(c.front(), Some(&2));
+        assert_eq!(c.drop_front(), Some(2));
+        assert_eq!(c.deliver(), Some(3));
+        assert!(c.is_empty());
+        assert_eq!(c.deliver(), None::<i32>);
+    }
+
+    #[test]
+    fn iteration_is_head_first() {
+        let mut c = FifoChannel::new();
+        c.send("a");
+        c.send("b");
+        let v: Vec<_> = c.iter().copied().collect();
+        assert_eq!(v, ["a", "b"]);
+    }
+}

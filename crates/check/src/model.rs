@@ -1,0 +1,151 @@
+//! The [`Model`] trait: a protocol as an explicit transition system.
+//!
+//! A model wraps *real* crate code — `SemaphoreClient`, `FrameArena`,
+//! `try_read`'s step sequence — behind a small interface the breadth-
+//! first explorer can drive: initial states, enabled actions, a
+//! deterministic successor function, and the properties that must hold
+//! over every reachable state.
+
+use ampnet_sim::Fnv64;
+use std::hash::Hasher;
+
+/// When a property is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropertyKind {
+    /// Must hold in every reachable state (safety).
+    Always,
+    /// Must hold in every *terminal* state — a state with no enabled
+    /// action. This is how deadlock-freedom and "all rounds complete"
+    /// are phrased: the only way to stop is to stop finished.
+    AlwaysTerminal,
+    /// Some reachable state must satisfy it (bounded liveness /
+    /// reachability within the explored space).
+    Eventually,
+}
+
+/// A named property over a model's states.
+pub struct Property<M: Model + ?Sized> {
+    /// Short name printed in reports and counterexample headers.
+    pub name: &'static str,
+    /// Evaluation mode.
+    pub kind: PropertyKind,
+    /// The predicate. For `Always`/`AlwaysTerminal` a `false` result is
+    /// a violation; for `Eventually` it marks the state as satisfying.
+    pub check: fn(&M, &M::State) -> bool,
+}
+
+/// An explicit-state transition system over real protocol code.
+///
+/// `next_state` must be **deterministic**: the counterexample printer
+/// replays the parent chain of a violating state and the replayed
+/// states must match the explored ones. All AmpNet protocol machines
+/// are sans-IO and seed-free, so this falls out naturally.
+pub trait Model {
+    /// One global state of the system under check.
+    type State: Clone;
+    /// One atomic transition (a protocol step, a message delivery, a
+    /// fault injection).
+    type Action: Clone;
+
+    /// The root(s) of the state graph.
+    fn initial_states(&self) -> Vec<Self::State>;
+
+    /// Enabled actions in `state`, appended to `out` in a fixed order.
+    /// An empty set makes the state terminal.
+    fn actions(&self, state: &Self::State, out: &mut Vec<Self::Action>);
+
+    /// The unique successor of `state` under `action`.
+    fn next_state(&self, state: &Self::State, action: &Self::Action) -> Self::State;
+
+    /// 64-bit fingerprint used for visited-set dedup.
+    ///
+    /// Two states with equal fingerprints are treated as the same
+    /// vertex, so the fingerprint defines the quotient actually
+    /// explored. Models exploit this deliberately:
+    ///
+    /// * **Time abstraction.** Absolute `SimTime`s and attempt
+    ///   counters are excluded, collapsing states that differ only in
+    ///   how long they took to reach. Sound for safety properties
+    ///   (every quotient state is reachable; its properties are
+    ///   checked on a representative).
+    /// * **Node-id symmetry.** Per-node fingerprint blocks are sorted
+    ///   before folding (see [`symmetric_fingerprint`]), collapsing
+    ///   states that differ only by a permutation of interchangeable
+    ///   node ids.
+    fn fingerprint(&self, state: &Self::State) -> u64;
+
+    /// The properties checked during exploration.
+    fn properties(&self) -> Vec<Property<Self>>;
+
+    /// Human-readable action label for counterexample traces.
+    fn format_action(&self, action: &Self::Action) -> String;
+
+    /// Human-readable state summary for counterexample traces.
+    fn format_state(&self, state: &Self::State) -> String;
+}
+
+/// FNV-64 [`Hasher`] adapter so models can fingerprint any `Hash`
+/// component (e.g. `FrameRef`, whose fields are private) with the same
+/// digest function the rest of the workspace uses.
+#[derive(Debug, Default)]
+pub struct FnvHasher(Fnv64);
+
+impl FnvHasher {
+    /// A hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        FnvHasher(Fnv64::new())
+    }
+
+    /// The digest so far.
+    pub fn digest(&self) -> u64 {
+        self.0.finish()
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0.finish()
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        self.0.fold(bytes);
+    }
+}
+
+/// Node-id symmetry reduction: fold `shared` state, then every
+/// per-node block *in sorted order*, so any permutation of
+/// interchangeable nodes lands on the same fingerprint.
+///
+/// Only valid when the per-node blocks really are interchangeable —
+/// each block must itself be id-free (use role tags like "holder" /
+/// "waiter", not raw node ids) and the shared state must not name
+/// individual nodes except through the blocks.
+pub fn symmetric_fingerprint(shared: u64, mut blocks: Vec<u64>) -> u64 {
+    blocks.sort_unstable();
+    let mut h = Fnv64::from_state(shared);
+    for b in blocks {
+        h.fold_u64(b);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_hasher_matches_fnv64() {
+        let mut h = FnvHasher::new();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), ampnet_sim::fnv64(b"foobar"));
+    }
+
+    #[test]
+    fn symmetric_fingerprint_permutation_invariant() {
+        let a = symmetric_fingerprint(7, vec![10, 20, 30]);
+        let b = symmetric_fingerprint(7, vec![30, 10, 20]);
+        assert_eq!(a, b);
+        let c = symmetric_fingerprint(8, vec![10, 20, 30]);
+        assert_ne!(a, c, "shared state still distinguishes");
+    }
+}

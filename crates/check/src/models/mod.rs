@@ -1,0 +1,6 @@
+//! The four shipped protocol models (and their mutation variants).
+
+pub mod arena;
+pub mod roster;
+pub mod semaphore;
+pub mod seqlock;

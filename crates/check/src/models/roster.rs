@@ -1,0 +1,482 @@
+//! Model 3: detect → roster → recover, under dropped Rostering tokens.
+//!
+//! Each scenario kills one component of a healthy quad plant (a node,
+//! a switch, a ring link), computes the hardware detection with the
+//! real [`ampnet_roster::detect`], and then explores every
+//! interleaving of the detectors' flooded ROSTER tokens:
+//!
+//! * every detector may launch a token around the survivor cycle;
+//! * an adversary may drop an in-flight token (bounded budget) — the
+//!   origin relaunches;
+//! * concurrent tokens **merge in favour of the lowest origin id**: a
+//!   token dies when it reaches a node that already carried a
+//!   lower-origin token, or when it reaches a *detector* with a lower
+//!   id (hardware detection is simultaneous — slide 16's "algorithm
+//!   starts automatically whenever a failure is detected" — so a
+//!   lower detector has seen the failure even if its own token has
+//!   not launched yet; without that clause a high token could finish
+//!   a full tour before the lowest ever launches, electing two
+//!   masters).
+//!
+//! The surviving token's origin becomes roster master; the model then
+//! runs the real [`ampnet_roster::run_rostering`] and — for node
+//! failures, where the dead node led a control group — drives the real
+//! [`ampnet_dk::FailoverEngine`] to completion, checking the reported
+//! new leader against the group's best-qualified survivor.
+//!
+//! Properties: exactly one roster master, and it is
+//! [`ampnet_roster::elect_master`]'s lowest-id detector; rostering
+//! commits a valid ring excluding the failed component; failover hands
+//! control to the best-qualified survivor; and every terminal state is
+//! a *fully recovered* state.
+
+use crate::model::{FnvHasher, Model, Property, PropertyKind};
+use crate::{CheckOptions, CheckReport};
+use ampnet_dk::{ControlGroup, FailoverEngine, FailoverPolicy, GroupId};
+use ampnet_roster::{detect, elect_master, run_rostering, Detection, RosterParams};
+use ampnet_sim::SimTime;
+use ampnet_topo::montecarlo::Component;
+use ampnet_topo::{largest_ring, LogicalRing, NodeId, Topology};
+use std::hash::{Hash, Hasher};
+
+/// Instant the component fails (arbitrary; times are reported, not
+/// branched on).
+const FAILED_AT: SimTime = SimTime(1_000_000);
+/// Failover polling cadence: half the engine's 1 ms detection window.
+const POLL_STEP_NS: u64 = 500_000;
+/// Poll budget: default policy completes on the 5th poll.
+const MAX_POLLS: u8 = 8;
+
+/// One precomputed failure scenario.
+#[derive(Debug, Clone)]
+struct Scenario {
+    name: String,
+    comp: Component,
+    /// Topology with the failure applied.
+    topo: Topology,
+    /// The ring that was live before the failure.
+    pre_ring: LogicalRing,
+    /// Loss-of-light detectors, ascending id.
+    detectors: Vec<NodeId>,
+    /// The master `elect_master` predicts (lowest detector).
+    expected_master: NodeId,
+    /// Per-detector token path: `paths[d][0]` is the detector, then
+    /// the survivor cycle in committed-ring order.
+    paths: Vec<Vec<NodeId>>,
+    /// Control group led by the failed node (node scenarios only).
+    group: Option<ControlGroup>,
+    /// The dead application leader (node scenarios only).
+    failed_node: Option<u8>,
+    /// Best-qualified survivor the failover must elect.
+    expected_new_leader: Option<u8>,
+}
+
+/// Where one detector's token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum TokenPhase {
+    /// Not launched (or dropped; the origin will relaunch).
+    Idle,
+    /// Held by `paths[d][pos]`.
+    InFlight {
+        /// Index of the current holder on the token's path.
+        pos: u8,
+    },
+    /// Merged away by a lower-origin token.
+    Killed,
+    /// Completed a full tour: its origin is roster master.
+    Done,
+}
+
+/// One global state.
+#[derive(Debug, Clone)]
+pub struct RosterState {
+    scenario: usize,
+    tokens: Vec<TokenPhase>,
+    /// Lowest token origin each node has carried (`u8::MAX` = none).
+    min_seen: Vec<u8>,
+    drops_left: u8,
+    master: Option<NodeId>,
+    /// `Some(ok)` once `run_rostering` ran; `ok` = all checks passed.
+    roster_ok: Option<bool>,
+    engine: Option<FailoverEngine>,
+    polls: u8,
+    /// `Some(ok)` once the failover produced its report.
+    report_ok: Option<bool>,
+}
+
+/// One atomic step. The `u8` is a detector index into the scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RosterAction {
+    /// Detector launches (or relaunches) its token.
+    Launch(u8),
+    /// A token advances one hop along the survivor cycle.
+    Advance(u8),
+    /// The wire drops an in-flight token (budgeted).
+    Drop(u8),
+    /// The elected master runs the two-tour rostering algorithm.
+    RunRoster,
+    /// Survivors evaluate the failover engine once.
+    PollFailover,
+}
+
+/// The roster/failover model over a set of single-failure scenarios.
+#[derive(Debug, Clone)]
+pub struct RosterModel {
+    scenarios: Vec<Scenario>,
+    /// Token-drop budget per scenario.
+    pub drop_budget: u8,
+}
+
+fn qualification(node: u8) -> u32 {
+    (node as u32 * 7 + 3) % 50
+}
+
+fn rotate_path(order: &[NodeId], start: NodeId) -> Vec<NodeId> {
+    let pos = order
+        .iter()
+        .position(|&n| n == start)
+        .expect("detector survives the failure");
+    let mut p = order.to_vec();
+    p.rotate_left(pos);
+    p
+}
+
+impl RosterModel {
+    /// All single-component failures of an `n`-node quad plant:
+    /// every node, the ring's switch, and one ring link.
+    pub fn quad_plant(n: usize) -> Self {
+        let params = RosterParams::default();
+        let healthy = Topology::quad(n, 100.0);
+        let pre_ring = largest_ring(&healthy);
+        let mut scenarios = vec![];
+
+        let mut push = |name: String, comp: Component| {
+            let mut topo = healthy.clone();
+            match comp {
+                Component::Node(id) => topo.fail_node(id),
+                Component::Switch(id) => topo.fail_switch(id),
+                Component::Link(u, s) => topo.fail_link(u, s),
+            }
+            let detection = detect(&topo, &pre_ring, comp, &params);
+            let Detection::LossOfLight { detectors, .. } = detection.clone() else {
+                panic!("{name}: expected loss-of-light, got {detection:?}");
+            };
+            let expected_master = elect_master(&detection).expect("detectors exist");
+            let survivors = largest_ring(&topo);
+            let paths = detectors
+                .iter()
+                .map(|&d| rotate_path(&survivors.order, d))
+                .collect();
+            let (group, failed_node, expected_new_leader) = match comp {
+                Component::Node(dead) => {
+                    let mut g = ControlGroup::new(GroupId(1));
+                    for id in 0..n as u8 {
+                        g.join(id, qualification(id)).expect("unique nodes");
+                    }
+                    g.mark_offline(dead.0);
+                    let heir = g.leader().expect("survivors remain").node;
+                    (Some(g), Some(dead.0), Some(heir))
+                }
+                _ => (None, None, None),
+            };
+            scenarios.push(Scenario {
+                name,
+                comp,
+                topo,
+                pre_ring: pre_ring.clone(),
+                detectors,
+                expected_master,
+                paths,
+                group,
+                failed_node,
+                expected_new_leader,
+            });
+        };
+
+        for k in 0..n as u8 {
+            push(format!("node{k}-dies"), Component::Node(NodeId(k)));
+        }
+        push(
+            format!("switch{}-dies", pre_ring.hops[0].0),
+            Component::Switch(pre_ring.hops[0]),
+        );
+        push(
+            format!("link{}-s{}-cut", pre_ring.order[0].0, pre_ring.hops[0].0),
+            Component::Link(pre_ring.order[0], pre_ring.hops[0]),
+        );
+        RosterModel {
+            scenarios,
+            drop_budget: 1,
+        }
+    }
+
+    fn sc<'a>(&'a self, s: &RosterState) -> &'a Scenario {
+        &self.scenarios[s.scenario]
+    }
+
+    fn tokens_settled(s: &RosterState) -> bool {
+        s.tokens
+            .iter()
+            .all(|t| matches!(t, TokenPhase::Done | TokenPhase::Killed))
+    }
+
+    /// Run the real rostering episode and verify its outcome.
+    fn roster_checks(&self, s: &RosterState) -> bool {
+        let sc = self.sc(s);
+        let Ok(out) = run_rostering(&sc.topo, &sc.pre_ring, sc.comp, FAILED_AT, 1, &RosterParams::default())
+        else {
+            return false;
+        };
+        let excludes_failed = match sc.comp {
+            Component::Node(dead) => !out.ring.order.contains(&dead),
+            Component::Switch(dead) => out.ring.hops.iter().all(|&h| h != dead),
+            Component::Link(u, sw) => out
+                .ring
+                .order
+                .iter()
+                .zip(&out.ring.hops)
+                .all(|(&a, &h)| !(a == u && h == sw))
+                && !out
+                    .ring
+                    .order
+                    .iter()
+                    .enumerate()
+                    .any(|(i, _)| out.ring.hops[i] == sw && out.ring.order[(i + 1) % out.ring.len()] == u),
+        };
+        Some(out.master) == s.master
+            && out.master == sc.expected_master
+            && out.epoch == 2
+            && out.ring.validate(&sc.topo).is_ok()
+            && excludes_failed
+    }
+}
+
+impl Model for RosterModel {
+    type State = RosterState;
+    type Action = RosterAction;
+
+    fn initial_states(&self) -> Vec<RosterState> {
+        let n = self.scenarios.first().map_or(0, |s| s.topo.n_nodes());
+        self.scenarios
+            .iter()
+            .enumerate()
+            .map(|(i, sc)| RosterState {
+                scenario: i,
+                tokens: vec![TokenPhase::Idle; sc.detectors.len()],
+                min_seen: vec![u8::MAX; n],
+                drops_left: self.drop_budget,
+                master: None,
+                roster_ok: None,
+                engine: None,
+                polls: 0,
+                report_ok: None,
+            })
+            .collect()
+    }
+
+    fn actions(&self, s: &RosterState, out: &mut Vec<RosterAction>) {
+        for (d, t) in s.tokens.iter().enumerate() {
+            match t {
+                TokenPhase::Idle => out.push(RosterAction::Launch(d as u8)),
+                TokenPhase::InFlight { .. } => {
+                    out.push(RosterAction::Advance(d as u8));
+                    if s.drops_left > 0 {
+                        out.push(RosterAction::Drop(d as u8));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if s.master.is_some() && s.roster_ok.is_none() {
+            out.push(RosterAction::RunRoster);
+        }
+        if s.roster_ok.is_some()
+            && s.engine.is_some()
+            && s.report_ok.is_none()
+            && s.polls < MAX_POLLS
+        {
+            out.push(RosterAction::PollFailover);
+        }
+    }
+
+    fn next_state(&self, s: &RosterState, a: &RosterAction) -> RosterState {
+        let mut n = s.clone();
+        let sc = self.sc(s);
+        match *a {
+            RosterAction::Launch(d) => {
+                let o = sc.paths[d as usize][0];
+                let oi = o.0 as usize;
+                n.min_seen[oi] = n.min_seen[oi].min(o.0);
+                n.tokens[d as usize] = TokenPhase::InFlight { pos: 0 };
+            }
+            RosterAction::Advance(d) => {
+                let path = &sc.paths[d as usize];
+                let o = path[0];
+                let TokenPhase::InFlight { pos } = s.tokens[d as usize] else {
+                    unreachable!("enabled only in flight");
+                };
+                let next = pos as usize + 1;
+                n.tokens[d as usize] = if next == path.len() {
+                    // Wrapped home. If a lower token crossed the origin
+                    // meanwhile, this tour is stale.
+                    if n.min_seen[o.0 as usize] < o.0 {
+                        TokenPhase::Killed
+                    } else {
+                        n.master = Some(o);
+                        TokenPhase::Done
+                    }
+                } else {
+                    let v = path[next];
+                    let vi = v.0 as usize;
+                    let lower_detector = sc.detectors.contains(&v) && v.0 < o.0;
+                    if n.min_seen[vi] < o.0 || lower_detector {
+                        TokenPhase::Killed
+                    } else {
+                        n.min_seen[vi] = n.min_seen[vi].min(o.0);
+                        TokenPhase::InFlight { pos: next as u8 }
+                    }
+                };
+            }
+            RosterAction::Drop(d) => {
+                n.tokens[d as usize] = TokenPhase::Idle;
+                n.drops_left -= 1;
+            }
+            RosterAction::RunRoster => {
+                n.roster_ok = Some(self.roster_checks(s));
+                if let Some(dead) = sc.failed_node {
+                    let mut engine =
+                        FailoverEngine::new(FailoverPolicy::default(), Some(dead), SimTime::ZERO);
+                    engine.leader_died(SimTime::ZERO);
+                    n.engine = Some(engine);
+                }
+            }
+            RosterAction::PollFailover => {
+                n.polls += 1;
+                let now = SimTime(n.polls as u64 * POLL_STEP_NS);
+                let engine = n.engine.as_mut().expect("enabled only with engine");
+                let group = sc.group.as_ref().expect("engine implies group");
+                if let Some(report) = engine.poll(now, group) {
+                    n.report_ok = Some(
+                        Some(report.new_leader) == sc.expected_new_leader
+                            && Some(report.old_leader) == sc.failed_node
+                            && report.detected_at <= report.takeover_at
+                            && report.takeover_at <= report.recovered_at,
+                    );
+                }
+            }
+        }
+        n
+    }
+
+    fn fingerprint(&self, s: &RosterState) -> u64 {
+        let mut h = FnvHasher::new();
+        h.write_usize(s.scenario);
+        s.tokens.hash(&mut h);
+        h.write(&s.min_seen);
+        h.write_u8(s.drops_left);
+        h.write_u8(s.master.map_or(u8::MAX, |m| m.0));
+        h.write_u8(s.roster_ok.map_or(2, u8::from));
+        // The engine is a deterministic function of (scenario, polls):
+        // the poll count pins its phase, so times stay out of the hash.
+        h.write_u8(s.polls);
+        h.write_u8(s.report_ok.map_or(2, u8::from));
+        h.finish()
+    }
+
+    fn properties(&self) -> Vec<Property<Self>> {
+        vec![
+            Property {
+                name: "single-roster-master",
+                kind: PropertyKind::Always,
+                check: |_m, s| {
+                    s.tokens
+                        .iter()
+                        .filter(|t| matches!(t, TokenPhase::Done))
+                        .count()
+                        <= 1
+                },
+            },
+            Property {
+                name: "master-is-lowest-detector",
+                kind: PropertyKind::Always,
+                check: |m, s| s.master.is_none_or(|w| w == m.sc(s).expected_master),
+            },
+            Property {
+                name: "rostering-commits-valid-ring",
+                kind: PropertyKind::Always,
+                check: |_m, s| s.roster_ok != Some(false),
+            },
+            Property {
+                name: "failover-elects-best-survivor",
+                kind: PropertyKind::Always,
+                check: |_m, s| s.report_ok != Some(false),
+            },
+            Property {
+                name: "termination-is-full-recovery",
+                kind: PropertyKind::AlwaysTerminal,
+                check: |m, s| {
+                    RosterModel::tokens_settled(s)
+                        && s.tokens
+                            .iter()
+                            .filter(|t| matches!(t, TokenPhase::Done))
+                            .count()
+                            == 1
+                        && s.roster_ok == Some(true)
+                        && (m.sc(s).failed_node.is_none() || s.report_ok == Some(true))
+                },
+            },
+            Property {
+                name: "recovery-reachable",
+                kind: PropertyKind::Eventually,
+                check: |m, s| {
+                    s.roster_ok == Some(true)
+                        && (m.sc(s).failed_node.is_none() || s.report_ok == Some(true))
+                },
+            },
+        ]
+    }
+
+    fn format_action(&self, a: &RosterAction) -> String {
+        match *a {
+            RosterAction::Launch(d) => format!("launch-token(d{d})"),
+            RosterAction::Advance(d) => format!("token-hop(d{d})"),
+            RosterAction::Drop(d) => format!("DROP-token(d{d})"),
+            RosterAction::RunRoster => "run-rostering".into(),
+            RosterAction::PollFailover => "poll-failover".into(),
+        }
+    }
+
+    fn format_state(&self, s: &RosterState) -> String {
+        let sc = self.sc(s);
+        let tokens: Vec<String> = s
+            .tokens
+            .iter()
+            .enumerate()
+            .map(|(d, t)| {
+                let origin = sc.paths[d][0].0;
+                match t {
+                    TokenPhase::Idle => format!("n{origin}:idle"),
+                    TokenPhase::InFlight { pos } => {
+                        format!("n{origin}:@n{}", sc.paths[d][*pos as usize].0)
+                    }
+                    TokenPhase::Killed => format!("n{origin}:killed"),
+                    TokenPhase::Done => format!("n{origin}:DONE"),
+                }
+            })
+            .collect();
+        format!(
+            "[{}] tokens({}) master={:?} roster={:?} polls={} failover={:?}",
+            sc.name,
+            tokens.join(" "),
+            s.master.map(|m| m.0),
+            s.roster_ok,
+            s.polls,
+            s.report_ok
+        )
+    }
+}
+
+/// Check every single-failure scenario of a 4-node quad plant.
+pub fn check_roster(max_states: usize) -> CheckReport {
+    crate::check(&RosterModel::quad_plant(4), CheckOptions { max_states })
+}

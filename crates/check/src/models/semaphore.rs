@@ -1,0 +1,438 @@
+//! Model 2: slide-10 D64 network semaphores under message loss.
+//!
+//! Each client is a real [`ampnet_cache::SemaphoreClient`]; the home
+//! node executes requests with the real [`ampnet_cache::atomics`]
+//! engine. Channels are per-client FIFOs (the fabric's per-source
+//! ordering guarantee — see [`crate::FifoChannel`]); the adversary
+//! interleaves clients, drops packets against a bounded budget, and
+//! triggers the client's idempotent retransmission path
+//! ([`SemaphoreClient::resend`]), which doubles as the duplication
+//! model.
+//!
+//! Properties: **mutual exclusion** (never two `Held` clients),
+//! **home-word integrity** (the lock word only ever holds 0 or a
+//! client's tag), and **completion** (termination implies every client
+//! finished all its rounds and the lock is free — deadlock-freedom,
+//! since `resend`/`poll` actions stay enabled while anything is
+//! unfinished).
+//!
+//! Time abstraction: `SimTime`s inside client backoff state are
+//! excluded from fingerprints (see [`Model::fingerprint`]), and
+//! node-id symmetry is folded out with [`symmetric_fingerprint`] —
+//! clients are interchangeable once tags are reduced to
+//! self/other/free roles.
+//!
+//! The [`SemVariant::SplitTestThenSet`] mutant executes TestAndSet in
+//! two home-side phases (read the word, *later* write it based on the
+//! stale read). Two clients' tests interleave, both observe 0, both
+//! acquire: the checker prints the classic lost-update trace.
+
+use crate::model::{symmetric_fingerprint, FnvHasher, Model, Property, PropertyKind};
+use crate::{CheckOptions, CheckReport, FifoChannel};
+use ampnet_cache::atomics::execute;
+use ampnet_cache::{
+    BackoffPolicy, LockState, NetworkCache, SemaphoreAction, SemaphoreAddr, SemaphoreClient,
+};
+use ampnet_packet::build::{self, AtomicOp};
+use ampnet_packet::MicroPacket;
+use ampnet_sim::SimTime;
+use std::hash::Hasher;
+
+const REGION: u8 = 1;
+const OFFSET: u32 = 0;
+const HOME: u8 = 0;
+
+/// Home-node execution discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SemVariant {
+    /// The real engine: one atomic `execute` per request.
+    AtomicTas,
+    /// Mutant: TestAndSet split into a read phase and a later write
+    /// phase using the stale read.
+    SplitTestThenSet,
+}
+
+/// A request popped by the mutant's read phase, waiting for its write
+/// phase: the packet and the (stale) value it observed.
+type PendingHome = Option<(MicroPacket, u64)>;
+
+/// One global state.
+#[derive(Debug, Clone)]
+pub struct SemState {
+    home: NetworkCache,
+    clients: Vec<SemaphoreClient>,
+    rounds_done: Vec<u8>,
+    req: Vec<FifoChannel<MicroPacket>>,
+    resp: Vec<FifoChannel<MicroPacket>>,
+    pending_home: Vec<PendingHome>,
+    drops_left: u8,
+    /// Logical clock driving `SimTime` arguments; excluded from
+    /// fingerprints (time abstraction).
+    tick: u64,
+}
+
+/// One atomic step. The `u8` is the client index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SemAction {
+    /// Client begins an acquire round.
+    Acquire(u8),
+    /// Client releases the held lock.
+    Release(u8),
+    /// Home pops and atomically executes the client's oldest request.
+    HomeStep(u8),
+    /// Mutant read phase: pop the request, observe the word.
+    HomeTest(u8),
+    /// Mutant write phase: apply the stale decision, respond.
+    HomeSet(u8),
+    /// Client consumes its oldest response.
+    Deliver(u8),
+    /// Client's backoff expires; it retransmits TestAndSet.
+    Poll(u8),
+    /// Client retransmits its in-flight request (loss recovery, and
+    /// the duplication source — the resent copy may race the original).
+    Resend(u8),
+    /// The wire drops the client's oldest request (budgeted).
+    DropReq(u8),
+    /// The wire drops the client's oldest response (budgeted).
+    DropResp(u8),
+}
+
+/// The semaphore model.
+#[derive(Debug, Clone)]
+pub struct SemaphoreModel {
+    /// Number of competing clients.
+    pub clients: u8,
+    /// Acquire/release rounds each client must complete.
+    pub rounds: u8,
+    /// Total message drops the adversary may spend.
+    pub drop_budget: u8,
+    /// Home-node execution discipline.
+    pub variant: SemVariant,
+}
+
+impl SemaphoreModel {
+    fn addr() -> SemaphoreAddr {
+        SemaphoreAddr {
+            home: HOME,
+            region: REGION,
+            offset: OFFSET,
+        }
+    }
+
+    fn tag(i: u8) -> u64 {
+        // SemaphoreClient node ids are 1-based here; tag = node + 1.
+        (i + 1) as u64 + 1
+    }
+
+    fn word(s: &SemState) -> u64 {
+        s.home.read_u64(REGION, OFFSET).expect("region defined")
+    }
+
+    /// Map a lock-word value to a role relative to client `i`:
+    /// 0 = free, 1 = self, 2 = other (for symmetric fingerprints).
+    fn role(i: u8, v: u64) -> u8 {
+        if v == 0 {
+            0
+        } else if v == Self::tag(i) {
+            1
+        } else {
+            2
+        }
+    }
+}
+
+impl Model for SemaphoreModel {
+    type State = SemState;
+    type Action = SemAction;
+
+    fn initial_states(&self) -> Vec<SemState> {
+        let mut home = NetworkCache::new(HOME);
+        home.define_region(REGION, 64).expect("region fits");
+        let n = self.clients as usize;
+        vec![SemState {
+            home,
+            clients: (0..self.clients)
+                .map(|i| SemaphoreClient::new(i + 1, Self::addr(), BackoffPolicy::default()))
+                .collect(),
+            rounds_done: vec![0; n],
+            req: vec![FifoChannel::new(); n],
+            resp: vec![FifoChannel::new(); n],
+            pending_home: vec![None; n],
+            drops_left: self.drop_budget,
+            tick: 0,
+        }]
+    }
+
+    fn actions(&self, s: &SemState, out: &mut Vec<SemAction>) {
+        for i in 0..self.clients {
+            let iu = i as usize;
+            match s.clients[iu].state() {
+                LockState::Idle if s.rounds_done[iu] < self.rounds => {
+                    out.push(SemAction::Acquire(i))
+                }
+                LockState::Held => out.push(SemAction::Release(i)),
+                LockState::Backoff(_) => out.push(SemAction::Poll(i)),
+                _ => {}
+            }
+            if !s.req[iu].is_empty() {
+                match self.variant {
+                    SemVariant::AtomicTas => out.push(SemAction::HomeStep(i)),
+                    SemVariant::SplitTestThenSet => {
+                        if s.pending_home[iu].is_none() {
+                            out.push(SemAction::HomeTest(i));
+                        }
+                    }
+                }
+            }
+            if s.pending_home[iu].is_some() {
+                out.push(SemAction::HomeSet(i));
+            }
+            if !s.resp[iu].is_empty() {
+                out.push(SemAction::Deliver(i));
+            }
+            // Retransmission: bounded to keep ≤ 2 copies in flight.
+            if s.clients[iu].resend().is_some()
+                && s.req[iu].len() + s.resp[iu].len() + s.pending_home[iu].iter().count() < 2
+            {
+                out.push(SemAction::Resend(i));
+            }
+            if s.drops_left > 0 {
+                if !s.req[iu].is_empty() {
+                    out.push(SemAction::DropReq(i));
+                }
+                if !s.resp[iu].is_empty() {
+                    out.push(SemAction::DropResp(i));
+                }
+            }
+        }
+    }
+
+    fn next_state(&self, s: &SemState, a: &SemAction) -> SemState {
+        let mut n = s.clone();
+        n.tick += 1;
+        let now = SimTime(n.tick);
+        match *a {
+            SemAction::Acquire(i) => {
+                let iu = i as usize;
+                if let SemaphoreAction::Send(pkt) = n.clients[iu].acquire(now) {
+                    n.req[iu].send(pkt);
+                }
+            }
+            SemAction::Release(i) => {
+                let iu = i as usize;
+                if let SemaphoreAction::Send(pkt) = n.clients[iu].release() {
+                    n.req[iu].send(pkt);
+                }
+            }
+            SemAction::HomeStep(i) => {
+                let iu = i as usize;
+                let pkt = n.req[iu].deliver().expect("enabled only when queued");
+                let req = build::parse_atomic_request(&pkt).expect("atomic request");
+                let effect = execute(&mut n.home, pkt.ctrl.src, req).expect("region defined");
+                n.resp[iu].send(effect.response);
+            }
+            SemAction::HomeTest(i) => {
+                let iu = i as usize;
+                let pkt = n.req[iu].deliver().expect("enabled only when queued");
+                let previous = Self::word(&n);
+                n.pending_home[iu] = Some((pkt, previous));
+            }
+            SemAction::HomeSet(i) => {
+                let iu = i as usize;
+                let (pkt, previous) = n.pending_home[iu].take().expect("enabled when pending");
+                let req = build::parse_atomic_request(&pkt).expect("atomic request");
+                // The bug under test: decide from the *stale* read.
+                let new = match req.op {
+                    AtomicOp::TestAndSet if previous == 0 => req.operand as u64,
+                    AtomicOp::Clear if req.operand == 0 || previous == req.operand as u64 => 0,
+                    _ => Self::word(&n),
+                };
+                n.home
+                    .write_u64_local(req.region, req.offset, new)
+                    .expect("region defined");
+                n.resp[iu].send(build::atomic_response(HOME, pkt.ctrl.src, req.op, previous));
+            }
+            SemAction::Deliver(i) => {
+                let iu = i as usize;
+                let pkt = n.resp[iu].deliver().expect("enabled only when queued");
+                let before = n.clients[iu].state();
+                n.clients[iu].on_response(now, &pkt);
+                if before == LockState::Releasing && n.clients[iu].state() == LockState::Idle {
+                    n.rounds_done[iu] += 1;
+                }
+            }
+            SemAction::Poll(i) => {
+                let iu = i as usize;
+                let LockState::Backoff(until) = n.clients[iu].state() else {
+                    unreachable!("enabled only in backoff");
+                };
+                if let SemaphoreAction::Send(pkt) = n.clients[iu].poll(until.max(now)) {
+                    n.req[iu].send(pkt);
+                }
+            }
+            SemAction::Resend(i) => {
+                let iu = i as usize;
+                let pkt = n.clients[iu].resend().expect("enabled when in flight");
+                n.req[iu].send(pkt);
+            }
+            SemAction::DropReq(i) => {
+                n.req[i as usize].drop_front();
+                n.drops_left -= 1;
+            }
+            SemAction::DropResp(i) => {
+                n.resp[i as usize].drop_front();
+                n.drops_left -= 1;
+            }
+        }
+        n
+    }
+
+    fn fingerprint(&self, s: &SemState) -> u64 {
+        // Shared part: lock word as a held/free bit (which client holds
+        // it lives in that client's block), remaining drop budget.
+        let mut shared = FnvHasher::new();
+        shared.write_u8(u8::from(Self::word(s) != 0));
+        shared.write_u8(s.drops_left);
+        // Per-client blocks, id-free: state discriminant, rounds,
+        // channel contents as op/role streams, pending mutant phase.
+        // Absolute times (Backoff deadline), attempt and stats counters
+        // are deliberately excluded — time abstraction.
+        let blocks = (0..self.clients as usize)
+            .map(|i| {
+                let mut b = FnvHasher::new();
+                b.write_u8(match s.clients[i].state() {
+                    LockState::Idle => 0,
+                    LockState::Requesting => 1,
+                    LockState::Backoff(_) => 2,
+                    LockState::Held => 3,
+                    LockState::Releasing => 4,
+                });
+                b.write_u8(s.rounds_done[i]);
+                b.write_u8(u8::from(Self::word(s) == Self::tag(i as u8)));
+                for pkt in s.req[i].iter() {
+                    let req = build::parse_atomic_request(pkt).expect("atomic request");
+                    b.write_u8(req.op as u8);
+                }
+                b.write_u8(0xFE);
+                for pkt in s.resp[i].iter() {
+                    let (op, prev) = build::parse_atomic_response(pkt).expect("atomic response");
+                    b.write_u8(op as u8);
+                    b.write_u8(Self::role(i as u8, prev));
+                }
+                b.write_u8(0xFD);
+                match &s.pending_home[i] {
+                    None => b.write_u8(0),
+                    Some((pkt, prev)) => {
+                        let req = build::parse_atomic_request(pkt).expect("atomic request");
+                        b.write_u8(1 + req.op as u8);
+                        b.write_u8(Self::role(i as u8, *prev));
+                    }
+                }
+                b.finish()
+            })
+            .collect();
+        symmetric_fingerprint(shared.digest(), blocks)
+    }
+
+    fn properties(&self) -> Vec<Property<Self>> {
+        vec![
+            Property {
+                name: "mutual-exclusion",
+                kind: PropertyKind::Always,
+                check: |_m, s| {
+                    s.clients
+                        .iter()
+                        .filter(|c| c.state() == LockState::Held)
+                        .count()
+                        <= 1
+                },
+            },
+            Property {
+                name: "lock-word-integrity",
+                kind: PropertyKind::Always,
+                check: |m, s| {
+                    let w = SemaphoreModel::word(s);
+                    w == 0 || (0..m.clients).any(|i| w == SemaphoreModel::tag(i))
+                },
+            },
+            Property {
+                name: "termination-is-completion",
+                kind: PropertyKind::AlwaysTerminal,
+                check: |m, s| {
+                    SemaphoreModel::word(s) == 0
+                        && s.clients.iter().all(|c| c.state() == LockState::Idle)
+                        && s.rounds_done.iter().all(|&r| r == m.rounds)
+                },
+            },
+            Property {
+                name: "all-rounds-completable",
+                kind: PropertyKind::Eventually,
+                check: |m, s| s.rounds_done.iter().all(|&r| r == m.rounds),
+            },
+        ]
+    }
+
+    fn format_action(&self, a: &SemAction) -> String {
+        match *a {
+            SemAction::Acquire(i) => format!("acquire(c{i})"),
+            SemAction::Release(i) => format!("release(c{i})"),
+            SemAction::HomeStep(i) => format!("home-exec(c{i})"),
+            SemAction::HomeTest(i) => format!("home-test(c{i})"),
+            SemAction::HomeSet(i) => format!("home-set(c{i})"),
+            SemAction::Deliver(i) => format!("deliver-resp(c{i})"),
+            SemAction::Poll(i) => format!("backoff-retry(c{i})"),
+            SemAction::Resend(i) => format!("resend(c{i})"),
+            SemAction::DropReq(i) => format!("DROP-req(c{i})"),
+            SemAction::DropResp(i) => format!("DROP-resp(c{i})"),
+        }
+    }
+
+    fn format_state(&self, s: &SemState) -> String {
+        let states: Vec<String> = s
+            .clients
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                format!(
+                    "c{i}:{:?}/r{}",
+                    c.state(),
+                    s.rounds_done[i]
+                )
+            })
+            .collect();
+        format!(
+            "word={} {} in-flight={} drops-left={}",
+            Self::word(s),
+            states.join(" "),
+            s.req.iter().map(|c| c.len()).sum::<usize>()
+                + s.resp.iter().map(|c| c.len()).sum::<usize>(),
+            s.drops_left
+        )
+    }
+}
+
+/// Check the healthy atomic-TAS protocol exhaustively.
+pub fn check_semaphore(max_states: usize) -> CheckReport {
+    crate::check(
+        &SemaphoreModel {
+            clients: 2,
+            rounds: 2,
+            drop_budget: 1,
+            variant: SemVariant::AtomicTas,
+        },
+        CheckOptions { max_states },
+    )
+}
+
+/// Check the split test-then-set mutant (must yield a counterexample).
+pub fn check_semaphore_split_tas(max_states: usize) -> CheckReport {
+    crate::check(
+        &SemaphoreModel {
+            clients: 2,
+            rounds: 1,
+            drop_budget: 0,
+            variant: SemVariant::SplitTestThenSet,
+        },
+        CheckOptions { max_states },
+    )
+}

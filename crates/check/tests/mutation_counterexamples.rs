@@ -1,0 +1,67 @@
+//! Mutation self-tests: deliberately broken protocol variants must
+//! each produce a counterexample with a printed shortest trace.
+//!
+//! These are the checker's own regression suite — if a mutant stops
+//! failing, either the mutant stopped modeling the bug or the checker
+//! went blind, and both are defects.
+
+use ampnet_check::models::{arena, semaphore, seqlock};
+use ampnet_check::Counterexample;
+
+const BUDGET: usize = 2_000_000;
+
+/// Every mutant counterexample must be a genuine rendered trace.
+fn assert_trace(cx: &Counterexample, min_steps: usize) {
+    let rendered = cx.render();
+    println!("{rendered}");
+    assert!(
+        cx.steps.len() > min_steps,
+        "trace has {} steps, expected more than {min_steps}",
+        cx.steps.len()
+    );
+    assert!(rendered.contains("=== counterexample:"));
+    assert!(rendered.contains("violation:"));
+}
+
+#[test]
+fn single_counter_seqlock_tears() {
+    let report = seqlock::check_seqlock_single_counter(BUDGET);
+    println!("{}", report.summary("seqlock/single-counter"));
+    let cx = report.violation.expect("mutant must be caught");
+    assert_eq!(cx.property, "no-torn-read");
+    assert_trace(&cx, 3);
+}
+
+#[test]
+fn split_test_then_set_breaks_mutual_exclusion() {
+    let report = semaphore::check_semaphore_split_tas(BUDGET);
+    println!("{}", report.summary("semaphore/split-tas"));
+    let cx = report.violation.expect("mutant must be caught");
+    assert_eq!(cx.property, "mutual-exclusion");
+    assert_trace(&cx, 5);
+}
+
+#[test]
+fn deliver_also_forwards_panics_on_stale_ref() {
+    let report = arena::check_arena_deliver_forwards(BUDGET);
+    println!("{}", report.summary("arena/deliver-forwards"));
+    let cx = report.violation.expect("mutant must be caught");
+    assert!(
+        cx.reason.contains("stale FrameRef"),
+        "the real arena's generation check must fire: {}",
+        cx.reason
+    );
+    assert_trace(&cx, 2);
+}
+
+#[test]
+fn missing_generation_bump_aliases_silently() {
+    let report = arena::check_arena_no_gen_bump(BUDGET);
+    println!("{}", report.summary("arena/no-gen-bump"));
+    let cx = report.violation.expect("mutant must be caught");
+    assert_eq!(
+        cx.property, "frames-intact",
+        "no panic fires — only the checker sees the aliasing"
+    );
+    assert_trace(&cx, 3);
+}

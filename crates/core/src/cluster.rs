@@ -139,7 +139,7 @@ pub struct Cluster {
     /// Spare faults found by the background sweep: (found at, component).
     pub(crate) spare_faults: Vec<(SimTime, Component)>,
     /// Spare faults already reported (avoid duplicates).
-    pub(crate) known_spare_faults: std::collections::HashSet<String>,
+    pub(crate) known_spare_faults: std::collections::BTreeSet<String>,
     /// Journal of externally visible transitions (see `observe.rs`).
     pub(crate) observations: Vec<(SimTime, ObservedEvent)>,
     /// Cluster-wide telemetry handles (disabled by default).

@@ -40,8 +40,8 @@ mod stack;
 mod stream;
 
 pub use mac::{
-    InsertionMac, MacAction, MacTx, RegisterMac, RingNodeParams, RingNodeStats, WireFrame,
-    MAX_PACKET_WIRE,
+    classify, FrameClass, InsertionMac, MacAction, MacTx, RegisterMac, RingNodeParams,
+    RingNodeStats, WireFrame, MAX_PACKET_WIRE,
 };
 pub use node::{ArrivalAction, RingNode, TxChoice};
 pub use pacing::{AimdParams, InsertionGovernor, PacingMode};

@@ -143,6 +143,39 @@ pub enum MacAction {
     Forward,
 }
 
+/// Pure arrival classification, independent of MAC bookkeeping.
+///
+/// This is the ownership-relevant core of [`RegisterMac::on_arrival`]:
+/// given only the node's ring address and the frame's control word it
+/// says who ends up owning the frame. Factored out so the model
+/// checker (`ampnet-check`) can drive the exact decision procedure the
+/// MAC uses without constructing a full `RegisterMac`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameClass {
+    /// Own packet back after a full tour: stripped, caller releases it.
+    Strip,
+    /// Broadcast: delivered locally while the frame stays in transit
+    /// (the delivery descriptor is a loan).
+    DeliverAndForward,
+    /// Unicast to this node: consumed, caller releases it.
+    Deliver,
+    /// In transit: forwarded downstream unchanged.
+    Forward,
+}
+
+/// Classify a frame arriving at ring address `id` (see [`FrameClass`]).
+pub fn classify(id: u8, ctrl: &ControlWord) -> FrameClass {
+    if ctrl.src == id {
+        FrameClass::Strip
+    } else if ctrl.is_broadcast() {
+        FrameClass::DeliverAndForward
+    } else if ctrl.dst == id {
+        FrameClass::Deliver
+    } else {
+        FrameClass::Forward
+    }
+}
+
 /// What the output port should send next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MacTx {
@@ -272,24 +305,28 @@ impl RegisterMac {
     /// Handle a frame arriving from the upstream link (see
     /// [`InsertionMac::on_arrival`]).
     pub fn on_arrival(&mut self, _now: SimTime, frame: WireFrame) -> MacAction {
-        if frame.ctrl.src == self.id {
-            // Our own packet completed its tour.
-            self.stats.stripped += 1;
-            return MacAction::Strip(frame);
+        match classify(self.id, &frame.ctrl) {
+            FrameClass::Strip => {
+                // Our own packet completed its tour.
+                self.stats.stripped += 1;
+                MacAction::Strip(frame)
+            }
+            FrameClass::DeliverAndForward => {
+                self.stats.delivered += 1;
+                self.stats.delivered_payload_bytes += frame.payload_bytes as u64;
+                self.push_transit(frame);
+                MacAction::DeliverAndForward(frame)
+            }
+            FrameClass::Deliver => {
+                self.stats.delivered += 1;
+                self.stats.delivered_payload_bytes += frame.payload_bytes as u64;
+                MacAction::Deliver(frame)
+            }
+            FrameClass::Forward => {
+                self.push_transit(frame);
+                MacAction::Forward
+            }
         }
-        if frame.ctrl.is_broadcast() {
-            self.stats.delivered += 1;
-            self.stats.delivered_payload_bytes += frame.payload_bytes as u64;
-            self.push_transit(frame);
-            return MacAction::DeliverAndForward(frame);
-        }
-        if frame.ctrl.dst == self.id {
-            self.stats.delivered += 1;
-            self.stats.delivered_payload_bytes += frame.payload_bytes as u64;
-            return MacAction::Deliver(frame);
-        }
-        self.push_transit(frame);
-        MacAction::Forward
     }
 
     /// Choose the next frame for a free output port (see

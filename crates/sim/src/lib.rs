@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod digest;
 mod queue;
 mod rng;
 #[allow(clippy::module_inception)]
@@ -30,6 +31,7 @@ mod stats;
 mod time;
 mod trace;
 
+pub use digest::{fnv64, Fnv64};
 pub use queue::{EventId, EventQueue};
 pub use rng::SimRng;
 pub use sim::Sim;

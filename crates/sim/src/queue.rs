@@ -11,7 +11,11 @@
 use crate::time::SimTime;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
+// The pending set is membership-only (insert/remove/contains) — it is
+// never iterated, so hash order cannot leak into the schedule, and a
+// warmed-up HashSet does zero allocations on the hot path where a
+// BTreeSet churns tree nodes on every event.
+use std::collections::HashSet; // lint: allow(HashSet): membership-only, never iterated
 
 /// Handle identifying one scheduled event, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -50,7 +54,7 @@ pub struct EventQueue<E> {
     /// Sequence numbers of events that are scheduled and not yet fired
     /// or cancelled. Entries in the heap whose seq is absent here are
     /// tombstones left behind by `cancel`.
-    pending: HashSet<u64>,
+    pending: HashSet<u64>, // lint: allow(HashSet): membership-only, never iterated
     next_seq: u64,
 }
 
@@ -65,7 +69,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            pending: HashSet::new(),
+            pending: HashSet::new(), // lint: allow(HashSet): membership-only, never iterated
             next_seq: 0,
         }
     }

@@ -5,6 +5,7 @@
 //! costs one branch when disabled, so it can stay compiled into release
 //! simulations.
 
+use crate::digest::Fnv64;
 use crate::time::SimTime;
 use std::collections::VecDeque;
 use std::fmt;
@@ -67,18 +68,6 @@ pub struct Trace {
     accepted: u64,
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-#[inline]
-fn fnv_fold(mut h: u64, bytes: &[u8]) -> u64 {
-    for b in bytes {
-        h ^= *b as u64;
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
-}
-
 impl Trace {
     /// A disabled trace: all `log` calls are no-ops.
     pub fn disabled() -> Self {
@@ -87,7 +76,7 @@ impl Trace {
             capacity: 0,
             min_level: None,
             dropped: 0,
-            digest: FNV_OFFSET,
+            digest: Fnv64::new().finish(),
             accepted: 0,
         }
     }
@@ -100,7 +89,7 @@ impl Trace {
             capacity,
             min_level: Some(min_level),
             dropped: 0,
-            digest: FNV_OFFSET,
+            digest: Fnv64::new().finish(),
             accepted: 0,
         }
     }
@@ -120,10 +109,12 @@ impl Trace {
         // Fold into the running digest before any capacity eviction so
         // the digest covers every accepted entry, not just the retained
         // window.
-        self.digest = fnv_fold(self.digest, &at.0.to_le_bytes());
-        self.digest = fnv_fold(self.digest, &[level as u8]);
-        self.digest = fnv_fold(self.digest, subsystem.as_bytes());
-        self.digest = fnv_fold(self.digest, message.as_bytes());
+        let mut h = Fnv64::from_state(self.digest);
+        h.fold_u64(at.0)
+            .fold_u8(level as u8)
+            .fold(subsystem.as_bytes())
+            .fold(message.as_bytes());
+        self.digest = h.finish();
         self.accepted += 1;
         if self.entries.len() == self.capacity {
             self.entries.pop_front();

@@ -1,0 +1,158 @@
+//! Determinism lint: sim-facing crates must stay schedule-free.
+//!
+//! The model checker (`ampnet-check`) and the seeded simulators both
+//! rely on every protocol state machine being a deterministic function
+//! of its inputs. Three things silently break that:
+//!
+//! * `HashMap`/`HashSet` iteration (random SipHash keys per process —
+//!   any `for` over one injects schedule noise; use `BTreeMap`/
+//!   `BTreeSet` or a `Vec`),
+//! * wall-clock reads (`Instant`, `SystemTime`, `UNIX_EPOCH` — time is
+//!   `SimTime`, passed in),
+//! * ambient randomness (`thread_rng`, `from_entropy`, `rand::random`,
+//!   `getrandom`, `RandomState` — entropy arrives as an explicit seed).
+//!
+//! This test greps the source of every sim-facing crate for those
+//! tokens. A line may opt out with a `// lint: allow(<token>)` comment
+//! stating why; comment-only mentions don't count.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Crates whose `src/` must be deterministic (the sans-IO protocol
+/// stack plus the simulation engine itself).
+const SIM_FACING: &[&str] = &["sim", "ring", "core", "cache", "roster", "dk", "chaos"];
+
+/// Identifier tokens rejected under word-boundary matching.
+const BANNED_WORDS: &[&str] = &[
+    "HashMap",
+    "HashSet",
+    "Instant",
+    "SystemTime",
+    "UNIX_EPOCH",
+    "thread_rng",
+    "from_entropy",
+    "RandomState",
+    "getrandom",
+];
+
+/// Substring tokens rejected verbatim.
+const BANNED_PATHS: &[&str] = &["rand::random"];
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Whether `token` occurs in `line` delimited by non-identifier chars.
+fn has_word(line: &str, token: &str) -> bool {
+    let mut from = 0;
+    while let Some(i) = line[from..].find(token) {
+        let start = from + i;
+        let end = start + token.len();
+        let before_ok = start == 0 || !is_ident(line[..start].chars().next_back().unwrap());
+        let after_ok = end == line.len() || !is_ident(line[end..].chars().next().unwrap());
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Banned tokens on one source line (comments stripped, opt-outs
+/// honored).
+fn scan_line(raw: &str) -> Vec<&'static str> {
+    if raw.contains("lint: allow(") {
+        return vec![];
+    }
+    // Strip line comments so prose mentions don't trip the lint. This
+    // also truncates `//` inside string literals (e.g. URLs), which
+    // only ever hides tokens — never invents them.
+    let code = match raw.find("//") {
+        Some(i) => &raw[..i],
+        None => raw,
+    };
+    let mut hits: Vec<&'static str> = BANNED_WORDS
+        .iter()
+        .copied()
+        .filter(|t| has_word(code, t))
+        .collect();
+    hits.extend(BANNED_PATHS.iter().copied().filter(|t| code.contains(t)));
+    hits
+}
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = fs::read_dir(dir).unwrap_or_else(|e| panic!("read {}: {e}", dir.display()));
+    for entry in entries {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+}
+
+#[test]
+fn sim_facing_crates_are_deterministic() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut violations = String::new();
+    let mut files_scanned = 0usize;
+    for krate in SIM_FACING {
+        let src = root.join("crates").join(krate).join("src");
+        let mut files = vec![];
+        rust_sources(&src, &mut files);
+        assert!(!files.is_empty(), "no sources under {}", src.display());
+        for file in files {
+            files_scanned += 1;
+            let text = fs::read_to_string(&file)
+                .unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+            for (lineno, line) in text.lines().enumerate() {
+                for token in scan_line(line) {
+                    let _ = writeln!(
+                        violations,
+                        "  {}:{}: `{token}` — {}",
+                        file.strip_prefix(root).unwrap_or(&file).display(),
+                        lineno + 1,
+                        line.trim()
+                    );
+                }
+            }
+        }
+    }
+    assert!(files_scanned > 20, "scanned only {files_scanned} files");
+    assert!(
+        violations.is_empty(),
+        "nondeterminism in sim-facing crates (use BTreeMap/BTreeSet, \
+         SimTime, and explicit seeds; or annotate the line with \
+         `// lint: allow(<token>)` and a justification):\n{violations}"
+    );
+}
+
+#[test]
+fn scanner_catches_each_token_class() {
+    assert_eq!(
+        scan_line("use std::collections::HashMap;"),
+        vec!["HashMap"]
+    );
+    assert_eq!(scan_line("let t = Instant::now();"), vec!["Instant"]);
+    assert_eq!(scan_line("let x = rand::random();"), vec!["rand::random"]);
+    assert_eq!(
+        scan_line("let s: HashSet<u8> = thread_rng();"),
+        vec!["HashSet", "thread_rng"]
+    );
+}
+
+#[test]
+fn scanner_honors_boundaries_comments_and_optouts() {
+    // Substrings of longer identifiers are not matches.
+    assert!(scan_line("struct MyHashMapLike;").is_empty());
+    assert!(scan_line("let instant = 3;").is_empty());
+    // Comment-only mentions don't count.
+    assert!(scan_line("// avoid HashMap here").is_empty());
+    assert!(scan_line("let x = 1; // SystemTime is banned").is_empty());
+    // The explicit escape hatch.
+    assert!(scan_line("use std::collections::HashMap; // lint: allow(HashMap): keyed api only").is_empty());
+}
