@@ -5,6 +5,7 @@
 //! cargo run -p ampnet-bench --release --bin figures -- E8    # one experiment
 //! cargo run -p ampnet-bench --release --bin figures -- --json out.json
 //! cargo run -p ampnet-bench --release --bin figures -- --bench-ring BENCH_ring.json
+//! cargo run -p ampnet-bench --release --bin figures -- --bench-scale BENCH_scale.json
 //! cargo run -p ampnet-bench --release --bin figures -- --metrics METRICS_snapshot.json
 //! cargo run -p ampnet-bench --release --bin figures -- --metrics-doc > docs/METRICS.md
 //! cargo run -p ampnet-bench --release --bin figures -- --check CHECK_models.json
@@ -18,6 +19,14 @@
 //! allocator. The JSON snapshot is committed so regressions in
 //! per-packet allocation count — or telemetry overhead creeping onto
 //! the hot path — show up in review.
+//!
+//! `--bench-scale` sizes the sharded-PDES engine: 1→16 segments of 16
+//! nodes each (up to 256 nodes), each point run twice from the same
+//! seeds — once `ParallelMode::Serial`, once `Threads(8)` — recording
+//! wall-clock, speedup, events/sec and the trace digest of both runs.
+//! The digests must match at every point (the engine's determinism
+//! contract); the JSON also records `host_threads` so CI only enforces
+//! the speedup floor on hosts that actually have cores to scale onto.
 //!
 //! `--check` runs the four `ampnet-check` protocol models (seqlock,
 //! semaphore, roster/failover, frame arena) to exhaustion and writes a
@@ -168,6 +177,175 @@ fn bench_ring(path: &str) {
     println!("wrote {path}");
 }
 
+struct ScaleLeg {
+    wall_ms: f64,
+    digest: u64,
+    events: u64,
+    events_per_sec: f64,
+    delivered: u64,
+}
+
+/// One sharded-PDES leg: `n_segments` segments of `SCALE_NODES` nodes
+/// in a ring-of-segments, driven by a fixed cross- and intra-segment
+/// send schedule, advanced under `mode` with slice = the conservative
+/// lookahead (min bridge latency). Only the post-warmup window is
+/// timed; the digest covers the whole run.
+fn scale_leg(n_segments: usize, mode: ampnet_core::ParallelMode) -> ScaleLeg {
+    use ampnet_core::{ClusterConfig, GlobalAddr, MultiSegment};
+    const SCALE_NODES: usize = 16;
+    let ga = |segment: usize, node: u8| GlobalAddr {
+        segment: segment as u8,
+        node,
+    };
+    let mut net = MultiSegment::new(
+        (0..n_segments)
+            .map(|s| ClusterConfig::small(SCALE_NODES).with_seed(0x5CA1E + s as u64))
+            .collect(),
+    );
+    for s in 0..n_segments {
+        if n_segments > 1 {
+            // node 15 of each segment bridges to node 0 of the next.
+            net.add_bridge(
+                ga(s, 15),
+                ga((s + 1) % n_segments, 0),
+                SimDuration::from_micros(5),
+            );
+        }
+    }
+    net.enable_traces(8192);
+    net.set_parallel_mode(mode);
+    let slice = net
+        .min_bridge_latency()
+        .unwrap_or(SimDuration::from_micros(10));
+    // Boot every ring before the measured window starts.
+    let t0 = net.segment(0).now() + SimDuration::from_millis(2);
+    net.run_until(t0, slice);
+
+    let events_before = net.events_processed();
+    let start = std::time::Instant::now();
+    const ROUNDS: usize = 8;
+    let round_len = SimDuration::from_micros(250);
+    for round in 0..ROUNDS {
+        for s in 0..n_segments {
+            // Intra-segment unicast keeps every ring loaded...
+            let dst = ((round + s) % (SCALE_NODES - 1)) as u8 + 1;
+            net.send_global(ga(s, 0), ga(s, dst), &[round as u8, s as u8]);
+            // ...and a crossing per segment exercises the barrier path.
+            if n_segments > 1 {
+                net.send_global(
+                    ga(s, 1),
+                    ga((s + 1 + round) % n_segments, 2),
+                    &[b'x', round as u8, s as u8],
+                );
+            }
+        }
+        net.run_until(t0 + round_len.saturating_mul((round as u64) + 1), slice);
+    }
+    // Drain window so every datagram lands inside the timed region.
+    net.run_until(
+        t0 + round_len.saturating_mul(ROUNDS as u64) + SimDuration::from_millis(1),
+        slice,
+    );
+    let wall = start.elapsed();
+    let events = net.events_processed() - events_before;
+
+    let mut delivered = 0u64;
+    for s in 0..n_segments {
+        for node in 0..SCALE_NODES as u8 {
+            while net.pop_global(ga(s, node)).is_some() {
+                delivered += 1;
+            }
+        }
+    }
+    assert_eq!(net.unroutable, 0, "scale bench routes everything");
+    ScaleLeg {
+        wall_ms: wall.as_secs_f64() * 1e3,
+        digest: net.digest(),
+        events,
+        events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
+        delivered,
+    }
+}
+
+fn bench_scale(path: &str) {
+    use ampnet_core::ParallelMode;
+    const THREADS: usize = 8;
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Warm-up leg absorbs one-time lazy init, as in `bench_ring`.
+    let _ = scale_leg(1, ParallelMode::Serial);
+    let mut points = Vec::new();
+    let mut speedup_at_8 = 0.0f64;
+    let mut all_digests_equal = true;
+    for &segs in &[1usize, 2, 4, 8, 16] {
+        let serial = scale_leg(segs, ParallelMode::Serial);
+        let threaded = scale_leg(segs, ParallelMode::Threads(THREADS));
+        let equal = serial.digest == threaded.digest;
+        all_digests_equal &= equal;
+        assert_eq!(
+            serial.delivered, threaded.delivered,
+            "delivery count mode-invariant at {segs} segments"
+        );
+        let speedup = serial.wall_ms / threaded.wall_ms.max(1e-9);
+        if segs == 8 {
+            speedup_at_8 = speedup;
+        }
+        println!(
+            "scale {segs:>2} segments ({:>3} nodes): serial {:>8.2} ms, \
+             threaded {:>8.2} ms, speedup {speedup:.2}x, digests equal: {equal}",
+            segs * 16,
+            serial.wall_ms,
+            threaded.wall_ms,
+        );
+        points.push(format!(
+            concat!(
+                "    {{\"segments\": {}, \"nodes\": {}, ",
+                "\"serial_ms\": {:.3}, \"threaded_ms\": {:.3}, ",
+                "\"threads\": {}, \"speedup\": {:.3}, ",
+                "\"events\": {}, \"events_per_sec_serial\": {:.0}, ",
+                "\"events_per_sec_threaded\": {:.0}, ",
+                "\"delivered\": {}, ",
+                "\"serial_digest\": \"{:016x}\", ",
+                "\"threaded_digest\": \"{:016x}\", ",
+                "\"digests_equal\": {}}}"
+            ),
+            segs,
+            segs * 16,
+            serial.wall_ms,
+            threaded.wall_ms,
+            THREADS,
+            speedup,
+            serial.events,
+            serial.events_per_sec,
+            threaded.events_per_sec,
+            serial.delivered,
+            serial.digest,
+            threaded.digest,
+            equal,
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"multiseg_scale\",\n",
+            "  \"nodes_per_segment\": 16,\n",
+            "  \"rounds\": 8,\n",
+            "  \"host_threads\": {},\n",
+            "  \"speedup_at_8_segments\": {:.3},\n",
+            "  \"all_digests_equal\": {},\n",
+            "  \"points\": [\n{}\n  ]\n}}\n"
+        ),
+        host_threads,
+        speedup_at_8,
+        all_digests_equal,
+        points.join(",\n"),
+    );
+    std::fs::write(path, &json).expect("write scale json");
+    print!("{json}");
+    println!("wrote {path}");
+    assert!(all_digests_equal, "serial/threaded digest divergence");
+}
+
 /// `--check`: run the four protocol models exhaustively and write a
 /// JSON summary. State budget is far above the known space sizes
 /// (hundreds to thousands of states) so `complete` acts as a canary
@@ -268,6 +446,14 @@ fn main() {
             .map(String::as_str)
             .unwrap_or("BENCH_ring.json");
         bench_ring(path);
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--bench-scale") {
+        let path = args
+            .get(i + 1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_scale.json");
+        bench_scale(path);
         return;
     }
     if let Some(i) = args.iter().position(|a| a == "--check") {

@@ -40,6 +40,7 @@
 mod engine;
 mod invariant;
 mod ledger;
+pub mod multiseg;
 mod scenario;
 mod sweep;
 

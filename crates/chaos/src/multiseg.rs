@@ -1,0 +1,298 @@
+//! Cross-segment chaos: timed fault storms on a [`MultiSegment`]
+//! network, runnable under any [`ParallelMode`] with bit-identical
+//! results.
+//!
+//! The single-segment [`crate::Scenario`] engine drives one `Cluster`;
+//! this module is its multi-segment sibling for the sharded-PDES
+//! engine. A [`MultiSegScenario`] scripts per-segment component faults
+//! and repairs (fiber cuts, switch failures — anything
+//! [`Component`] names) plus globally-addressed sends, all at fixed
+//! simulated offsets, and replays the identical schedule under
+//! whichever execution mode the caller picks. Because the schedule,
+//! the seeds and the barrier-exchange order are all deterministic, the
+//! resulting [`MultiSegReport`] — digest, delivery ledger, merged
+//! metrics — must not depend on the mode; `tests/parallel_equivalence.rs`
+//! holds the engine to that.
+
+use ampnet_core::{
+    ClusterConfig, Component, GlobalAddr, MultiSegment, ParallelMode, SimDuration, SimTime,
+};
+use std::collections::VecDeque;
+
+/// A component fault or repair on one segment's physical plant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SegFaultOp {
+    /// Fail a component inside a segment (e.g. a mid-run fiber cut:
+    /// `Component::Link(node, switch)`).
+    Fail {
+        /// Target segment.
+        segment: u8,
+        /// What breaks.
+        component: Component,
+    },
+    /// Repair a previously failed component.
+    Repair {
+        /// Target segment.
+        segment: u8,
+        /// What heals.
+        component: Component,
+    },
+}
+
+/// A timed globally-addressed send.
+#[derive(Debug, Clone, PartialEq)]
+struct TimedSend {
+    offset: SimDuration,
+    src: GlobalAddr,
+    dst: GlobalAddr,
+    payload: Vec<u8>,
+}
+
+/// Outcome of one [`MultiSegScenario::run`]: everything the
+/// equivalence tests compare across [`ParallelMode`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiSegReport {
+    /// Network digest (per-segment trace digests + unroutable count).
+    pub digest: u64,
+    /// Every delivered datagram as `(dst, src, payload)`, drained in
+    /// `(segment, node, FIFO)` order.
+    pub delivered: Vec<(GlobalAddr, GlobalAddr, Vec<u8>)>,
+    /// Datagrams that found no usable route.
+    pub unroutable: u64,
+    /// Merged per-shard metrics, rendered to JSON (byte-comparable).
+    pub metrics_json: String,
+    /// Total events processed across all shards.
+    pub events_processed: u64,
+}
+
+/// A deterministic cross-segment fault scenario.
+///
+/// ```
+/// use ampnet_chaos::multiseg::MultiSegScenario;
+/// use ampnet_core::{ClusterConfig, Component, GlobalAddr, NodeId, ParallelMode, SimDuration, SwitchId};
+///
+/// let ga = |segment, node| GlobalAddr { segment, node };
+/// let mut sc = MultiSegScenario::new(
+///     (0..2).map(|s| ClusterConfig::small(4).with_seed(40 + s)).collect(),
+/// );
+/// sc.bridge(ga(0, 3), ga(1, 0), SimDuration::from_micros(5));
+/// sc.send_at(SimDuration::from_micros(40), ga(0, 1), ga(1, 2), b"hello");
+/// sc.fail_at(SimDuration::from_micros(60), 0, Component::Link(NodeId(1), SwitchId(0)));
+/// let serial = sc.run(ParallelMode::Serial);
+/// let threaded = sc.run(ParallelMode::Threads(2));
+/// assert_eq!(serial, threaded);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiSegScenario {
+    segments: Vec<ClusterConfig>,
+    bridges: Vec<(GlobalAddr, GlobalAddr, SimDuration)>,
+    warmup: SimDuration,
+    run_for: SimDuration,
+    faults: Vec<(SimDuration, SegFaultOp)>,
+    sends: Vec<TimedSend>,
+}
+
+impl MultiSegScenario {
+    /// Scenario over the given segment configs (each seeds its own
+    /// shard) with default warmup (200 µs) and run length (2 ms).
+    pub fn new(segments: Vec<ClusterConfig>) -> Self {
+        MultiSegScenario {
+            segments,
+            bridges: vec![],
+            warmup: SimDuration::from_micros(200),
+            run_for: SimDuration::from_millis(2),
+            faults: vec![],
+            sends: vec![],
+        }
+    }
+
+    /// Connect two segments with a router pair.
+    pub fn bridge(&mut self, a: GlobalAddr, b: GlobalAddr, latency: SimDuration) -> &mut Self {
+        self.bridges.push((a, b, latency));
+        self
+    }
+
+    /// Override the warmup the network gets before the schedule starts.
+    pub fn warmup(&mut self, d: SimDuration) -> &mut Self {
+        self.warmup = d;
+        self
+    }
+
+    /// Override how long the scenario runs after warmup.
+    pub fn run_for(&mut self, d: SimDuration) -> &mut Self {
+        self.run_for = d;
+        self
+    }
+
+    /// Fail `component` on `segment` at `offset` past warmup.
+    pub fn fail_at(&mut self, offset: SimDuration, segment: u8, component: Component) -> &mut Self {
+        self.faults.push((offset, SegFaultOp::Fail { segment, component }));
+        self
+    }
+
+    /// Repair `component` on `segment` at `offset` past warmup.
+    pub fn repair_at(
+        &mut self,
+        offset: SimDuration,
+        segment: u8,
+        component: Component,
+    ) -> &mut Self {
+        self.faults
+            .push((offset, SegFaultOp::Repair { segment, component }));
+        self
+    }
+
+    /// Send `payload` from `src` to `dst` at `offset` past warmup.
+    pub fn send_at(
+        &mut self,
+        offset: SimDuration,
+        src: GlobalAddr,
+        dst: GlobalAddr,
+        payload: &[u8],
+    ) -> &mut Self {
+        self.sends.push(TimedSend {
+            offset,
+            src,
+            dst,
+            payload: payload.to_vec(),
+        });
+        self
+    }
+
+    /// Execute the schedule under `mode` and report. Two calls with
+    /// the same scenario must produce equal reports for *any* pair of
+    /// modes — that is the sharded engine's determinism contract.
+    pub fn run(&self, mode: ParallelMode) -> MultiSegReport {
+        let mut net = MultiSegment::new(self.segments.clone());
+        for &(a, b, latency) in &self.bridges {
+            net.add_bridge(a, b, latency);
+        }
+        net.enable_traces(4096);
+        net.enable_telemetry(64);
+        net.set_parallel_mode(mode);
+
+        // The conservative lookahead: slice = min bridge latency.
+        let slice = net
+            .min_bridge_latency()
+            .unwrap_or(SimDuration::from_micros(10));
+        let start = self.start_time(&net);
+        let t0 = start + self.warmup;
+        net.run_until(t0, slice);
+
+        // Faults go straight into each shard's event queue (absolute
+        // times), in schedule order.
+        for (offset, op) in &self.faults {
+            let at = t0 + *offset;
+            match op {
+                SegFaultOp::Fail { segment, component } => {
+                    net.segment_mut(*segment).schedule_failure(at, *component);
+                }
+                SegFaultOp::Repair { segment, component } => {
+                    net.segment_mut(*segment).schedule_repair(at, *component);
+                }
+            }
+        }
+
+        // Sends need the coordinator: advance to each send instant
+        // (ascending; ties in schedule order), inject, continue.
+        let mut sends: Vec<&TimedSend> = self.sends.iter().collect();
+        sends.sort_by_key(|s| s.offset);
+        for s in sends {
+            net.run_until(t0 + s.offset, slice);
+            net.send_global(s.src, s.dst, &s.payload);
+        }
+        net.run_until(t0 + self.run_for, slice);
+
+        // Drain deliveries in deterministic (segment, node, FIFO) order.
+        let mut delivered = vec![];
+        for seg in 0..net.n_segments() as u8 {
+            for node in 0..net.segment(seg).n_nodes() as u8 {
+                let at = GlobalAddr { segment: seg, node };
+                let mut q: VecDeque<_> = VecDeque::new();
+                while let Some(d) = net.pop_global(at) {
+                    q.push_back(d);
+                }
+                for d in q {
+                    delivered.push((at, d.src, d.payload));
+                }
+            }
+        }
+
+        MultiSegReport {
+            digest: net.digest(),
+            delivered,
+            unroutable: net.unroutable,
+            metrics_json: net.merged_metrics_snapshot().to_json(),
+            events_processed: net.events_processed(),
+        }
+    }
+
+    fn start_time(&self, net: &MultiSegment) -> SimTime {
+        (0..net.n_segments() as u8)
+            .map(|s| net.segment(s).now())
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampnet_core::{NodeId, SwitchId};
+
+    fn ga(segment: u8, node: u8) -> GlobalAddr {
+        GlobalAddr { segment, node }
+    }
+
+    fn three_segment_scenario() -> MultiSegScenario {
+        let mut sc = MultiSegScenario::new(
+            (0..3u64)
+                .map(|s| ClusterConfig::small(4).with_seed(90 + s))
+                .collect(),
+        );
+        sc.bridge(ga(0, 3), ga(1, 0), SimDuration::from_micros(5));
+        sc.bridge(ga(1, 3), ga(2, 0), SimDuration::from_micros(7));
+        sc.run_for(SimDuration::from_millis(1));
+        sc.send_at(SimDuration::from_micros(20), ga(0, 1), ga(2, 2), b"far");
+        sc.send_at(SimDuration::from_micros(30), ga(2, 1), ga(0, 2), b"back");
+        // Mid-run fiber cut on the middle segment, later repaired.
+        sc.fail_at(SimDuration::from_micros(200), 1, Component::Link(NodeId(2), SwitchId(0)));
+        sc.repair_at(SimDuration::from_micros(500), 1, Component::Link(NodeId(2), SwitchId(0)));
+        sc.send_at(SimDuration::from_micros(600), ga(0, 1), ga(2, 2), b"again");
+        sc
+    }
+
+    #[test]
+    fn scenario_delivers_across_two_hops() {
+        let report = three_segment_scenario().run(ParallelMode::Serial);
+        let payloads: Vec<&[u8]> = report
+            .delivered
+            .iter()
+            .map(|(_, _, p)| p.as_slice())
+            .collect();
+        assert!(payloads.contains(&b"far".as_slice()), "{payloads:?}");
+        assert!(payloads.contains(&b"back".as_slice()));
+        assert!(payloads.contains(&b"again".as_slice()));
+        assert_eq!(report.unroutable, 0);
+        assert!(report.events_processed > 0);
+        assert!(report.metrics_json.contains("mac_inserted"));
+    }
+
+    #[test]
+    fn same_scenario_same_report_across_modes() {
+        let sc = three_segment_scenario();
+        let serial = sc.run(ParallelMode::Serial);
+        let t2 = sc.run(ParallelMode::Threads(2));
+        let t3 = sc.run(ParallelMode::Threads(3));
+        assert_eq!(serial, t2);
+        assert_eq!(serial, t3);
+    }
+
+    #[test]
+    fn repeat_runs_are_deterministic() {
+        let sc = three_segment_scenario();
+        let a = sc.run(ParallelMode::Serial);
+        let b = sc.run(ParallelMode::Serial);
+        assert_eq!(a, b);
+    }
+}

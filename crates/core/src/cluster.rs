@@ -349,18 +349,33 @@ impl Cluster {
     /// (MAC occupancy, arena pool state) are refreshed first. Empty
     /// when telemetry is disabled.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.publish_metrics();
+        self.tel.tel.snapshot()
+    }
+
+    /// Refresh gauge-backed instruments (MAC occupancy, arena pool
+    /// state) into the registry without taking a snapshot. The
+    /// multi-segment engine calls this on every shard before folding
+    /// the per-shard registries with `Telemetry::merge_shards`.
+    pub fn publish_metrics(&self) {
         for ctx in &self.nodes {
             ctx.stack.publish_metrics();
             ctx.stack.telemetry.set_backoffs(ctx.stack.mac.backoffs());
         }
         self.tel.publish_arena(&self.arena);
-        self.tel.tel.snapshot()
     }
 
     /// Render the flight-recorder timeline (empty when telemetry is
     /// disabled).
     pub fn flight_dump(&self) -> String {
         self.tel.tel.flight_dump()
+    }
+
+    /// Simulation events processed by this cluster's kernel so far.
+    /// The scaling benchmark sums this across shards for an events/sec
+    /// figure.
+    pub fn events_processed(&self) -> u64 {
+        self.sim.processed()
     }
 
     /// Join attempts rejected by DK policy.
@@ -596,3 +611,9 @@ impl Cluster {
         self.sim.schedule_at(at, Ev::ErrorBurst { node, seed, errors });
     }
 }
+
+// A whole cluster must be movable to a worker thread of the sharded
+// multi-segment engine. This assertion fails to compile if any layer
+// reintroduces a non-`Send` handle (the telemetry `Rc` was the last).
+const fn _assert_send<T: Send>() {}
+const _: () = _assert_send::<Cluster>();

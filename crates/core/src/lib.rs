@@ -44,7 +44,7 @@ pub use apps::{
 pub use cluster::{Cluster, RosterEvent, RosterReason};
 pub use observe::ObservedEvent;
 pub use diagnostics::Certification;
-pub use multiseg::{Bridge, GlobalAddr, GlobalDatagram, MultiSegment, ROUTE_STREAM};
+pub use multiseg::{Bridge, GlobalAddr, GlobalDatagram, MultiSegment, ParallelMode, ROUTE_STREAM};
 pub use collectives::COLLECTIVE_STREAM;
 pub use config::{ClusterConfig, TimingModel};
 pub use ampnet_services::mpi::ReduceOp;

@@ -9,15 +9,38 @@
 //! cross the bridge, and continue — with automatic failover to a
 //! redundant bridge when a router node dies.
 //!
+//! # Sharded conservative PDES
+//!
 //! The segments run in lockstep time slices (conservative parallel
-//! simulation): each slice, every cluster advances to the same
-//! simulated instant, then bridge traffic is exchanged with the
-//! configured inter-segment latency (resolution = one slice).
+//! discrete-event simulation). Each slice, every cluster *shard*
+//! advances to the same simulated instant — under
+//! [`ParallelMode::Threads`] the shards advance concurrently on a
+//! scoped worker pool — then the coordinator performs the *barrier
+//! exchange*: route-stream inboxes are drained and bridge crossings
+//! injected in deterministic `(segment, node, FIFO seq)` order.
+//!
+//! Why determinism survives threads: shards only interact through the
+//! exchange. During a slice each cluster is advanced by exactly one
+//! worker (shard confinement — its kernel, RNG, trace and telemetry
+//! registry are private to the shard), so its state after the slice is
+//! a pure function of its state before it, independent of scheduling.
+//! The exchange itself always runs single-threaded on the coordinator
+//! in a fixed total order. The minimum bridge latency is the classic
+//! conservative *lookahead*: a datagram handed to a bridge at one
+//! boundary cannot affect the far segment before `latency` has passed,
+//! so slices up to that long never miss a causal interaction. (Slices
+//! may be *coarser*: inboxes are drained only at boundaries, so the
+//! effective crossing time is quantised to the slice either way;
+//! crossings are injected exactly at their maturity instant, see
+//! [`MultiSegment::run_until`].)
 
 use crate::cluster::Cluster;
 use crate::config::ClusterConfig;
-use ampnet_sim::{SimDuration, SimTime};
+use ampnet_sim::{Fnv64, SimDuration, SimTime};
+use ampnet_telemetry::{MetricsSnapshot, Telemetry};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex, MutexGuard};
 
 /// Message stream reserved for inter-segment routing.
 pub const ROUTE_STREAM: u8 = 5;
@@ -59,6 +82,19 @@ pub struct GlobalDatagram {
     pub payload: Vec<u8>,
 }
 
+/// How the lockstep engine advances its shards each slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParallelMode {
+    /// One thread advances every shard in segment order — the
+    /// reference execution.
+    Serial,
+    /// A scoped pool of this many worker threads advances the shards
+    /// concurrently (worker `w` takes segments `w, w + n, ...`).
+    /// Produces bit-identical results to [`ParallelMode::Serial`] for
+    /// the same seed — enforced by `tests/parallel_equivalence.rs`.
+    Threads(usize),
+}
+
 /// A multi-segment AmpNet network.
 pub struct MultiSegment {
     clusters: Vec<Cluster>,
@@ -68,6 +104,11 @@ pub struct MultiSegment {
     /// Datagrams dropped for having no usable route (counted, so tests
     /// can assert routedness).
     pub unroutable: u64,
+    mode: ParallelMode,
+    /// Per-shard telemetry handles (one registry per segment, so no
+    /// cross-thread interleaving can touch registration order). Empty
+    /// until [`MultiSegment::enable_telemetry`].
+    shard_tels: Vec<Telemetry>,
 }
 
 fn encode(dst: GlobalAddr, src: GlobalAddr, payload: &[u8]) -> Vec<u8> {
@@ -94,6 +135,227 @@ fn decode(wire: &[u8]) -> Option<(GlobalAddr, GlobalAddr, &[u8])> {
     ))
 }
 
+/// One shard slot. Workers and the coordinator strictly alternate
+/// access (workers only between the two barrier waits of a slice, the
+/// coordinator only outside them), so every lock is uncontended — the
+/// mutex exists to make that alternation safe, not to arbitrate.
+type ShardCell<'a> = Mutex<&'a mut Cluster>;
+
+/// Lock a shard cell. A poisoned cell means a worker panicked mid-run;
+/// propagate the panic rather than computing with a half-advanced
+/// shard.
+fn shard<'g, 'a>(cell: &'g ShardCell<'a>) -> MutexGuard<'g, &'a mut Cluster> {
+    cell.lock().expect("shard worker panicked")
+}
+
+/// Next-hop router for traffic from `from_seg` toward `dst_seg`, given
+/// the currently `usable` bridges (both router nodes online): BFS from
+/// the destination, then the first usable bridge (registration order)
+/// out of `from_seg` that decreases the distance. Pure function of its
+/// inputs, so serial and threaded execution route identically.
+fn route_next_hop(usable: &[Bridge], n_segments: usize, from_seg: u8, dst_seg: u8) -> Option<Bridge> {
+    let mut dist = vec![usize::MAX; n_segments];
+    let mut queue = VecDeque::new();
+    dist[dst_seg as usize] = 0;
+    queue.push_back(dst_seg);
+    while let Some(seg) = queue.pop_front() {
+        for br in usable {
+            for (x, y) in [(br.a, br.b), (br.b, br.a)] {
+                if x.segment == seg && dist[y.segment as usize] == usize::MAX {
+                    dist[y.segment as usize] = dist[seg as usize] + 1;
+                    queue.push_back(y.segment);
+                }
+            }
+        }
+    }
+    if dist[from_seg as usize] == usize::MAX {
+        return None;
+    }
+    usable
+        .iter()
+        .find(|br| {
+            let remote = if br.a.segment == from_seg {
+                br.b
+            } else if br.b.segment == from_seg {
+                br.a
+            } else {
+                return false;
+            };
+            dist[remote.segment as usize] + 1 == dist[from_seg as usize]
+        })
+        .copied()
+}
+
+/// The barrier-exchange state: everything the coordinator mutates
+/// between slices, split from the shard cells so the *same* exchange
+/// code runs under both [`ParallelMode`]s. All methods take the cells
+/// and hold at most one shard lock at a time (routing decisions peek
+/// at several shards in sequence), which rules out lock-order cycles.
+struct Exchange<'a> {
+    bridges: &'a [Bridge],
+    crossing: &'a mut Vec<InFlight>,
+    delivered: &'a mut [Vec<VecDeque<GlobalDatagram>>],
+    unroutable: &'a mut u64,
+}
+
+impl Exchange<'_> {
+    /// Bridges whose *both* router nodes are online right now.
+    fn usable_bridges(&self, cells: &[ShardCell<'_>]) -> Vec<Bridge> {
+        self.bridges
+            .iter()
+            .filter(|br| {
+                shard(&cells[br.a.segment as usize]).node_online(br.a.node)
+                    && shard(&cells[br.b.segment as usize]).node_online(br.b.node)
+            })
+            .copied()
+            .collect()
+    }
+
+    /// Pull ROUTE_STREAM datagrams out of every node's inbox: deliver
+    /// finals, queue bridge crossings, forward multi-hop traffic.
+    /// Iteration order — segment ascending, node ascending, FIFO
+    /// within an inbox — is the deterministic exchange order.
+    fn drain_route_streams(&mut self, cells: &[ShardCell<'_>], now: SimTime) {
+        for seg in 0..cells.len() as u8 {
+            let n_nodes = shard(&cells[seg as usize]).n_nodes() as u8;
+            for node in 0..n_nodes {
+                // Collect with the shard locked, then route with the
+                // lock released (routing peeks at other shards).
+                let mut datagrams = vec![];
+                {
+                    let mut c = shard(&cells[seg as usize]);
+                    while let Some(d) = c.pop_message_on(node, ROUTE_STREAM) {
+                        datagrams.push(d);
+                    }
+                }
+                for d in datagrams {
+                    let Some((dst, src, payload)) = decode(&d.payload) else {
+                        continue;
+                    };
+                    let here = GlobalAddr { segment: seg, node };
+                    if dst == here {
+                        self.delivered[seg as usize][node as usize].push_back(GlobalDatagram {
+                            src,
+                            payload: payload.to_vec(),
+                        });
+                    } else if dst.segment == seg {
+                        // Mis-delivered within segment (should not
+                        // happen: unicast goes straight to the node).
+                        shard(&cells[seg as usize]).send_message(
+                            node,
+                            dst.node,
+                            ROUTE_STREAM,
+                            &d.payload,
+                        );
+                    } else {
+                        // This node is a router on the path: cross the
+                        // bridge toward dst.
+                        let usable = self.usable_bridges(cells);
+                        match route_next_hop(&usable, cells.len(), seg, dst.segment) {
+                            Some(br) => {
+                                let (local, remote) =
+                                    if br.a.segment == seg { (br.a, br.b) } else { (br.b, br.a) };
+                                if local.node == node {
+                                    self.crossing.push(InFlight {
+                                        deliver_at: now + br.latency,
+                                        ingress: remote,
+                                        wire: d.payload.clone(),
+                                    });
+                                } else {
+                                    // Reach the proper router first.
+                                    shard(&cells[seg as usize]).send_message(
+                                        node,
+                                        local.node,
+                                        ROUTE_STREAM,
+                                        &d.payload,
+                                    );
+                                }
+                            }
+                            None => *self.unroutable += 1,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Inject matured crossings into their ingress segment.
+    fn deliver_crossings(&mut self, cells: &[ShardCell<'_>], now: SimTime) {
+        let mut staying = vec![];
+        let pending: Vec<InFlight> = self.crossing.drain(..).collect();
+        for x in pending {
+            if x.deliver_at > now {
+                staying.push(x);
+                continue;
+            }
+            let Some((dst, _src, _payload)) = decode(&x.wire) else {
+                continue;
+            };
+            let seg = x.ingress.segment as usize;
+            if !shard(&cells[seg]).node_online(x.ingress.node) {
+                // Router died while the frame crossed; re-route from
+                // any online node... the originator will re-send at
+                // the application layer. Count it.
+                *self.unroutable += 1;
+                continue;
+            }
+            if dst.segment == x.ingress.segment {
+                // Final segment: router forwards to the destination
+                // (or delivers to itself).
+                shard(&cells[seg]).send_message(x.ingress.node, dst.node, ROUTE_STREAM, &x.wire);
+            } else {
+                // Multi-hop: route onward from the ingress router.
+                let usable = self.usable_bridges(cells);
+                match route_next_hop(&usable, cells.len(), x.ingress.segment, dst.segment) {
+                    Some(br) => {
+                        let (local, remote) = if br.a.segment == x.ingress.segment {
+                            (br.a, br.b)
+                        } else {
+                            (br.b, br.a)
+                        };
+                        if local.node == x.ingress.node {
+                            staying.push(InFlight {
+                                deliver_at: now + br.latency,
+                                ingress: remote,
+                                wire: x.wire,
+                            });
+                        } else {
+                            shard(&cells[seg]).send_message(
+                                x.ingress.node,
+                                local.node,
+                                ROUTE_STREAM,
+                                &x.wire,
+                            );
+                        }
+                    }
+                    None => *self.unroutable += 1,
+                }
+            }
+        }
+        *self.crossing = staying;
+    }
+
+    /// End of the current slice: the next boundary the shards advance
+    /// to. Normally `now + slice`, clamped to `deadline` — and clamped
+    /// to the earliest pending crossing's maturity instant, so a
+    /// datagram that must cross a bridge near the deadline is injected
+    /// *at* `deliver_at` (and can still traverse the far ring before
+    /// `deadline`) instead of being deferred to a coarse boundary past
+    /// it. That deferral was the slice-boundary loss bug: with
+    /// `deadline - now < slice` the final slice used to inject the
+    /// crossing at the deadline itself, where the far shard never runs
+    /// again.
+    fn next_boundary(&self, now: SimTime, slice: SimDuration, deadline: SimTime) -> SimTime {
+        let mut step = (now + slice).min(deadline);
+        for x in self.crossing.iter() {
+            if x.deliver_at > now && x.deliver_at < step {
+                step = x.deliver_at;
+            }
+        }
+        step
+    }
+}
+
 impl MultiSegment {
     /// Build a network of independent segments (each boots its own
     /// ring); add bridges before sending.
@@ -108,6 +370,8 @@ impl MultiSegment {
             crossing: vec![],
             delivered,
             unroutable: 0,
+            mode: ParallelMode::Serial,
+            shard_tels: vec![],
         }
     }
 
@@ -126,59 +390,87 @@ impl MultiSegment {
         &mut self.clusters[s as usize]
     }
 
+    /// Select how shards advance. [`ParallelMode::Serial`] is the
+    /// default and the reference; `Threads(n)` must agree with it
+    /// bit-for-bit (same seed, same digest).
+    pub fn set_parallel_mode(&mut self, mode: ParallelMode) {
+        if let ParallelMode::Threads(n) = mode {
+            assert!(n >= 1, "Threads(0) has no one to advance the shards");
+        }
+        self.mode = mode;
+    }
+
+    /// The active [`ParallelMode`].
+    pub fn parallel_mode(&self) -> ParallelMode {
+        self.mode
+    }
+
+    /// The conservative-PDES lookahead bound: the smallest one-way
+    /// bridge latency (None while no bridges exist). Slices no longer
+    /// than this never quantise a cross-segment interaction.
+    pub fn min_bridge_latency(&self) -> Option<SimDuration> {
+        self.bridges.iter().map(|b| b.latency).min()
+    }
+
     /// Connect two segments with a router pair.
     pub fn add_bridge(&mut self, a: GlobalAddr, b: GlobalAddr, latency: SimDuration) {
         assert_ne!(a.segment, b.segment, "bridges join distinct segments");
+        assert!(latency.as_nanos() > 0, "a zero-latency bridge has no lookahead");
         self.bridges.push(Bridge { a, b, latency });
     }
 
-    /// Next-hop router for traffic from `from_seg` toward `dst_seg`:
-    /// BFS over segments using only bridges whose *both* router nodes
-    /// are online (redundant bridges fail over automatically).
-    fn next_hop(&self, from_seg: u8, dst_seg: u8) -> Option<Bridge> {
-        let n = self.clusters.len();
-        let usable: Vec<&Bridge> = self
-            .bridges
-            .iter()
-            .filter(|br| {
-                self.clusters[br.a.segment as usize].node_online(br.a.node)
-                    && self.clusters[br.b.segment as usize].node_online(br.b.node)
+    /// Enable telemetry with one *private* registry per segment (shard
+    /// confinement: a worker thread only ever records into the shard it
+    /// is advancing). [`MultiSegment::merged_metrics_snapshot`] folds
+    /// them deterministically.
+    pub fn enable_telemetry(&mut self, flight_capacity: usize) {
+        self.shard_tels = self
+            .clusters
+            .iter_mut()
+            .map(|c| {
+                let tel = Telemetry::new(flight_capacity);
+                c.enable_telemetry_with(&tel);
+                tel
             })
             .collect();
-        // BFS from dst back toward from_seg, recording the first hop.
-        let mut dist = vec![usize::MAX; n];
-        let mut queue = VecDeque::new();
-        dist[dst_seg as usize] = 0;
-        queue.push_back(dst_seg);
-        while let Some(seg) = queue.pop_front() {
-            for br in &usable {
-                for (x, y) in [(br.a, br.b), (br.b, br.a)] {
-                    if x.segment == seg && dist[y.segment as usize] == usize::MAX {
-                        dist[y.segment as usize] = dist[seg as usize] + 1;
-                        queue.push_back(y.segment);
-                    }
-                }
-            }
+    }
+
+    /// Enable the milestone trace on every segment (needed for
+    /// [`MultiSegment::digest`] to be meaningful).
+    pub fn enable_traces(&mut self, capacity: usize) {
+        for c in &mut self.clusters {
+            c.enable_trace(capacity);
         }
-        if dist[from_seg as usize] == usize::MAX {
-            return None;
+    }
+
+    /// Cluster-of-clusters metrics: every shard's gauges refreshed,
+    /// then the per-shard registries folded in segment order (counters
+    /// and gauges sum, histograms merge). Byte-identical for the same
+    /// seed under any [`ParallelMode`]. Empty unless
+    /// [`MultiSegment::enable_telemetry`] ran.
+    pub fn merged_metrics_snapshot(&self) -> MetricsSnapshot {
+        for c in &self.clusters {
+            c.publish_metrics();
         }
-        // Choose the usable bridge out of from_seg that decreases the
-        // distance; deterministic: first in registration order.
-        usable
-            .into_iter()
-            .find(|br| {
-                let (local, remote) = if br.a.segment == from_seg {
-                    (br.a, br.b)
-                } else if br.b.segment == from_seg {
-                    (br.b, br.a)
-                } else {
-                    return false;
-                };
-                let _ = local;
-                dist[remote.segment as usize] + 1 == dist[from_seg as usize]
-            })
-            .copied()
+        Telemetry::merge_shards(&self.shard_tels)
+    }
+
+    /// Deterministic digest of the whole network: each segment's trace
+    /// digest folded in segment order, plus the unroutable count. The
+    /// serial/threaded equivalence tests compare exactly this.
+    pub fn digest(&self) -> u64 {
+        let mut f = Fnv64::new();
+        for c in &self.clusters {
+            f.fold_u64(c.trace().digest());
+        }
+        f.fold_u64(self.unroutable);
+        f.finish()
+    }
+
+    /// Total simulation events processed across all shards (the
+    /// scaling benchmark's throughput numerator).
+    pub fn events_processed(&self) -> u64 {
+        self.clusters.iter().map(|c| c.events_processed()).sum()
     }
 
     /// Send a globally-addressed datagram.
@@ -193,7 +485,16 @@ impl MultiSegment {
             );
             return;
         }
-        match self.next_hop(src.segment, dst.segment) {
+        let usable: Vec<Bridge> = self
+            .bridges
+            .iter()
+            .filter(|br| {
+                self.clusters[br.a.segment as usize].node_online(br.a.node)
+                    && self.clusters[br.b.segment as usize].node_online(br.b.node)
+            })
+            .copied()
+            .collect();
+        match route_next_hop(&usable, self.clusters.len(), src.segment, dst.segment) {
             Some(br) => {
                 let router = if br.a.segment == src.segment { br.a } else { br.b };
                 if router.node == src.node {
@@ -224,21 +525,95 @@ impl MultiSegment {
     }
 
     /// Advance every segment in lockstep to `deadline`, moving bridge
-    /// traffic between slices of `slice` duration.
+    /// traffic between slices of at most `slice` duration (boundaries
+    /// are additionally placed at crossing maturity instants and at
+    /// `deadline` — see `Exchange::next_boundary`). Under
+    /// [`ParallelMode::Threads`] the shards of each slice advance
+    /// concurrently; the exchange between slices is always performed
+    /// by this thread in deterministic order.
     pub fn run_until(&mut self, deadline: SimTime, slice: SimDuration) {
         assert!(slice.as_nanos() > 0, "slice must be positive");
-        loop {
-            let now = self.clusters.iter().map(|c| c.now()).max().unwrap_or(SimTime::ZERO);
-            if now >= deadline {
-                break;
+        let workers = match self.mode {
+            ParallelMode::Serial => 1,
+            ParallelMode::Threads(n) => n.min(self.clusters.len()).max(1),
+        };
+        // Split borrows: the shard cells take `clusters`; the exchange
+        // takes everything else. Serial and threaded paths then share
+        // all slice/exchange code.
+        let cells: Vec<ShardCell<'_>> = self.clusters.iter_mut().map(Mutex::new).collect();
+        let mut xch = Exchange {
+            bridges: &self.bridges,
+            crossing: &mut self.crossing,
+            delivered: &mut self.delivered,
+            unroutable: &mut self.unroutable,
+        };
+        if workers <= 1 {
+            loop {
+                let now = cells
+                    .iter()
+                    .map(|c| shard(c).now())
+                    .max()
+                    .unwrap_or(SimTime::ZERO);
+                if now >= deadline {
+                    break;
+                }
+                let step_to = xch.next_boundary(now, slice, deadline);
+                for cell in &cells {
+                    shard(cell).run_until(step_to);
+                }
+                xch.drain_route_streams(&cells, step_to);
+                xch.deliver_crossings(&cells, step_to);
             }
-            let step_to = (now + slice).min(deadline);
-            for c in &mut self.clusters {
-                c.run_until(step_to);
-            }
-            self.drain_route_streams(step_to);
-            self.deliver_crossings(step_to);
+            return;
         }
+        // Threaded drive: persistent workers parked on a barrier, so a
+        // slice costs two barrier crossings instead of `workers` thread
+        // spawns. The coordinator publishes the next boundary in an
+        // atomic (u64::MAX = shut down), releases the workers, waits
+        // for them to finish the slice, then runs the exchange while
+        // they are parked. Worker `w` advances segments `w, w + n, ...`
+        // — a fixed partition, so each shard is advanced by the same
+        // thread every slice (shard confinement).
+        let barrier = Barrier::new(workers + 1);
+        let step_target = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let cells = &cells;
+                let barrier = &barrier;
+                let step_target = &step_target;
+                scope.spawn(move || loop {
+                    barrier.wait();
+                    let step = step_target.load(Ordering::Acquire);
+                    if step == u64::MAX {
+                        break;
+                    }
+                    let mut i = w;
+                    while i < cells.len() {
+                        shard(&cells[i]).run_until(SimTime(step));
+                        i += workers;
+                    }
+                    barrier.wait();
+                });
+            }
+            loop {
+                let now = cells
+                    .iter()
+                    .map(|c| shard(c).now())
+                    .max()
+                    .unwrap_or(SimTime::ZERO);
+                if now >= deadline {
+                    break;
+                }
+                let step_to = xch.next_boundary(now, slice, deadline);
+                step_target.store(step_to.0, Ordering::Release);
+                barrier.wait(); // release the workers into the slice
+                barrier.wait(); // all shards now at step_to
+                xch.drain_route_streams(&cells, step_to);
+                xch.deliver_crossings(&cells, step_to);
+            }
+            step_target.store(u64::MAX, Ordering::Release);
+            barrier.wait();
+        });
     }
 
     /// Convenience: run for a duration with a default 10 µs slice.
@@ -251,129 +626,5 @@ impl MultiSegment {
             .unwrap_or(SimTime::ZERO)
             + d;
         self.run_until(deadline, SimDuration::from_micros(10));
-    }
-
-    /// Pull ROUTE_STREAM datagrams out of every node's inbox: deliver
-    /// finals, queue bridge crossings, forward multi-hop traffic.
-    fn drain_route_streams(&mut self, now: SimTime) {
-        for seg in 0..self.clusters.len() as u8 {
-            for node in 0..self.clusters[seg as usize].n_nodes() as u8 {
-                // Collect first to avoid borrowing issues.
-                let mut datagrams = vec![];
-                while let Some(d) = self.clusters[seg as usize].pop_message_on(node, ROUTE_STREAM)
-                {
-                    datagrams.push(d);
-                }
-                for d in datagrams {
-                    let Some((dst, src, payload)) = decode(&d.payload) else {
-                        continue;
-                    };
-                    let here = GlobalAddr {
-                        segment: seg,
-                        node,
-                    };
-                    if dst == here {
-                        self.delivered[seg as usize][node as usize].push_back(GlobalDatagram {
-                            src,
-                            payload: payload.to_vec(),
-                        });
-                    } else if dst.segment == seg {
-                        // Mis-delivered within segment (should not
-                        // happen: unicast goes straight to the node).
-                        self.clusters[seg as usize].send_message(
-                            node,
-                            dst.node,
-                            ROUTE_STREAM,
-                            &d.payload,
-                        );
-                    } else {
-                        // This node is a router on the path: cross the
-                        // bridge toward dst.
-                        match self.next_hop(seg, dst.segment) {
-                            Some(br) => {
-                                let (local, remote) =
-                                    if br.a.segment == seg { (br.a, br.b) } else { (br.b, br.a) };
-                                if local.node == node {
-                                    self.crossing.push(InFlight {
-                                        deliver_at: now + br.latency,
-                                        ingress: remote,
-                                        wire: d.payload.clone(),
-                                    });
-                                } else {
-                                    // Reach the proper router first.
-                                    self.clusters[seg as usize].send_message(
-                                        node,
-                                        local.node,
-                                        ROUTE_STREAM,
-                                        &d.payload,
-                                    );
-                                }
-                            }
-                            None => self.unroutable += 1,
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// Inject matured crossings into their ingress segment.
-    fn deliver_crossings(&mut self, now: SimTime) {
-        let mut staying = vec![];
-        let pending: Vec<InFlight> = self.crossing.drain(..).collect();
-        for x in pending {
-            if x.deliver_at > now {
-                staying.push(x);
-                continue;
-            }
-            let Some((dst, _src, _payload)) = decode(&x.wire) else {
-                continue;
-            };
-            let seg = x.ingress.segment as usize;
-            if !self.clusters[seg].node_online(x.ingress.node) {
-                // Router died while the frame crossed; re-route from
-                // any online node... the originator will re-send at
-                // the application layer. Count it.
-                self.unroutable += 1;
-                continue;
-            }
-            if dst.segment == x.ingress.segment {
-                // Final segment: router forwards to the destination
-                // (or delivers to itself).
-                self.clusters[seg].send_message(
-                    x.ingress.node,
-                    dst.node,
-                    ROUTE_STREAM,
-                    &x.wire,
-                );
-            } else {
-                // Multi-hop: route onward from the ingress router.
-                match self.next_hop(x.ingress.segment, dst.segment) {
-                    Some(br) => {
-                        let (local, remote) = if br.a.segment == x.ingress.segment {
-                            (br.a, br.b)
-                        } else {
-                            (br.b, br.a)
-                        };
-                        if local.node == x.ingress.node {
-                            staying.push(InFlight {
-                                deliver_at: now + br.latency,
-                                ingress: remote,
-                                wire: x.wire,
-                            });
-                        } else {
-                            self.clusters[seg].send_message(
-                                x.ingress.node,
-                                local.node,
-                                ROUTE_STREAM,
-                                &x.wire,
-                            );
-                        }
-                    }
-                    None => self.unroutable += 1,
-                }
-            }
-        }
-        self.crossing = staying;
     }
 }

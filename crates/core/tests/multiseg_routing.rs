@@ -2,7 +2,7 @@
 //! with "2R's" for redundancy).
 
 use ampnet_core::{
-    Cluster, ClusterConfig, Component, GlobalAddr, MultiSegment, NodeId, SimDuration,
+    Cluster, ClusterConfig, Component, GlobalAddr, MultiSegment, NodeId, ParallelMode, SimDuration,
 };
 
 fn ga(segment: u8, node: u8) -> GlobalAddr {
@@ -154,6 +154,89 @@ fn clusters_stay_deterministic_under_lockstep() {
         )
     };
     assert_eq!(run(50), run(50));
+}
+
+#[test]
+fn crossing_near_deadline_is_not_deferred_past_it() {
+    // Regression for the slice-boundary loss bug: with a coarse slice
+    // (40 µs) and `deadline - now < slice`, a datagram that matures
+    // mid-slice (bridge latency 5 µs) used to be injected only at the
+    // clamped final boundary == deadline, where the far cluster never
+    // runs again — so it silently missed the deadline. Boundaries are
+    // now also placed at crossing maturity instants.
+    let mut net = two_segments(60);
+    let coarse = SimDuration::from_micros(40);
+    // Router itself sends, so the crossing is queued immediately with
+    // deliver_at = now + 5 µs, inside the one-and-only slice: with
+    // deadline - now (35 µs) < slice (40 µs), the old engine's single
+    // clamped slice injected the crossing at the deadline itself and
+    // the far ring never carried it.
+    net.send_global(ga(0, 3), ga(1, 2), b"just in time");
+    let deadline = net.segment(0).now() + SimDuration::from_micros(35);
+    net.run_until(deadline, coarse);
+    let d = net
+        .pop_global(ga(1, 2))
+        .expect("crossing must be injected at maturity, not deferred past the deadline");
+    assert_eq!(d.payload, b"just in time");
+    assert_eq!(net.unroutable, 0);
+}
+
+#[test]
+fn threaded_mode_delivers_like_serial() {
+    let run = |mode: ParallelMode| {
+        let mut net = two_segments(61);
+        net.set_parallel_mode(mode);
+        net.send_global(ga(0, 1), ga(1, 2), b"mode-independent");
+        net.send_global(ga(1, 3), ga(0, 0), b"westbound");
+        net.run_for(SimDuration::from_millis(3));
+        (
+            net.pop_global(ga(1, 2)).map(|d| d.payload),
+            net.pop_global(ga(0, 0)).map(|d| d.payload),
+            net.unroutable,
+            net.segment(0).now(),
+            net.segment(1).now(),
+        )
+    };
+    let serial = run(ParallelMode::Serial);
+    assert_eq!(serial.0.as_deref(), Some(b"mode-independent".as_slice()));
+    assert_eq!(serial, run(ParallelMode::Threads(2)));
+    assert_eq!(serial, run(ParallelMode::Threads(8)));
+}
+
+#[test]
+fn threaded_mode_survives_router_failover() {
+    let run = |mode: ParallelMode| {
+        let mut net = MultiSegment::new(vec![
+            ClusterConfig::small(4).with_seed(62),
+            ClusterConfig::small(4).with_seed(63),
+        ]);
+        net.add_bridge(ga(0, 3), ga(1, 0), SimDuration::from_micros(5));
+        net.add_bridge(ga(0, 2), ga(1, 1), SimDuration::from_micros(5));
+        net.set_parallel_mode(mode);
+        net.run_for(SimDuration::from_millis(5));
+        let t = net.segment(0).now();
+        net.segment_mut(0)
+            .schedule_failure(t, Component::Node(NodeId(3)));
+        net.run_for(SimDuration::from_millis(10));
+        net.send_global(ga(0, 0), ga(1, 2), b"backup bridge");
+        net.run_for(SimDuration::from_millis(3));
+        (net.pop_global(ga(1, 2)).map(|d| d.payload), net.unroutable)
+    };
+    let serial = run(ParallelMode::Serial);
+    assert_eq!(serial.0.as_deref(), Some(b"backup bridge".as_slice()));
+    assert_eq!(serial, run(ParallelMode::Threads(4)));
+}
+
+#[test]
+fn more_threads_than_segments_is_fine() {
+    let mut net = two_segments(64);
+    net.set_parallel_mode(ParallelMode::Threads(16)); // clamped to 2 workers
+    net.send_global(ga(0, 0), ga(1, 1), b"overprovisioned");
+    net.run_for(SimDuration::from_millis(2));
+    assert_eq!(
+        net.pop_global(ga(1, 1)).unwrap().payload,
+        b"overprovisioned"
+    );
 }
 
 // Re-exported type sanity.

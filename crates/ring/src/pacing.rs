@@ -60,6 +60,20 @@ pub struct InsertionGovernor {
     backoffs: u64,
 }
 
+/// One multiplicative back-off step, clamped into `[min_gap, max_gap]`.
+///
+/// This used to be duplicated inline in `on_insert` and `on_congestion`
+/// (which also skipped the `min_gap` floor), so the two paths could
+/// drift — and with a huge `backoff_factor` the saturating multiply
+/// lands on `SimDuration::MAX` and *must* be clamped on both. The
+/// `recover_step` floor bootstraps the gap off zero, where a
+/// multiplicative step alone would be stuck.
+fn backed_off_gap(gap: SimDuration, p: &AimdParams) -> SimDuration {
+    gap.saturating_mul(p.backoff_factor as u64)
+        .max(p.recover_step)
+        .clamp(p.min_gap, p.max_gap)
+}
+
 impl InsertionGovernor {
     /// New governor in the given mode.
     pub fn new(mode: PacingMode) -> Self {
@@ -101,15 +115,14 @@ impl InsertionGovernor {
         if let PacingMode::Adaptive(p) = self.mode {
             if transit_bytes >= p.congestion_bytes {
                 // Congested: multiplicative back-off.
-                let doubled = self
-                    .gap
-                    .saturating_mul(p.backoff_factor as u64)
-                    .max(p.recover_step);
-                self.gap = doubled.min(p.max_gap);
+                self.gap = backed_off_gap(self.gap, &p);
                 self.backoffs += 1;
             } else {
                 // Clear: additive recovery.
-                self.gap = self.gap.saturating_sub(p.recover_step).max(p.min_gap);
+                self.gap = self
+                    .gap
+                    .saturating_sub(p.recover_step)
+                    .clamp(p.min_gap, p.max_gap);
             }
             self.next_allowed = now + self.gap;
         }
@@ -119,11 +132,7 @@ impl InsertionGovernor {
     /// through a backed-up buffer): also backs off under AIMD.
     pub fn on_congestion(&mut self, now: SimTime) {
         if let PacingMode::Adaptive(p) = self.mode {
-            let doubled = self
-                .gap
-                .saturating_mul(p.backoff_factor as u64)
-                .max(p.recover_step);
-            self.gap = doubled.min(p.max_gap);
+            self.gap = backed_off_gap(self.gap, &p);
             self.backoffs += 1;
             if self.next_allowed < now + self.gap {
                 self.next_allowed = now + self.gap;
@@ -186,6 +195,66 @@ mod tests {
             g.on_congestion(SimTime(0));
         }
         assert_eq!(g.gap(), SimDuration::from_nanos(500));
+    }
+
+    #[test]
+    fn gap_stays_in_bounds_under_any_interleaving() {
+        // The clamp invariant must hold after *any* interleaving of
+        // backoff and recovery steps, on both backoff entry points.
+        let p = AimdParams {
+            min_gap: SimDuration::from_nanos(50),
+            max_gap: SimDuration::from_nanos(700),
+            ..AimdParams::default()
+        };
+        let in_bounds = |g: &InsertionGovernor| p.min_gap <= g.gap() && g.gap() <= p.max_gap;
+        // Exhaust every 8-step interleaving of the three transitions.
+        for pattern in 0..3u32.pow(8) {
+            let mut g = InsertionGovernor::new(PacingMode::Adaptive(p));
+            assert!(in_bounds(&g), "initial gap out of bounds");
+            let mut code = pattern;
+            for step in 0..8 {
+                let now = g.next_allowed();
+                match code % 3 {
+                    0 => g.on_insert(now, p.congestion_bytes), // backoff
+                    1 => g.on_insert(now, 0),                  // recover
+                    _ => g.on_congestion(now),                 // backoff, no insert
+                }
+                code /= 3;
+                assert!(
+                    in_bounds(&g),
+                    "pattern {pattern} step {step}: gap {:?} outside [{:?}, {:?}]",
+                    g.gap(),
+                    p.min_gap,
+                    p.max_gap
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_factor_overflow_saturates_then_clamps() {
+        // A pathological factor drives the saturating multiply to
+        // SimDuration::MAX; the unified clamp must still bound the gap
+        // (the old on_congestion path applied max_gap but skipped
+        // min_gap; both paths now share one helper).
+        let p = AimdParams {
+            min_gap: SimDuration::from_nanos(10),
+            max_gap: SimDuration::from_micros(5),
+            backoff_factor: u32::MAX,
+            ..AimdParams::default()
+        };
+        let mut g = InsertionGovernor::new(PacingMode::Adaptive(p));
+        for _ in 0..4 {
+            g.on_congestion(SimTime(0));
+            assert_eq!(g.gap(), p.max_gap, "saturated backoff must clamp to max_gap");
+        }
+        g.on_insert(SimTime(0), p.congestion_bytes);
+        assert_eq!(g.gap(), p.max_gap);
+        // And recovery from the clamped gap still respects the floor.
+        for _ in 0..10_000 {
+            g.on_insert(g.next_allowed(), 0);
+        }
+        assert_eq!(g.gap(), p.min_gap);
     }
 
     #[test]

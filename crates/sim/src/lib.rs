@@ -38,3 +38,16 @@ pub use sim::Sim;
 pub use stats::{jain_fairness, mean, stddev, Counter, Histogram, Throughput};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Level, Trace, TraceEntry};
+
+// Shard-confinement contract for the parallel multi-segment engine:
+// every kernel type is `Send`, so a whole simulator (and the `Cluster`
+// built on it) can be moved to — and advanced by — a worker thread.
+// None of them is shared between threads (`Sync` is not required); each
+// shard's kernel is owned by exactly one worker per time slice. These
+// compile-time assertions keep a stray `Rc`/`RefCell` from silently
+// re-entering the kernel and breaking the threaded engine.
+const fn _assert_send<T: Send>() {}
+const _: () = _assert_send::<Sim<u64>>();
+const _: () = _assert_send::<EventQueue<u64>>();
+const _: () = _assert_send::<SimRng>();
+const _: () = _assert_send::<Trace>();

@@ -95,8 +95,44 @@ impl<E> EventQueue<E> {
 
     /// Cancel a previously scheduled event. Returns `true` if the event
     /// was still pending (i.e. not yet fired or cancelled).
+    ///
+    /// Cancellation is lazy, but tombstones are not allowed to pile up
+    /// forever: once they outnumber live entries the heap is compacted,
+    /// so cancel-heavy timer churn (roster misses, pacing reschedules)
+    /// keeps the heap within 2× the live-event count instead of growing
+    /// unbounded at 256-node scale.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.pending.remove(&id.0)
+        let removed = self.pending.remove(&id.0);
+        if removed {
+            self.maybe_compact();
+        }
+        removed
+    }
+
+    /// Rebuild the heap without tombstones when they dominate it.
+    ///
+    /// Amortised O(1) per cancel: compaction costs O(n) but only runs
+    /// after Ω(n) cancellations have accumulated since the last one.
+    /// Pop order is unaffected — `(at, seq)` is a total order, so the
+    /// rebuilt heap yields the surviving entries in the same sequence.
+    fn maybe_compact(&mut self) {
+        const COMPACT_MIN: usize = 64;
+        let tombstones = self.heap.len() - self.pending.len();
+        if self.heap.len() < COMPACT_MIN || tombstones <= self.pending.len() {
+            return;
+        }
+        let pending = &self.pending;
+        let heap = std::mem::take(&mut self.heap);
+        self.heap = heap
+            .into_iter()
+            .filter(|Reverse(e)| pending.contains(&e.seq))
+            .collect();
+    }
+
+    /// Heap entries currently held, including tombstones. Exposed so
+    /// tests can assert the compaction bound.
+    pub fn heap_len(&self) -> usize {
+        self.heap.len()
     }
 
     /// Time of the next live event, if any.
@@ -212,6 +248,58 @@ mod tests {
         q.schedule(SimTime(2), 2);
         q.clear();
         assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_heavy_churn_keeps_heap_bounded() {
+        // Regression: lazy cancellation used to leave tombstones in the
+        // heap forever, so a cancel/reschedule loop (timer churn) grew
+        // the heap without bound. With compaction the heap stays within
+        // a small multiple of the live-event count.
+        let mut q = EventQueue::new();
+        let mut live: Vec<EventId> = (0..32)
+            .map(|i| q.schedule(SimTime(1_000 + i), i))
+            .collect();
+        for round in 0..10_000u64 {
+            let slot = (round % 32) as usize;
+            assert!(q.cancel(live[slot]));
+            live[slot] = q.schedule(SimTime(2_000 + round), round);
+            assert_eq!(q.len(), 32);
+            assert!(
+                q.heap_len() <= 2 * q.len().max(64),
+                "round {round}: heap {} for {} live events",
+                q.heap_len(),
+                q.len()
+            );
+        }
+        // The queue still pops everything, in time order.
+        let mut last = SimTime(0);
+        let mut popped = 0;
+        while let Some((at, _)) = q.pop() {
+            assert!(at >= last);
+            last = at;
+            popped += 1;
+        }
+        assert_eq!(popped, 32);
+    }
+
+    #[test]
+    fn compaction_preserves_pop_order() {
+        let mut q = EventQueue::new();
+        let mut keep = Vec::new();
+        for i in 0..512u64 {
+            let id = q.schedule(SimTime(10_000 - i * 10), i);
+            if i % 7 == 0 {
+                keep.push((SimTime(10_000 - i * 10), i));
+            } else {
+                q.cancel(id); // triggers compaction along the way
+            }
+        }
+        keep.sort();
+        for expected in keep {
+            assert_eq!(q.pop(), Some(expected));
+        }
         assert_eq!(q.pop(), None);
     }
 

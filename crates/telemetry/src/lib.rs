@@ -59,8 +59,7 @@ pub use recorder::{FlightEvent, FlightKind, FlightRecorder};
 pub use registry::{CounterHandle, GaugeHandle, HistHandle, MetricsRegistry, GLOBAL};
 pub use snapshot::{MetricsSnapshot, SnapValue, SnapshotEntry};
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 #[derive(Debug)]
 struct Inner {
@@ -70,7 +69,7 @@ struct Inner {
 
 /// Shared handle to one registry + flight recorder.
 ///
-/// Cloning is cheap (one `Rc` bump) and every clone records into the
+/// Cloning is cheap (one `Arc` bump) and every clone records into the
 /// same registry, which is how a cluster's PHY, MAC, cache and service
 /// layers share a single correlated timeline. The default instance is
 /// *disabled*: every operation is a single branch and no storage
@@ -78,16 +77,32 @@ struct Inner {
 ///
 /// All methods take `&self` (interior mutability), so read-only layers
 /// — e.g. seqlock readers holding `&NetworkCache` — can still count.
+///
+/// The handle is `Send + Sync` so a whole cluster (which owns clones of
+/// it) can be advanced on a worker thread of the sharded multi-segment
+/// engine. Determinism discipline: one registry per shard. Each shard's
+/// handle is only ever recorded into by the thread currently driving
+/// that shard, so the mutex is uncontended (and never allocates) on the
+/// hot path; cross-shard views are produced after the barrier with
+/// [`Telemetry::merge_shards`], which folds the per-shard registries in
+/// shard order.
 #[derive(Debug, Clone, Default)]
 pub struct Telemetry {
-    inner: Option<Rc<RefCell<Inner>>>,
+    inner: Option<Arc<Mutex<Inner>>>,
+}
+
+/// Lock a handle's state. Poisoning can only happen if a panic unwound
+/// mid-record; the instruments are plain integers, so the state is
+/// still coherent — keep serving it rather than double-panicking.
+fn lock(inner: &Arc<Mutex<Inner>>) -> MutexGuard<'_, Inner> {
+    inner.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 impl Telemetry {
     /// Enabled telemetry with a flight ring of `flight_capacity` events.
     pub fn new(flight_capacity: usize) -> Self {
         Telemetry {
-            inner: Some(Rc::new(RefCell::new(Inner {
+            inner: Some(Arc::new(Mutex::new(Inner {
                 metrics: MetricsRegistry::new(),
                 recorder: FlightRecorder::new(flight_capacity),
             }))),
@@ -107,7 +122,7 @@ impl Telemetry {
     /// Register (or look up) a counter; [`CounterHandle::NONE`] when disabled.
     pub fn counter(&self, def: &'static MetricDef, node: u8) -> CounterHandle {
         match &self.inner {
-            Some(inner) => inner.borrow_mut().metrics.counter(def, node),
+            Some(inner) => lock(inner).metrics.counter(def, node),
             None => CounterHandle::NONE,
         }
     }
@@ -115,7 +130,7 @@ impl Telemetry {
     /// Register (or look up) a gauge; [`GaugeHandle::NONE`] when disabled.
     pub fn gauge(&self, def: &'static MetricDef, node: u8) -> GaugeHandle {
         match &self.inner {
-            Some(inner) => inner.borrow_mut().metrics.gauge(def, node),
+            Some(inner) => lock(inner).metrics.gauge(def, node),
             None => GaugeHandle::NONE,
         }
     }
@@ -123,7 +138,7 @@ impl Telemetry {
     /// Register (or look up) a histogram; [`HistHandle::NONE`] when disabled.
     pub fn histogram(&self, def: &'static MetricDef, node: u8) -> HistHandle {
         match &self.inner {
-            Some(inner) => inner.borrow_mut().metrics.histogram(def, node),
+            Some(inner) => lock(inner).metrics.histogram(def, node),
             None => HistHandle::NONE,
         }
     }
@@ -138,7 +153,7 @@ impl Telemetry {
     #[inline]
     pub fn add(&self, h: CounterHandle, n: u64) {
         if let Some(inner) = &self.inner {
-            inner.borrow_mut().metrics.add(h, n);
+            lock(inner).metrics.add(h, n);
         }
     }
 
@@ -146,7 +161,7 @@ impl Telemetry {
     #[inline]
     pub fn set(&self, h: GaugeHandle, v: i64) {
         if let Some(inner) = &self.inner {
-            inner.borrow_mut().metrics.set(h, v);
+            lock(inner).metrics.set(h, v);
         }
     }
 
@@ -154,7 +169,7 @@ impl Telemetry {
     #[inline]
     pub fn record(&self, h: HistHandle, sample: u64) {
         if let Some(inner) = &self.inner {
-            inner.borrow_mut().metrics.record(h, sample);
+            lock(inner).metrics.record(h, sample);
         }
     }
 
@@ -162,14 +177,14 @@ impl Telemetry {
     #[inline]
     pub fn flight(&self, ev: FlightEvent) {
         if let Some(inner) = &self.inner {
-            inner.borrow_mut().recorder.record(ev);
+            lock(inner).recorder.record(ev);
         }
     }
 
     /// Current counter value (0 when disabled).
     pub fn counter_value(&self, h: CounterHandle) -> u64 {
         match &self.inner {
-            Some(inner) => inner.borrow().metrics.counter_value(h),
+            Some(inner) => lock(inner).metrics.counter_value(h),
             None => 0,
         }
     }
@@ -177,7 +192,7 @@ impl Telemetry {
     /// Current gauge value (0 when disabled).
     pub fn gauge_value(&self, h: GaugeHandle) -> i64 {
         match &self.inner {
-            Some(inner) => inner.borrow().metrics.gauge_value(h),
+            Some(inner) => lock(inner).metrics.gauge_value(h),
             None => 0,
         }
     }
@@ -185,7 +200,7 @@ impl Telemetry {
     /// Snapshot the registry (empty when disabled).
     pub fn snapshot(&self) -> MetricsSnapshot {
         match &self.inner {
-            Some(inner) => inner.borrow().metrics.snapshot(),
+            Some(inner) => lock(inner).metrics.snapshot(),
             None => MetricsSnapshot::default(),
         }
     }
@@ -193,7 +208,7 @@ impl Telemetry {
     /// Distinct [`MetricDef`]s registered so far (empty when disabled).
     pub fn registered_defs(&self) -> Vec<&'static MetricDef> {
         match &self.inner {
-            Some(inner) => inner.borrow().metrics.registered_defs(),
+            Some(inner) => lock(inner).metrics.registered_defs(),
             None => Vec::new(),
         }
     }
@@ -201,7 +216,7 @@ impl Telemetry {
     /// Render the flight-recorder timeline (empty string when disabled).
     pub fn flight_dump(&self) -> String {
         match &self.inner {
-            Some(inner) => inner.borrow().recorder.dump(),
+            Some(inner) => lock(inner).recorder.dump(),
             None => String::new(),
         }
     }
@@ -209,7 +224,7 @@ impl Telemetry {
     /// Events currently retained by the flight recorder.
     pub fn flight_len(&self) -> usize {
         match &self.inner {
-            Some(inner) => inner.borrow().recorder.len(),
+            Some(inner) => lock(inner).recorder.len(),
             None => 0,
         }
     }
@@ -217,9 +232,29 @@ impl Telemetry {
     /// Total flight events ever recorded (including overwritten ones).
     pub fn flight_recorded(&self) -> u64 {
         match &self.inner {
-            Some(inner) => inner.borrow().recorder.recorded(),
+            Some(inner) => lock(inner).recorder.recorded(),
             None => 0,
         }
+    }
+
+    /// Deterministic cross-shard aggregate: fold every shard's registry
+    /// — in slice order — into one snapshot of cluster-of-clusters
+    /// totals. Per-instrument values of the same [`MetricDef`] are
+    /// combined across shards and nodes into a single [`GLOBAL`] entry
+    /// (counters and gauges sum, histograms bucket-merge); entry order
+    /// is first-registration order across the fold, so two runs that
+    /// recorded the same per-shard streams produce byte-identical
+    /// [`MetricsSnapshot::to_json`] output regardless of how many
+    /// worker threads advanced the shards. Disabled handles contribute
+    /// nothing.
+    pub fn merge_shards(shards: &[Telemetry]) -> MetricsSnapshot {
+        let mut acc = MetricsRegistry::new();
+        for shard in shards {
+            if let Some(inner) = &shard.inner {
+                lock(inner).metrics.aggregate_into(&mut acc);
+            }
+        }
+        acc.snapshot()
     }
 }
 

@@ -186,6 +186,36 @@ impl MetricsRegistry {
         seen
     }
 
+    /// Fold this registry's instruments into `acc` under the [`GLOBAL`]
+    /// node label: counters and gauges sum, histograms bucket-merge.
+    /// Entry order in `acc` is first-seen order across successive
+    /// `aggregate_into` calls, so folding per-shard registries in shard
+    /// order yields a deterministic merged snapshot. Used by
+    /// [`crate::Telemetry::merge_shards`].
+    pub fn aggregate_into(&self, acc: &mut MetricsRegistry) {
+        for inst in &self.instruments {
+            match &inst.value {
+                Value::Counter(c) => {
+                    let h = acc.counter(inst.def, GLOBAL);
+                    acc.add(h, *c);
+                }
+                Value::Gauge(g) => {
+                    let h = acc.gauge(inst.def, GLOBAL);
+                    let cur = acc.gauge_value(h);
+                    acc.set(h, cur.saturating_add(*g));
+                }
+                Value::Hist(hist) => {
+                    let h = acc.histogram(inst.def, GLOBAL);
+                    if let Some(Instrument { value: Value::Hist(dst), .. }) =
+                        acc.instruments.get_mut(h.0 as usize)
+                    {
+                        dst.merge(hist);
+                    }
+                }
+            }
+        }
+    }
+
     /// Point-in-time snapshot of every instrument, in registration
     /// order. Deterministic given deterministic registration/recording.
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -241,6 +271,43 @@ mod tests {
         assert_eq!(reg.counter_value(real), 2);
         assert_eq!(reg.counter_value(CounterHandle::NONE), 0);
         assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn aggregate_folds_shards_into_global_entries() {
+        let mut shard0 = MetricsRegistry::new();
+        let mut shard1 = MetricsRegistry::new();
+        let c0 = shard0.counter(&defs::MAC_INSERTED, 0);
+        shard0.add(c0, 3);
+        let g0 = shard0.gauge(&defs::MAC_WOULD_DROP, 0);
+        shard0.set(g0, 2);
+        let h0 = shard0.histogram(&defs::RING_TOUR_NS, GLOBAL);
+        shard0.record(h0, 100);
+        let c1 = shard1.counter(&defs::MAC_INSERTED, 5);
+        shard1.add(c1, 4);
+        let g1 = shard1.gauge(&defs::MAC_WOULD_DROP, 5);
+        shard1.set(g1, -1);
+        let h1 = shard1.histogram(&defs::RING_TOUR_NS, GLOBAL);
+        shard1.record(h1, 900);
+
+        let mut acc = MetricsRegistry::new();
+        shard0.aggregate_into(&mut acc);
+        shard1.aggregate_into(&mut acc);
+        let snap = acc.snapshot();
+        assert_eq!(snap.entries.len(), 3);
+        assert_eq!(snap.counter_total("mac_inserted"), 7);
+        // Every merged entry carries the GLOBAL label.
+        assert!(snap.entries.iter().all(|e| e.node.is_none()));
+        match snap.entries[1].value {
+            SnapValue::Gauge(v) => assert_eq!(v, 1),
+            ref v => panic!("expected gauge, got {v:?}"),
+        }
+        match snap.entries[2].value {
+            SnapValue::Hist { count, min, max, .. } => {
+                assert_eq!((count, min, max), (2, 100, 900));
+            }
+            ref v => panic!("expected hist, got {v:?}"),
+        }
     }
 
     #[test]

@@ -21,8 +21,19 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// Crates whose `src/` must be deterministic (the sans-IO protocol
-/// stack plus the simulation engine itself).
-const SIM_FACING: &[&str] = &["sim", "ring", "core", "cache", "roster", "dk", "chaos"];
+/// stack plus the simulation engine itself — including the telemetry
+/// registries, whose per-shard snapshots the parallel engine folds
+/// into mode-invariant output).
+const SIM_FACING: &[&str] = &[
+    "sim",
+    "ring",
+    "core",
+    "cache",
+    "roster",
+    "dk",
+    "chaos",
+    "telemetry",
+];
 
 /// Identifier tokens rejected under word-boundary matching.
 const BANNED_WORDS: &[&str] = &[
@@ -35,6 +46,9 @@ const BANNED_WORDS: &[&str] = &[
     "from_entropy",
     "RandomState",
     "getrandom",
+    // Host-dependent: the worker count of the sharded engine is part
+    // of the recorded configuration, never auto-detected inside it.
+    "available_parallelism",
 ];
 
 /// Substring tokens rejected verbatim.
@@ -142,6 +156,10 @@ fn scanner_catches_each_token_class() {
     assert_eq!(
         scan_line("let s: HashSet<u8> = thread_rng();"),
         vec!["HashSet", "thread_rng"]
+    );
+    assert_eq!(
+        scan_line("let n = std::thread::available_parallelism();"),
+        vec!["available_parallelism"]
     );
 }
 

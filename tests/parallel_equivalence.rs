@@ -1,0 +1,130 @@
+//! Tier-1 acceptance for the sharded-PDES engine: same seed ⇒ same
+//! digest AND byte-identical merged metrics, whether the shards
+//! advance on one thread (`ParallelMode::Serial`) or on a worker pool
+//! (`Threads(2)`, `Threads(8)`). This is the determinism contract that
+//! makes the threaded mode usable at all — if it ever fails, every
+//! reproducibility guarantee of the workspace is off.
+
+use ampnet::chaos::multiseg::MultiSegScenario;
+use ampnet::core::{
+    ClusterConfig, Component, GlobalAddr, MultiSegment, NodeId, ParallelMode, SimDuration, SwitchId,
+};
+
+fn ga(segment: u8, node: u8) -> GlobalAddr {
+    GlobalAddr { segment, node }
+}
+
+const MODES: [ParallelMode; 3] = [
+    ParallelMode::Serial,
+    ParallelMode::Threads(2),
+    ParallelMode::Threads(8),
+];
+
+/// Build a 4-segment ring-of-segments network, run cross-segment
+/// all-to-router traffic, and return (digest, merged metrics JSON).
+fn healthy_run(mode: ParallelMode) -> (u64, String) {
+    let mut net = MultiSegment::new(
+        (0..4u64)
+            .map(|s| ClusterConfig::small(4).with_seed(700 + s))
+            .collect(),
+    );
+    for s in 0..4u8 {
+        // node 3 of segment s bridges to node 0 of segment s+1 (ring).
+        net.add_bridge(ga(s, 3), ga((s + 1) % 4, 0), SimDuration::from_micros(5));
+    }
+    net.enable_traces(4096);
+    net.enable_telemetry(64);
+    net.set_parallel_mode(mode);
+    let slice = net.min_bridge_latency().unwrap();
+
+    let t0 = net.segment(0).now() + SimDuration::from_millis(1);
+    net.run_until(t0, slice);
+    // Cross-segment mesh: every segment sends to every other.
+    for s in 0..4u8 {
+        for d in 0..4u8 {
+            if s != d {
+                net.send_global(ga(s, 1), ga(d, 2), format!("m-{s}-{d}").as_bytes());
+            }
+        }
+    }
+    net.run_until(t0 + SimDuration::from_millis(2), slice);
+
+    // Every datagram must have arrived, identically in every mode.
+    let mut got = 0;
+    for d in 0..4u8 {
+        while net.pop_global(ga(d, 2)).is_some() {
+            got += 1;
+        }
+    }
+    assert_eq!(got, 12, "all 12 cross-segment datagrams delivered");
+    assert_eq!(net.unroutable, 0);
+
+    (net.digest(), net.merged_metrics_snapshot().to_json())
+}
+
+#[test]
+fn healthy_run_is_mode_invariant() {
+    let (digest, metrics) = healthy_run(ParallelMode::Serial);
+    assert_ne!(digest, 0);
+    assert!(metrics.contains("mac_inserted"), "metrics actually merged");
+    for mode in [ParallelMode::Threads(2), ParallelMode::Threads(8)] {
+        let (d, m) = healthy_run(mode);
+        assert_eq!(digest, d, "trace digest differs under {mode:?}");
+        assert_eq!(metrics, m, "merged metrics differ under {mode:?}");
+    }
+}
+
+/// Chaos leg: a mid-run fiber cut on segment 1 (forcing a roster
+/// episode inside the sliced run) plus traffic before, during and
+/// after the cut — the digest and metrics must still be mode-invariant.
+fn chaos_scenario() -> MultiSegScenario {
+    let mut sc = MultiSegScenario::new(
+        (0..3u64)
+            .map(|s| ClusterConfig::small(4).with_seed(800 + s))
+            .collect(),
+    );
+    sc.bridge(ga(0, 3), ga(1, 0), SimDuration::from_micros(5));
+    sc.bridge(ga(1, 3), ga(2, 0), SimDuration::from_micros(6));
+    sc.run_for(SimDuration::from_millis(3));
+    sc.send_at(SimDuration::from_micros(50), ga(0, 1), ga(2, 2), b"before");
+    // The cut lands while "during" is crossing the network.
+    sc.send_at(SimDuration::from_micros(290), ga(2, 1), ga(0, 2), b"during");
+    sc.fail_at(
+        SimDuration::from_micros(300),
+        1,
+        Component::Link(NodeId(2), SwitchId(0)),
+    );
+    sc.send_at(SimDuration::from_millis(2), ga(0, 1), ga(2, 2), b"after");
+    sc
+}
+
+#[test]
+fn fiber_cut_chaos_is_mode_invariant() {
+    let sc = chaos_scenario();
+    let reference = sc.run(ParallelMode::Serial);
+    assert!(
+        reference
+            .delivered
+            .iter()
+            .any(|(_, _, p)| p == b"after".as_slice()),
+        "traffic flows again after the cut heals around: {:?}",
+        reference.delivered
+    );
+    for mode in &MODES[1..] {
+        let report = sc.run(*mode);
+        assert_eq!(
+            reference, report,
+            "chaos report differs between Serial and {mode:?}"
+        );
+    }
+}
+
+#[test]
+fn repeated_threaded_runs_are_self_identical() {
+    // Thread scheduling noise must not leak: two Threads(8) runs of
+    // the same scenario agree with each other bit-for-bit.
+    let sc = chaos_scenario();
+    let a = sc.run(ParallelMode::Threads(8));
+    let b = sc.run(ParallelMode::Threads(8));
+    assert_eq!(a, b);
+}
