@@ -21,17 +21,23 @@
 //! the hot path — show up in review.
 //!
 //! `--bench-scale` sizes the sharded-PDES engine: 1→16 segments of 16
-//! nodes each (up to 256 nodes), each point run twice from the same
-//! seeds — once `ParallelMode::Serial`, once `Threads(8)` — recording
-//! wall-clock, speedup, events/sec and the trace digest of both runs.
-//! The digests must match at every point (the engine's determinism
-//! contract); the JSON also records `host_threads` so CI only enforces
-//! the speedup floor on hosts that actually have cores to scale onto.
+//! nodes each (up to 256 nodes), each point run four times from the
+//! same seeds — `ParallelMode::Serial` and `Threads(8)`, each under
+//! both `Lookahead::Adaptive` (the default) and `Lookahead::Fixed`
+//! (the PR-5 reference) — recording wall-clock, speedup, events/sec
+//! and the trace digest of every run. Per policy, serial and threaded
+//! digests must match at every point (the engine's determinism
+//! contract). A heap-vs-wheel timer microbench records what the
+//! timer-wheel event core buys on the same synthetic workload. The
+//! JSON records `host_threads`/`effective_threads` honestly; CI fails
+//! the scale job outright when a single-core host makes the speedup
+//! guard unmeasurable, instead of silently self-disabling.
 //!
-//! `--check` runs the four `ampnet-check` protocol models (seqlock,
-//! semaphore, roster/failover, frame arena) to exhaustion and writes a
-//! JSON summary; any safety violation prints its shortest
-//! counterexample trace and fails the run.
+//! `--check` runs the `ampnet-check` protocol models (seqlock,
+//! semaphore, roster/failover, frame arena, slice planner under both
+//! lookahead policies) to exhaustion and writes a JSON summary; any
+//! safety violation prints its shortest counterexample trace and fails
+//! the run.
 //!
 //! `--metrics` runs the deterministic full-stack telemetry exercise
 //! (`ampnet_bench::metrics`) and writes the registry snapshot; same
@@ -187,10 +193,15 @@ struct ScaleLeg {
 
 /// One sharded-PDES leg: `n_segments` segments of `SCALE_NODES` nodes
 /// in a ring-of-segments, driven by a fixed cross- and intra-segment
-/// send schedule, advanced under `mode` with slice = the conservative
-/// lookahead (min bridge latency). Only the post-warmup window is
-/// timed; the digest covers the whole run.
-fn scale_leg(n_segments: usize, mode: ampnet_core::ParallelMode) -> ScaleLeg {
+/// send schedule, advanced under `mode`/`policy` with base slice = the
+/// conservative lookahead (min bridge latency). After boot, the storm
+/// schedule repeats for several timed passes and the leg reports the
+/// fastest (steady-state) one; the digest covers the whole run.
+fn scale_leg(
+    n_segments: usize,
+    mode: ampnet_core::ParallelMode,
+    policy: ampnet_core::Lookahead,
+) -> ScaleLeg {
     use ampnet_core::{ClusterConfig, GlobalAddr, MultiSegment};
     const SCALE_NODES: usize = 16;
     let ga = |segment: usize, node: u8| GlobalAddr {
@@ -214,40 +225,63 @@ fn scale_leg(n_segments: usize, mode: ampnet_core::ParallelMode) -> ScaleLeg {
     }
     net.enable_traces(8192);
     net.set_parallel_mode(mode);
+    net.set_lookahead(policy);
     let slice = net
         .min_bridge_latency()
         .unwrap_or(SimDuration::from_micros(10));
     // Boot every ring before the measured window starts.
-    let t0 = net.segment(0).now() + SimDuration::from_millis(2);
+    let mut t0 = net.segment(0).now() + SimDuration::from_millis(2);
     net.run_until(t0, slice);
 
-    let events_before = net.events_processed();
-    let start = std::time::Instant::now();
+    // The storm schedule runs PASSES times back to back and the leg
+    // reports the *fastest* pass: early passes pay one-time costs
+    // (allocator growth, cold branch predictors) and a shared host
+    // adds multiplicative noise, so the minimum is the stable
+    // estimator of steady-state cost. Every pass issues the identical
+    // deterministic schedule in every mode — wall-clock sampling
+    // cannot perturb the simulation — so the digest (which covers the
+    // whole run) stays mode-invariant regardless of which pass wins.
     const ROUNDS: usize = 8;
+    const PASSES: usize = 12;
     let round_len = SimDuration::from_micros(250);
-    for round in 0..ROUNDS {
-        for s in 0..n_segments {
-            // Intra-segment unicast keeps every ring loaded...
-            let dst = ((round + s) % (SCALE_NODES - 1)) as u8 + 1;
-            net.send_global(ga(s, 0), ga(s, dst), &[round as u8, s as u8]);
-            // ...and a crossing per segment exercises the barrier path.
-            if n_segments > 1 {
-                net.send_global(
-                    ga(s, 1),
-                    ga((s + 1 + round) % n_segments, 2),
-                    &[b'x', round as u8, s as u8],
-                );
+    let pass_len = round_len.saturating_mul(ROUNDS as u64) + SimDuration::from_millis(1);
+    let mut best: Option<(std::time::Duration, u64)> = None;
+    for _ in 0..PASSES {
+        let events_before = net.events_processed();
+        let start = std::time::Instant::now();
+        for round in 0..ROUNDS {
+            for s in 0..n_segments {
+                // Intra-segment unicast keeps every ring loaded...
+                let dst = ((round + s) % (SCALE_NODES - 1)) as u8 + 1;
+                net.send_global(ga(s, 0), ga(s, dst), &[round as u8, s as u8]);
+                // ...and a crossing per segment exercises the barrier path.
+                if n_segments > 1 {
+                    net.send_global(
+                        ga(s, 1),
+                        ga((s + 1 + round) % n_segments, 2),
+                        &[b'x', round as u8, s as u8],
+                    );
+                }
             }
+            net.run_until(t0 + round_len.saturating_mul((round as u64) + 1), slice);
         }
-        net.run_until(t0 + round_len.saturating_mul((round as u64) + 1), slice);
+        // Drain window so every datagram lands inside the timed region.
+        net.run_until(t0 + pass_len, slice);
+        let wall = start.elapsed();
+        let events = net.events_processed() - events_before;
+        t0 += pass_len;
+        let better = match best {
+            Some((bw, be)) => {
+                (events as f64 / wall.as_secs_f64().max(1e-9))
+                    > (be as f64 / bw.as_secs_f64().max(1e-9))
+            }
+            None => true,
+        };
+        if better {
+            best = Some((wall, events));
+        }
     }
-    // Drain window so every datagram lands inside the timed region.
-    net.run_until(
-        t0 + round_len.saturating_mul(ROUNDS as u64) + SimDuration::from_millis(1),
-        slice,
-    );
-    let wall = start.elapsed();
-    let events = net.events_processed() - events_before;
+    let (wall, events) = best.expect("PASSES > 0");
 
     let mut delivered = 0u64;
     for s in 0..n_segments {
@@ -267,61 +301,149 @@ fn scale_leg(n_segments: usize, mode: ampnet_core::ParallelMode) -> ScaleLeg {
     }
 }
 
+/// Synthetic hold-model timer workload: a stable-size queue where
+/// every pop schedules a replacement at a pseudorandom offset, with
+/// periodic same-instant bursts and cancels. Returns events/s.
+///
+/// Written twice (wheel + heap) because the two queues share an API
+/// shape but no trait — the duplication IS the experiment: identical
+/// workload, only the data structure differs.
+fn queue_bench_events_per_sec(wheel: bool) -> f64 {
+    use ampnet_sim::{EventQueue, HeapEventQueue, SimRng, SimTime};
+    const PREFILL: usize = 4096;
+    const POPS: u64 = 400_000;
+    let mut rng = SimRng::new(0x0EB5);
+    macro_rules! drive {
+        ($q:expr) => {{
+            let q = &mut $q;
+            for i in 0..PREFILL {
+                q.schedule(SimTime(1 + rng.below(4096)), i as u32);
+            }
+            let start = std::time::Instant::now();
+            let mut pops = 0u64;
+            while pops < POPS {
+                let (t, _) = q.pop().expect("stable-size queue never drains");
+                pops += 1;
+                // Replacement keeps the hold model stationary.
+                q.schedule(SimTime(t.0 + 1 + rng.below(4096)), pops as u32);
+                if pops % 64 == 0 {
+                    // Same-instant burst plus a cancelled straggler:
+                    // exercises FIFO ties and the tombstone path.
+                    q.schedule(SimTime(t.0 + 128), 1);
+                    let dead = q.schedule(SimTime(t.0 + 128), 2);
+                    let (u, _) = q.pop().expect("burst pending");
+                    q.schedule(SimTime(u.0 + 1 + rng.below(4096)), 3);
+                    q.cancel(dead);
+                    pops += 1;
+                }
+            }
+            pops as f64 / start.elapsed().as_secs_f64().max(1e-9)
+        }};
+    }
+    if wheel {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        drive!(q)
+    } else {
+        let mut q: HeapEventQueue<u32> = HeapEventQueue::new();
+        drive!(q)
+    }
+}
+
 fn bench_scale(path: &str) {
-    use ampnet_core::ParallelMode;
+    use ampnet_core::{Lookahead, ParallelMode};
     const THREADS: usize = 8;
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let effective_threads = THREADS.min(host_threads);
+
+    // Queue microbench: the same synthetic timer workload through the
+    // shipping wheel and the legacy heap it replaced.
+    let wheel_eps = queue_bench_events_per_sec(true);
+    let heap_eps = queue_bench_events_per_sec(false);
+    println!(
+        "queue bench: wheel {:.2}M ev/s vs heap {:.2}M ev/s ({:.2}x)",
+        wheel_eps / 1e6,
+        heap_eps / 1e6,
+        wheel_eps / heap_eps.max(1e-9),
+    );
+
     // Warm-up leg absorbs one-time lazy init, as in `bench_ring`.
-    let _ = scale_leg(1, ParallelMode::Serial);
+    let _ = scale_leg(1, ParallelMode::Serial, Lookahead::Adaptive);
     let mut points = Vec::new();
     let mut speedup_at_8 = 0.0f64;
+    let mut speedup_at_16 = 0.0f64;
+    let mut serial_eps_at_16 = 0.0f64;
     let mut all_digests_equal = true;
     for &segs in &[1usize, 2, 4, 8, 16] {
-        let serial = scale_leg(segs, ParallelMode::Serial);
-        let threaded = scale_leg(segs, ParallelMode::Threads(THREADS));
-        let equal = serial.digest == threaded.digest;
+        let serial = scale_leg(segs, ParallelMode::Serial, Lookahead::Adaptive);
+        let threaded = scale_leg(segs, ParallelMode::Threads(THREADS), Lookahead::Adaptive);
+        let serial_fixed = scale_leg(segs, ParallelMode::Serial, Lookahead::Fixed);
+        let threaded_fixed = scale_leg(segs, ParallelMode::Threads(THREADS), Lookahead::Fixed);
+        // Determinism contract: per policy, serial ≡ threaded.
+        let equal =
+            serial.digest == threaded.digest && serial_fixed.digest == threaded_fixed.digest;
         all_digests_equal &= equal;
         assert_eq!(
             serial.delivered, threaded.delivered,
             "delivery count mode-invariant at {segs} segments"
         );
+        assert_eq!(
+            serial.delivered, serial_fixed.delivered,
+            "delivery count policy-invariant at {segs} segments"
+        );
         let speedup = serial.wall_ms / threaded.wall_ms.max(1e-9);
+        let speedup_fixed = serial_fixed.wall_ms / threaded_fixed.wall_ms.max(1e-9);
         if segs == 8 {
             speedup_at_8 = speedup;
         }
+        if segs == 16 {
+            speedup_at_16 = speedup;
+            serial_eps_at_16 = serial.events_per_sec;
+        }
         println!(
-            "scale {segs:>2} segments ({:>3} nodes): serial {:>8.2} ms, \
-             threaded {:>8.2} ms, speedup {speedup:.2}x, digests equal: {equal}",
+            "scale {segs:>2} segments ({:>3} nodes): adaptive serial {:>8.2} ms / \
+             threaded {:>8.2} ms ({speedup:.2}x), fixed serial {:>8.2} ms / \
+             threaded {:>8.2} ms ({speedup_fixed:.2}x), digests equal: {equal}",
             segs * 16,
             serial.wall_ms,
             threaded.wall_ms,
+            serial_fixed.wall_ms,
+            threaded_fixed.wall_ms,
         );
         points.push(format!(
             concat!(
                 "    {{\"segments\": {}, \"nodes\": {}, ",
                 "\"serial_ms\": {:.3}, \"threaded_ms\": {:.3}, ",
+                "\"serial_fixed_ms\": {:.3}, \"threaded_fixed_ms\": {:.3}, ",
                 "\"threads\": {}, \"speedup\": {:.3}, ",
+                "\"speedup_fixed\": {:.3}, ",
                 "\"events\": {}, \"events_per_sec_serial\": {:.0}, ",
+                "\"events_per_sec_serial_fixed\": {:.0}, ",
                 "\"events_per_sec_threaded\": {:.0}, ",
                 "\"delivered\": {}, ",
                 "\"serial_digest\": \"{:016x}\", ",
                 "\"threaded_digest\": \"{:016x}\", ",
+                "\"fixed_digests_equal\": {}, ",
                 "\"digests_equal\": {}}}"
             ),
             segs,
             segs * 16,
             serial.wall_ms,
             threaded.wall_ms,
+            serial_fixed.wall_ms,
+            threaded_fixed.wall_ms,
             THREADS,
             speedup,
+            speedup_fixed,
             serial.events,
             serial.events_per_sec,
+            serial_fixed.events_per_sec,
             threaded.events_per_sec,
             serial.delivered,
             serial.digest,
             threaded.digest,
+            serial_fixed.digest == threaded_fixed.digest,
             equal,
         ));
     }
@@ -330,13 +452,27 @@ fn bench_scale(path: &str) {
             "{{\n  \"bench\": \"multiseg_scale\",\n",
             "  \"nodes_per_segment\": 16,\n",
             "  \"rounds\": 8,\n",
+            "  \"timed_passes\": 12,\n",
+            "  \"reported\": \"fastest pass (steady state)\",\n",
+            "  \"lookahead\": \"adaptive (fixed legs for A/B)\",\n",
             "  \"host_threads\": {},\n",
+            "  \"effective_threads\": {},\n",
+            "  \"queue_bench\": {{\"wheel_events_per_sec\": {:.0}, ",
+            "\"heap_events_per_sec\": {:.0}, \"wheel_vs_heap\": {:.3}}},\n",
             "  \"speedup_at_8_segments\": {:.3},\n",
+            "  \"speedup_at_16_segments\": {:.3},\n",
+            "  \"serial_events_per_sec_at_16_segments\": {:.0},\n",
             "  \"all_digests_equal\": {},\n",
             "  \"points\": [\n{}\n  ]\n}}\n"
         ),
         host_threads,
+        effective_threads,
+        wheel_eps,
+        heap_eps,
+        wheel_eps / heap_eps.max(1e-9),
         speedup_at_8,
+        speedup_at_16,
+        serial_eps_at_16,
         all_digests_equal,
         points.join(",\n"),
     );
@@ -344,20 +480,31 @@ fn bench_scale(path: &str) {
     print!("{json}");
     println!("wrote {path}");
     assert!(all_digests_equal, "serial/threaded digest divergence");
+    if host_threads < 2 {
+        // Honest parallelism reporting: a single-core host cannot
+        // measure the speedup contract at all. Say so unmissably — the
+        // CI guard turns this condition into a hard job failure.
+        println!(
+            "WARNING: single-core host ({host_threads} thread); threaded legs ran \
+             time-sliced and the speedup columns do not measure parallel scaling"
+        );
+    }
 }
 
-/// `--check`: run the four protocol models exhaustively and write a
+/// `--check`: run the protocol models exhaustively and write a
 /// JSON summary. State budget is far above the known space sizes
 /// (hundreds to thousands of states) so `complete` acts as a canary
 /// for accidental state-space blowups.
 fn check_models(path: &str) {
-    use ampnet_check::models::{arena, roster, semaphore, seqlock};
+    use ampnet_check::models::{arena, planner, roster, semaphore, seqlock};
     const BUDGET: usize = 2_000_000;
     let runs = [
         ("seqlock", seqlock::check_seqlock(BUDGET)),
         ("semaphore", semaphore::check_semaphore(BUDGET)),
         ("roster-failover", roster::check_roster(BUDGET)),
         ("frame-arena", arena::check_arena(BUDGET)),
+        ("slice-planner", planner::check_planner(BUDGET)),
+        ("slice-planner-fixed", planner::check_planner_fixed(BUDGET)),
     ];
     let mut ok = true;
     let mut entries = Vec::new();
@@ -392,7 +539,8 @@ fn check_models(path: &str) {
     println!("wrote {path}");
     if ok {
         println!(
-            "model check: 4/4 models exhaustive, {total} states total, 0 violations"
+            "model check: {n}/{n} models exhaustive, {total} states total, 0 violations",
+            n = runs.len()
         );
     } else {
         println!("model check: FAILED (violation or state budget exceeded)");

@@ -13,8 +13,9 @@
 //! simulated clock: same seed ⇒ byte-identical snapshot JSON.
 
 use ampnet_core::{
-    BackoffPolicy, Cluster, ClusterConfig, Component, Features, JoinRequest, NodeId, RecordLayout,
-    SemStressConfig, SemaphoreAddr, SeqProbeConfig, SimDuration, SwitchId, Version,
+    BackoffPolicy, Cluster, ClusterConfig, Component, Features, GlobalAddr, JoinRequest,
+    MultiSegment, NodeId, RecordLayout, SemStressConfig, SemaphoreAddr, SeqProbeConfig,
+    SimDuration, SwitchId, Version,
 };
 use ampnet_ring::{Segment, SegmentParams};
 use ampnet_telemetry::{MetricsSnapshot, Telemetry};
@@ -135,6 +136,29 @@ pub fn telemetry_exercise(seed: u64) -> TelemetryExercise {
     }
     cluster.run_for(SimDuration::from_millis(10)); // settle
 
+    // ----- multi-segment leg: PDES engine counters -----
+    // A small bridged network: the coordinator registers its slice /
+    // elision / quiescence counters on the shared registry, and one
+    // cross-segment datagram plus a long idle tail makes all three
+    // move (traffic forces exchanges, the idle tail elides them).
+    let mut net = MultiSegment::new(vec![
+        ClusterConfig::small(3).with_seed(seed ^ 0x9d2e),
+        ClusterConfig::small(3).with_seed(seed ^ 0x51c3),
+    ]);
+    net.enable_coordinator_telemetry_with(&tel);
+    net.add_bridge(
+        GlobalAddr { segment: 0, node: 2 },
+        GlobalAddr { segment: 1, node: 0 },
+        SimDuration::from_micros(3),
+    );
+    net.run_for(SimDuration::from_millis(5)); // boot both rings
+    net.send_global(
+        GlobalAddr { segment: 0, node: 1 },
+        GlobalAddr { segment: 1, node: 2 },
+        b"pdes exercise",
+    );
+    net.run_for(SimDuration::from_millis(5));
+
     // ----- ring-segment leg: tour/access latency histograms -----
     let mut segment = Segment::new(
         SegmentParams {
@@ -178,6 +202,9 @@ mod tests {
             "transport_stale_frames_released",
             "transport_replayed_broadcasts",
             "transport_replayed_unicasts",
+            "pdes_slices",
+            "pdes_exchanges_elided",
+            "pdes_quiescent_shard_slices",
         ] {
             assert!(snap.counter_total(name) > 0, "{name} stayed zero");
         }

@@ -15,7 +15,8 @@
 //! holds the engine to that.
 
 use ampnet_core::{
-    ClusterConfig, Component, GlobalAddr, MultiSegment, ParallelMode, SimDuration, SimTime,
+    ClusterConfig, Component, GlobalAddr, Lookahead, MultiSegment, ParallelMode, SimDuration,
+    SimTime,
 };
 use std::collections::VecDeque;
 
@@ -90,6 +91,7 @@ pub struct MultiSegScenario {
     run_for: SimDuration,
     faults: Vec<(SimDuration, SegFaultOp)>,
     sends: Vec<TimedSend>,
+    lookahead: Lookahead,
 }
 
 impl MultiSegScenario {
@@ -103,7 +105,17 @@ impl MultiSegScenario {
             run_for: SimDuration::from_millis(2),
             faults: vec![],
             sends: vec![],
+            lookahead: Lookahead::default(),
         }
+    }
+
+    /// Override the slice-sizing policy (default: the engine default,
+    /// [`Lookahead::Adaptive`]). The determinism contract holds per
+    /// policy: reports are mode-invariant under either, but the two
+    /// policies legitimately quantize crossing deliveries differently.
+    pub fn lookahead(&mut self, policy: Lookahead) -> &mut Self {
+        self.lookahead = policy;
+        self
     }
 
     /// Connect two segments with a router pair.
@@ -170,8 +182,9 @@ impl MultiSegScenario {
         net.enable_traces(4096);
         net.enable_telemetry(64);
         net.set_parallel_mode(mode);
+        net.set_lookahead(self.lookahead);
 
-        // The conservative lookahead: slice = min bridge latency.
+        // The conservative base slice: min bridge latency.
         let slice = net
             .min_bridge_latency()
             .unwrap_or(SimDuration::from_micros(10));

@@ -12,7 +12,7 @@
 //! counterexample trace when a property fails, printed in the chaos
 //! engine's flight-recorder style.
 //!
-//! Four shipped models exercise the paper's headline guarantees
+//! Five shipped models exercise the paper's headline guarantees
 //! against the **real crate code** (not re-implementations):
 //!
 //! * [`models::seqlock`] — the slide-9 two-counter message seqlock
@@ -28,10 +28,14 @@
 //! * [`models::arena`] — the `Deliver`/`Strip`/loan frame-ownership
 //!   protocol ([`ampnet_packet::FrameArena`] + [`ampnet_ring::classify`]):
 //!   no use-after-release, no slot leak.
+//! * [`models::planner`] — the adaptive slice-planner decision
+//!   ([`ampnet_core::plan_boundary`] via [`ampnet_core::SlicePlanner`]):
+//!   no crossing delivered past its maturity, no shard starves, and
+//!   the dead-air-skip / quiescent-wake paths are genuinely reachable.
 //!
 //! Each model also ships deliberately-broken mutation variants
 //! (single-counter seqlock, split test-then-set, release without a
-//! generation bump). The checker finding those — with a printed
+//! generation bump, a planner that forgets the crossing clamp). The checker finding those — with a printed
 //! shortest trace — is its own self-test: it proves the green runs are
 //! green because the protocols are right, not because the checker is
 //! blind.

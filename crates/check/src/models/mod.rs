@@ -1,6 +1,7 @@
-//! The four shipped protocol models (and their mutation variants).
+//! The five shipped protocol models (and their mutation variants).
 
 pub mod arena;
+pub mod planner;
 pub mod roster;
 pub mod semaphore;
 pub mod seqlock;

@@ -1,0 +1,456 @@
+//! Exhaustive check of the adaptive slice-planner decision
+//! ([`ampnet_core::plan_boundary`] via [`ampnet_core::SlicePlanner`]).
+//!
+//! The multi-segment engine only synchronizes shards at slice
+//! boundaries: route-stream inboxes are drained there, and an
+//! in-flight crossing queued at boundary `b` matures at exactly
+//! `b + latency`. The adaptive planner (PR 6) grows slices through
+//! quiet phases, skips dead air between events and still must never
+//! plan a boundary *past* a pending crossing's maturity — otherwise
+//! the far shard would receive the datagram late and the parallel
+//! modes would diverge from the serial reference.
+//!
+//! This model drives the **real planner** — the same
+//! [`SlicePlanner::boundary`] / [`SlicePlanner::note_exchange`] calls
+//! `MultiSegment::run_until` makes — over a two-shard abstraction of
+//! the engine: each shard owns at most one pending local event
+//! (seeded by the adversary at a choice of offsets, optionally
+//! emitting a bridge crossing when it fires), crossings mature
+//! `latency` after the boundary that drained them, and a delivered
+//! crossing wakes the destination shard with a follow-up event. The
+//! adversary interleaves seeding freely with engine advances, so the
+//! explored graph covers every phasing of traffic against slice
+//! growth, dead-air jumps and crossing clamps up to the horizon.
+//!
+//! Checked properties:
+//!
+//! * `crossing-delivered-at-maturity` (safety) — no crossing is ever
+//!   delivered at a boundary later than its `deliver_at`.
+//! * `boundary-makes-progress` (safety) — every planned boundary
+//!   strictly advances and never overshoots the deadline.
+//! * `no-shard-starves` (terminal) — the run only ends at the deadline
+//!   with every in-horizon event fired and every in-horizon crossing
+//!   delivered; no shard's work is silently skipped by a grown slice.
+//! * `quiescent-shard-woken-by-crossing` (reachability) — a shard with
+//!   an empty queue receives a crossing and resumes; pins that
+//!   quiescent-shard skipping never sleeps through a wake-up.
+//! * `dead-air-skip-exercised` (reachability) — at least one boundary
+//!   jumps past `now + slice` straight to the earliest event, so the
+//!   explored space genuinely contains the skip path.
+//!
+//! The [`PlannerVariant::IgnoreCrossings`] mutant plans with
+//! `earliest_crossing = None` — the exact bug of forgetting the
+//! crossing clamp — and the checker finds the late-delivery trace.
+
+use crate::model::{Model, Property, PropertyKind};
+use crate::{check, CheckOptions, CheckReport};
+use ampnet_core::{Lookahead, SlicePlanner};
+use ampnet_sim::{Fnv64, SimDuration, SimTime};
+
+/// Which planner wiring the model drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannerVariant {
+    /// The real decision: crossings clamp the boundary.
+    Exact,
+    /// Mutant: plans with `earliest_crossing = None`, so a grown slice
+    /// or dead-air jump can overshoot a maturing crossing.
+    IgnoreCrossings,
+}
+
+/// Event-seeding offsets the adversary may pick (ticks after `now`).
+/// One inside the base slice, one beyond it (forces dead-air jumps).
+const OFFSETS: [u64; 2] = [1, 5];
+
+/// The two-shard planner world.
+#[derive(Debug)]
+pub struct PlannerModel {
+    /// Simulated-time horizon (ticks); the run always ends here.
+    pub deadline: u64,
+    /// Base slice length (ticks).
+    pub base: u64,
+    /// Bridge latency (ticks): a crossing drained at boundary `b`
+    /// matures at `b + latency`.
+    pub latency: u64,
+    /// Work tokens per shard: each token is one adversary-seeded event.
+    pub tokens: u8,
+    /// Exact planner or the clamp-dropping mutant.
+    pub variant: PlannerVariant,
+    /// Slice policy under check.
+    pub policy: Lookahead,
+}
+
+impl PlannerModel {
+    /// The standard small world: 16-tick horizon, 2-tick base slice,
+    /// 3-tick bridge, two events per shard.
+    pub fn small(variant: PlannerVariant, policy: Lookahead) -> Self {
+        PlannerModel {
+            deadline: 16,
+            base: 2,
+            latency: 3,
+            tokens: 2,
+            variant,
+            policy,
+        }
+    }
+}
+
+/// One pending local event on a shard: fire time and whether firing
+/// emits a bridge crossing (a route-stream datagram drained at the
+/// next boundary).
+type PendingEvent = (u64, bool);
+
+/// One explored state of the planner world.
+#[derive(Debug, Clone)]
+pub struct PlannerState {
+    /// The real planner (base, grown slice, policy).
+    planner: SlicePlanner,
+    /// Current boundary time.
+    now: u64,
+    /// Per-shard pending event (at most one; `None` = quiescent).
+    next_event: [Option<PendingEvent>; 2],
+    /// Unseeded work tokens per shard.
+    tokens: [u8; 2],
+    /// In-flight crossings, sorted: `(deliver_at, destination shard)`.
+    crossings: Vec<(u64, usize)>,
+    /// A crossing was delivered at a boundary past its maturity.
+    late_delivery: bool,
+    /// A planned boundary failed to advance or overshot the deadline.
+    stalled: bool,
+    /// A crossing arrived at a shard whose queue was empty.
+    woke_quiescent: bool,
+    /// Some boundary jumped past `now + slice` (dead-air skip).
+    dead_air_jumped: bool,
+}
+
+/// One atomic transition.
+#[derive(Debug, Clone)]
+pub enum PlannerAction {
+    /// The adversary schedules a shard's next event `offset` ticks out;
+    /// `cross` makes it emit a bridge crossing when it fires.
+    Seed {
+        /// Shard being seeded.
+        shard: usize,
+        /// Ticks after `now` the event fires.
+        offset: u64,
+        /// Whether firing emits a crossing to the other shard.
+        cross: bool,
+    },
+    /// The engine plans the next boundary with the real planner and
+    /// advances to it: fires due events, drains their crossings,
+    /// delivers matured crossings, notes traffic for slice growth.
+    Advance,
+}
+
+impl Model for PlannerModel {
+    type State = PlannerState;
+    type Action = PlannerAction;
+
+    fn initial_states(&self) -> Vec<PlannerState> {
+        vec![PlannerState {
+            planner: SlicePlanner::new(SimDuration(self.base), self.policy),
+            now: 0,
+            next_event: [None, None],
+            tokens: [self.tokens, self.tokens],
+            crossings: Vec::new(),
+            late_delivery: false,
+            stalled: false,
+            woke_quiescent: false,
+            dead_air_jumped: false,
+        }]
+    }
+
+    fn actions(&self, s: &PlannerState, out: &mut Vec<PlannerAction>) {
+        if s.now >= self.deadline {
+            return; // terminal: the run is over
+        }
+        for shard in 0..2 {
+            if s.tokens[shard] > 0 && s.next_event[shard].is_none() {
+                for offset in OFFSETS {
+                    for cross in [false, true] {
+                        out.push(PlannerAction::Seed {
+                            shard,
+                            offset,
+                            cross,
+                        });
+                    }
+                }
+            }
+        }
+        out.push(PlannerAction::Advance);
+    }
+
+    fn next_state(&self, s: &PlannerState, action: &PlannerAction) -> PlannerState {
+        let mut s = s.clone();
+        match *action {
+            PlannerAction::Seed {
+                shard,
+                offset,
+                cross,
+            } => {
+                s.tokens[shard] -= 1;
+                s.next_event[shard] = Some((s.now + offset, cross));
+            }
+            PlannerAction::Advance => {
+                let earliest_event = s
+                    .next_event
+                    .iter()
+                    .flatten()
+                    .map(|&(t, _)| SimTime(t))
+                    .min();
+                let earliest_crossing = match self.variant {
+                    PlannerVariant::Exact => s
+                        .crossings
+                        .iter()
+                        .map(|&(t, _)| t)
+                        .filter(|&t| t > s.now)
+                        .min()
+                        .map(SimTime),
+                    PlannerVariant::IgnoreCrossings => None,
+                };
+                let b = s
+                    .planner
+                    .boundary(
+                        SimTime(s.now),
+                        SimTime(self.deadline),
+                        earliest_event,
+                        earliest_crossing,
+                    )
+                    .0;
+                if b <= s.now || b > self.deadline {
+                    s.stalled = true;
+                }
+                if b > s.now.saturating_add(s.planner.current_slice().as_nanos()) {
+                    s.dead_air_jumped = true;
+                }
+                s.now = b;
+
+                // Fire due local events; route datagrams they emit are
+                // drained by this boundary's exchange and cross with
+                // `deliver_at = b + latency`.
+                let mut moved = false;
+                for shard in 0..2 {
+                    if let Some((t, cross)) = s.next_event[shard] {
+                        if t <= b {
+                            s.next_event[shard] = None;
+                            if cross {
+                                s.crossings.push((b + self.latency, 1 - shard));
+                                moved = true;
+                            }
+                        }
+                    }
+                }
+
+                // Deliver matured crossings. The destination processes
+                // the datagram one tick later; a quiescent destination
+                // being woken here is the reachability property.
+                let mut still_in_flight = Vec::new();
+                for (t, dst) in s.crossings.drain(..) {
+                    if t <= b {
+                        moved = true;
+                        if t < b {
+                            s.late_delivery = true;
+                        }
+                        if s.next_event[dst].is_none() {
+                            s.woke_quiescent = true;
+                            s.next_event[dst] = Some((b + 1, false));
+                        }
+                    } else {
+                        still_in_flight.push((t, dst));
+                    }
+                }
+                still_in_flight.sort_unstable();
+                s.crossings = still_in_flight;
+
+                s.planner.note_exchange(moved);
+            }
+        }
+        s
+    }
+
+    fn fingerprint(&self, s: &PlannerState) -> u64 {
+        let mut h = Fnv64::new();
+        h.fold_u64(s.now);
+        h.fold_u64(s.planner.current_slice().as_nanos());
+        for shard in 0..2 {
+            match s.next_event[shard] {
+                None => {
+                    h.fold_u64(u64::MAX);
+                }
+                Some((t, cross)) => {
+                    h.fold_u64(t);
+                    h.fold_u64(cross as u64);
+                }
+            }
+            h.fold_u64(s.tokens[shard] as u64);
+        }
+        h.fold_u64(s.crossings.len() as u64);
+        for &(t, dst) in &s.crossings {
+            h.fold_u64(t);
+            h.fold_u64(dst as u64);
+        }
+        h.fold_u64(
+            (s.late_delivery as u64)
+                | (s.stalled as u64) << 1
+                | (s.woke_quiescent as u64) << 2
+                | (s.dead_air_jumped as u64) << 3,
+        );
+        h.finish()
+    }
+
+    fn properties(&self) -> Vec<Property<Self>> {
+        let mut props: Vec<Property<Self>> = vec![
+            Property {
+                name: "crossing-delivered-at-maturity",
+                kind: PropertyKind::Always,
+                check: |_, s| !s.late_delivery,
+            },
+            Property {
+                name: "boundary-makes-progress",
+                kind: PropertyKind::Always,
+                check: |m, s| !s.stalled && s.now <= m.deadline,
+            },
+            Property {
+                name: "no-shard-starves",
+                kind: PropertyKind::AlwaysTerminal,
+                check: |m, s| {
+                    s.now == m.deadline
+                        && s.next_event
+                            .iter()
+                            .flatten()
+                            .all(|&(t, _)| t > m.deadline)
+                        && s.crossings.iter().all(|&(t, _)| t > m.deadline)
+                },
+            },
+            Property {
+                name: "quiescent-shard-woken-by-crossing",
+                kind: PropertyKind::Eventually,
+                check: |_, s| s.woke_quiescent,
+            },
+        ];
+        // Fixed lookahead never skips dead air by design, so the skip
+        // path is only required reachable under the adaptive policy.
+        if self.policy == Lookahead::Adaptive {
+            props.push(Property {
+                name: "dead-air-skip-exercised",
+                kind: PropertyKind::Eventually,
+                check: |_, s| s.dead_air_jumped,
+            });
+        }
+        props
+    }
+
+    fn format_action(&self, action: &PlannerAction) -> String {
+        match *action {
+            PlannerAction::Seed {
+                shard,
+                offset,
+                cross,
+            } => format!(
+                "seed shard{shard} event at now+{offset}{}",
+                if cross { " (emits crossing)" } else { "" }
+            ),
+            PlannerAction::Advance => "advance to planned boundary".into(),
+        }
+    }
+
+    fn format_state(&self, s: &PlannerState) -> String {
+        let events: Vec<String> = s
+            .next_event
+            .iter()
+            .enumerate()
+            .map(|(i, e)| match e {
+                None => format!("s{i}:idle"),
+                Some((t, true)) => format!("s{i}:ev@{t}→x"),
+                Some((t, false)) => format!("s{i}:ev@{t}"),
+            })
+            .collect();
+        let crossings: Vec<String> = s
+            .crossings
+            .iter()
+            .map(|(t, d)| format!("x@{t}→s{d}"))
+            .collect();
+        format!(
+            "now={} slice={} [{}] crossings=[{}]{}",
+            s.now,
+            s.planner.current_slice().as_nanos(),
+            events.join(" "),
+            crossings.join(" "),
+            if s.late_delivery { " LATE" } else { "" }
+        )
+    }
+}
+
+/// Check the real adaptive planner exhaustively.
+pub fn check_planner(max_states: usize) -> CheckReport {
+    check(
+        &PlannerModel::small(PlannerVariant::Exact, Lookahead::Adaptive),
+        CheckOptions { max_states },
+    )
+}
+
+/// Check the fixed-lookahead (PR-5 reference) decision exhaustively.
+pub fn check_planner_fixed(max_states: usize) -> CheckReport {
+    check(
+        &PlannerModel::small(PlannerVariant::Exact, Lookahead::Fixed),
+        CheckOptions { max_states },
+    )
+}
+
+/// Check the crossing-clamp-dropping mutant (must deliver late).
+pub fn check_planner_ignores_crossings(max_states: usize) -> CheckReport {
+    check(
+        &PlannerModel::small(PlannerVariant::IgnoreCrossings, Lookahead::Adaptive),
+        CheckOptions { max_states },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_planner_is_exhaustively_green() {
+        let report = check_planner(2_000_000);
+        println!("{}", report.summary("planner/adaptive"));
+        assert!(report.complete, "state space must fit the budget");
+        assert!(report.passed(), "{:?}", report.violation.map(|v| v.render()));
+        assert!(report.terminals > 0);
+    }
+
+    #[test]
+    fn fixed_planner_is_exhaustively_green() {
+        let report = check_planner_fixed(2_000_000);
+        println!("{}", report.summary("planner/fixed"));
+        assert!(report.complete);
+        assert!(report.passed(), "{:?}", report.violation.map(|v| v.render()));
+    }
+
+    #[test]
+    fn fixed_planner_never_dead_air_jumps() {
+        // The flag itself must stay false everywhere under Fixed — the
+        // property is omitted, so pin the behavior directly.
+        let model = PlannerModel::small(PlannerVariant::Exact, Lookahead::Fixed);
+        let mut frontier = model.initial_states();
+        let mut out = Vec::new();
+        for _ in 0..5 {
+            let mut next = Vec::new();
+            for s in &frontier {
+                assert!(!s.dead_air_jumped);
+                out.clear();
+                model.actions(s, &mut out);
+                for a in &out {
+                    next.push(model.next_state(s, a));
+                }
+            }
+            frontier = next;
+        }
+    }
+
+    #[test]
+    fn mutant_delivers_late() {
+        let report = check_planner_ignores_crossings(2_000_000);
+        println!("{}", report.summary("planner/ignore-crossings"));
+        let cx = report.violation.expect("mutant must be caught");
+        assert_eq!(cx.property, "crossing-delivered-at-maturity");
+    }
+}

@@ -5,7 +5,7 @@
 //! failing, either the mutant stopped modeling the bug or the checker
 //! went blind, and both are defects.
 
-use ampnet_check::models::{arena, semaphore, seqlock};
+use ampnet_check::models::{arena, planner, semaphore, seqlock};
 use ampnet_check::Counterexample;
 
 const BUDGET: usize = 2_000_000;
@@ -51,6 +51,15 @@ fn deliver_also_forwards_panics_on_stale_ref() {
         "the real arena's generation check must fire: {}",
         cx.reason
     );
+    assert_trace(&cx, 2);
+}
+
+#[test]
+fn crossing_clamp_dropped_delivers_late() {
+    let report = planner::check_planner_ignores_crossings(BUDGET);
+    println!("{}", report.summary("planner/ignore-crossings"));
+    let cx = report.violation.expect("mutant must be caught");
+    assert_eq!(cx.property, "crossing-delivered-at-maturity");
     assert_trace(&cx, 2);
 }
 

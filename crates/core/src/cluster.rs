@@ -17,6 +17,7 @@
 use crate::config::ClusterConfig;
 use crate::observe::ObservedEvent;
 use crate::telemetry::CoreTelemetry;
+use crate::transport::HopTimingCache;
 use ampnet_cache::seqlock_msg::{self, ReadOutcome, RecordLayout};
 use ampnet_cache::{NetworkCache, SemaphoreClient};
 use ampnet_dk::{AssimilationFailure, JoinRequest};
@@ -146,6 +147,20 @@ pub struct Cluster {
     pub(crate) tel: CoreTelemetry,
     /// Reusable same-instant event batch (allocated once).
     batch: Vec<(SimTime, Ev)>,
+    /// Memoized per-hop wire timing (transport.rs): the floating-point
+    /// link math is identical for every hop with the same fiber run
+    /// and frame size, but sat on the per-transmission hot path.
+    pub(crate) hop_timing: HopTimingCache,
+    /// Cached unicast replay-expiry window, keyed by ring length
+    /// (`usize::MAX` = stale). `quiet_tour() * 2` only changes when
+    /// the ring does, not per arrival.
+    pub(crate) unicast_expiry: (usize, SimDuration),
+    /// Datagrams currently sitting in node inboxes, indexed by stream.
+    /// Maintained at the transport push sites and the `pop_message*`
+    /// sinks, so the multi-segment coordinator can elide a whole
+    /// exchange scan (`pending_messages_on(ROUTE_STREAM) == 0` across
+    /// all shards) without touching any inbox.
+    pub(crate) stream_backlog: [u64; 256],
 }
 
 impl Cluster {
@@ -210,6 +225,9 @@ impl Cluster {
             observations: vec![],
             tel: Default::default(),
             batch: vec![],
+            hop_timing: HopTimingCache::default(),
+            unicast_expiry: (usize::MAX, SimDuration::ZERO),
+            stream_backlog: [0; 256],
             cfg,
         };
         cluster.ring_pos = vec![usize::MAX; cluster.cfg.n_nodes];
@@ -437,7 +455,9 @@ impl Cluster {
 
     /// Pop the next delivered datagram at `node`.
     pub fn pop_message(&mut self, node: u8) -> Option<Datagram> {
-        self.nodes[node as usize].inbox.pop_front()
+        let d = self.nodes[node as usize].inbox.pop_front()?;
+        self.stream_backlog[d.stream as usize] -= 1;
+        Some(d)
     }
 
     /// Pop the next delivered datagram on a specific stream at `node`,
@@ -445,7 +465,25 @@ impl Cluster {
     pub fn pop_message_on(&mut self, node: u8, stream: u8) -> Option<Datagram> {
         let inbox = &mut self.nodes[node as usize].inbox;
         let pos = inbox.iter().position(|d| d.stream == stream)?;
-        inbox.remove(pos)
+        let d = inbox.remove(pos);
+        if d.is_some() {
+            self.stream_backlog[stream as usize] -= 1;
+        }
+        d
+    }
+
+    /// Datagrams currently queued in node inboxes on `stream`, across
+    /// the whole cluster. O(1) — the multi-segment coordinator polls
+    /// this every slice to decide whether an exchange can be elided.
+    pub fn pending_messages_on(&self, stream: u8) -> u64 {
+        self.stream_backlog[stream as usize]
+    }
+
+    /// Time of the earliest pending simulation event, if any (always
+    /// after [`Cluster::now`]). The multi-segment slice planner uses
+    /// this to skip dead air and to leave quiescent shards unwoken.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.sim.peek_time()
     }
 
     /// Number of configured nodes.

@@ -34,6 +34,7 @@ mod diagnostics;
 mod membership;
 mod multiseg;
 mod observe;
+mod planner;
 mod telemetry;
 mod transport;
 
@@ -44,7 +45,10 @@ pub use apps::{
 pub use cluster::{Cluster, RosterEvent, RosterReason};
 pub use observe::ObservedEvent;
 pub use diagnostics::Certification;
-pub use multiseg::{Bridge, GlobalAddr, GlobalDatagram, MultiSegment, ParallelMode, ROUTE_STREAM};
+pub use multiseg::{
+    Bridge, GlobalAddr, GlobalDatagram, MultiSegment, ParallelMode, SliceStats, ROUTE_STREAM,
+};
+pub use planner::{plan_boundary, Lookahead, SlicePlanner, MAX_SLICE_GROWTH};
 pub use collectives::COLLECTIVE_STREAM;
 pub use config::{ClusterConfig, TimingModel};
 pub use ampnet_services::mpi::ReduceOp;

@@ -33,14 +33,47 @@
 //! effective crossing time is quantised to the slice either way;
 //! crossings are injected exactly at their maturity instant, see
 //! [`MultiSegment::run_until`].)
+//!
+//! # Adaptive lookahead
+//!
+//! Fixed slices charge the full synchronization price — two barrier
+//! crossings and an exchange scan — every `slice` nanoseconds, even
+//! through phases where no bridge carries any traffic. The engine
+//! amortizes that three ways (all default, see [`Lookahead`]):
+//!
+//! * **Adaptive slice sizing** ([`SlicePlanner`]): quiet exchanges
+//!   double the slice up to [`crate::MAX_SLICE_GROWTH`]× the base, any
+//!   moved traffic resets it, and dead air (no shard has an event
+//!   before the tentative boundary) is skipped outright.
+//! * **Quiescent-shard skipping**: a shard with no event due within
+//!   the slice does not wake its worker — the coordinator bumps its
+//!   clock inline (an O(1) operation) while workers that do have work
+//!   run concurrently. Every shard's clock still advances every slice;
+//!   only the wake is skipped.
+//! * **Exchange elision**: the route-stream drain is skipped when no
+//!   shard holds `ROUTE_STREAM` backlog (an O(1) check per shard
+//!   against [`Cluster::pending_messages_on`]) and crossing delivery
+//!   is skipped when nothing has matured. Both are pure no-ops when
+//!   skipped, so [`Lookahead::Fixed`] plus elision reproduces the
+//!   fixed-slice engine bit-for-bit.
+//!
+//! Every decision above is a pure function of shard-visible state at a
+//! boundary (queue peeks, inbox backlog, in-flight crossings) — all
+//! deterministic functions of the seed — so Serial and Threads modes
+//! plan identical boundary sequences and produce identical digests.
+//! The `slice-planner` model in `ampnet-check` exhaustively verifies
+//! the planner never delivers a crossing past its maturity and never
+//! starves a shard; `tests/parallel_equivalence.rs` pins cross-mode
+//! digest equality under both policies.
 
 use crate::cluster::Cluster;
 use crate::config::ClusterConfig;
+use crate::planner::{Lookahead, SlicePlanner};
 use ampnet_sim::{Fnv64, SimDuration, SimTime};
-use ampnet_telemetry::{MetricsSnapshot, Telemetry};
+use ampnet_telemetry::{defs, CounterHandle, MetricsSnapshot, Telemetry, GLOBAL};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Barrier, Mutex, MutexGuard};
+use std::sync::mpsc;
+use std::sync::{Mutex, MutexGuard};
 
 /// Message stream reserved for inter-segment routing.
 pub const ROUTE_STREAM: u8 = 5;
@@ -55,7 +88,7 @@ pub struct GlobalAddr {
 }
 
 /// One inter-segment bridge (a router pair).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Bridge {
     /// Endpoint on the first segment.
     pub a: GlobalAddr,
@@ -95,6 +128,64 @@ pub enum ParallelMode {
     Threads(usize),
 }
 
+/// Accumulated counters from the lockstep engine, one total per
+/// [`MultiSegment`] across all `run_until` calls.
+///
+/// All fields except [`SliceStats::worker_wakes`] are *mode-invariant*:
+/// computed by the coordinator from deterministic simulation state, so
+/// they are bit-identical across [`ParallelMode`]s for the same seed
+/// (and safe to publish through telemetry). `worker_wakes` depends on
+/// the worker count and is reported here only — never in a digest or a
+/// merged snapshot.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SliceStats {
+    /// Lockstep slices executed (boundary exchanges reached).
+    pub slices: u64,
+    /// Exchanges where the route-stream drain was skipped because no
+    /// shard held `ROUTE_STREAM` backlog.
+    pub drains_elided: u64,
+    /// Exchanges where crossing delivery was skipped because no
+    /// in-flight crossing had matured.
+    pub deliveries_elided: u64,
+    /// (shard, slice) pairs where the shard had no event due within
+    /// the slice — its clock was bumped without waking a worker.
+    pub quiescent_shard_slices: u64,
+    /// Worker wake-ups under [`ParallelMode::Threads`] (always 0 under
+    /// Serial). The one mode-*dependent* field.
+    pub worker_wakes: u64,
+}
+
+impl SliceStats {
+    fn absorb(&mut self, other: &SliceStats) {
+        self.slices += other.slices;
+        self.drains_elided += other.drains_elided;
+        self.deliveries_elided += other.deliveries_elided;
+        self.quiescent_shard_slices += other.quiescent_shard_slices;
+        self.worker_wakes += other.worker_wakes;
+    }
+}
+
+/// Coordinator-side telemetry handles. Only mode-invariant counters
+/// live here (see [`SliceStats`]), so the merged snapshot stays
+/// byte-identical across [`ParallelMode`]s.
+struct CoordTel {
+    tel: Telemetry,
+    slices: CounterHandle,
+    exchanges_elided: CounterHandle,
+    quiescent: CounterHandle,
+}
+
+impl CoordTel {
+    fn new(tel: &Telemetry) -> Self {
+        CoordTel {
+            tel: tel.clone(),
+            slices: tel.counter(&defs::PDES_SLICES, GLOBAL),
+            exchanges_elided: tel.counter(&defs::PDES_EXCHANGES_ELIDED, GLOBAL),
+            quiescent: tel.counter(&defs::PDES_QUIESCENT_SHARD_SLICES, GLOBAL),
+        }
+    }
+}
+
 /// A multi-segment AmpNet network.
 pub struct MultiSegment {
     clusters: Vec<Cluster>,
@@ -105,10 +196,15 @@ pub struct MultiSegment {
     /// can assert routedness).
     pub unroutable: u64,
     mode: ParallelMode,
+    lookahead: Lookahead,
+    stats: SliceStats,
     /// Per-shard telemetry handles (one registry per segment, so no
     /// cross-thread interleaving can touch registration order). Empty
     /// until [`MultiSegment::enable_telemetry`].
     shard_tels: Vec<Telemetry>,
+    /// Coordinator registry (engine counters); folded last by
+    /// [`MultiSegment::merged_metrics_snapshot`].
+    coord: Option<CoordTel>,
 }
 
 fn encode(dst: GlobalAddr, src: GlobalAddr, payload: &[u8]) -> Vec<u8> {
@@ -148,14 +244,80 @@ fn shard<'g, 'a>(cell: &'g ShardCell<'a>) -> MutexGuard<'g, &'a mut Cluster> {
     cell.lock().expect("shard worker panicked")
 }
 
-/// Next-hop router for traffic from `from_seg` toward `dst_seg`, given
-/// the currently `usable` bridges (both router nodes online): BFS from
-/// the destination, then the first usable bridge (registration order)
-/// out of `from_seg` that decreases the distance. Pure function of its
-/// inputs, so serial and threaded execution route identically.
-fn route_next_hop(usable: &[Bridge], n_segments: usize, from_seg: u8, dst_seg: u8) -> Option<Bridge> {
-    let mut dist = vec![usize::MAX; n_segments];
-    let mut queue = VecDeque::new();
+/// Routing context carried across boundary exchanges. The
+/// usable-bridge set is a function of node liveness, which only
+/// changes while shards advance — never during an exchange, when
+/// every shard is parked at the boundary. So it is computed at most
+/// once per boundary (lazily: pure final-hop deliveries never pay the
+/// 2-locks-per-bridge liveness scan) and the per-destination BFS
+/// distance tables derived from it are memoized for as long as the
+/// set stays identical between boundaries — in steady state each
+/// destination segment's BFS runs once per `run_until`, not once per
+/// bridge hop.
+#[derive(Default)]
+struct RouteCtx {
+    /// Usable set for the current boundary; `None` until first use
+    /// within the boundary (invalidated by [`RouteCtx::new_boundary`]).
+    usable: Option<Vec<Bridge>>,
+    /// The usable set the memoized distance tables were built from.
+    tables_for: Vec<Bridge>,
+    /// Memoized BFS distances, indexed by destination segment.
+    dist_to: Vec<Option<Box<[usize]>>>,
+    queue: VecDeque<u8>,
+    /// Reusable collect buffer for one node's ROUTE_STREAM drain.
+    datagrams: Vec<ampnet_services::msg::Datagram>,
+}
+
+impl RouteCtx {
+    /// Forget the boundary-local usable set (liveness may change while
+    /// shards advance to the next boundary). The distance tables stay:
+    /// they are revalidated against the fresh set on next use.
+    fn new_boundary(&mut self) {
+        self.usable = None;
+    }
+
+    /// Next hop for `from_seg` → `dst_seg`, identical to
+    /// [`route_next_hop`] over the current usable set but with the
+    /// liveness scan amortized per boundary and the BFS amortized per
+    /// liveness change.
+    fn route(
+        &mut self,
+        xch: &Exchange<'_>,
+        cells: &[ShardCell<'_>],
+        from_seg: u8,
+        dst_seg: u8,
+    ) -> Option<Bridge> {
+        if self.usable.is_none() {
+            let fresh = xch.usable_bridges(cells);
+            if fresh != self.tables_for {
+                self.tables_for.clone_from(&fresh);
+                self.dist_to.iter_mut().for_each(|t| *t = None);
+            }
+            self.usable = Some(fresh);
+        }
+        let usable = self.usable.as_deref().expect("filled above");
+        if self.dist_to.len() < cells.len() {
+            self.dist_to.resize(cells.len(), None);
+        }
+        let slot = &mut self.dist_to[dst_seg as usize];
+        let dist = match slot {
+            Some(d) => &**d,
+            None => &**slot.insert(route_distances(usable, cells.len(), dst_seg, &mut self.queue)),
+        };
+        first_descending_bridge(usable, dist, from_seg)
+    }
+}
+
+/// Hop distances from every segment to `dst_seg` over the `usable`
+/// bridges (`usize::MAX` = unreachable): BFS from the destination.
+fn route_distances(
+    usable: &[Bridge],
+    n_segments: usize,
+    dst_seg: u8,
+    queue: &mut VecDeque<u8>,
+) -> Box<[usize]> {
+    let mut dist = vec![usize::MAX; n_segments].into_boxed_slice();
+    queue.clear();
     dist[dst_seg as usize] = 0;
     queue.push_back(dst_seg);
     while let Some(seg) = queue.pop_front() {
@@ -168,6 +330,13 @@ fn route_next_hop(usable: &[Bridge], n_segments: usize, from_seg: u8, dst_seg: u
             }
         }
     }
+    dist
+}
+
+/// The first usable bridge (registration order) out of `from_seg`
+/// whose far side is strictly closer to the destination `dist` was
+/// computed for.
+fn first_descending_bridge(usable: &[Bridge], dist: &[usize], from_seg: u8) -> Option<Bridge> {
     if dist[from_seg as usize] == usize::MAX {
         return None;
     }
@@ -184,6 +353,24 @@ fn route_next_hop(usable: &[Bridge], n_segments: usize, from_seg: u8, dst_seg: u
             dist[remote.segment as usize] + 1 == dist[from_seg as usize]
         })
         .copied()
+}
+
+/// Next-hop router for traffic from `from_seg` toward `dst_seg`, given
+/// the currently `usable` bridges (both router nodes online): BFS from
+/// the destination, then the first usable bridge (registration order)
+/// out of `from_seg` that decreases the distance. Pure function of
+/// `usable`/`n_segments`/`from_seg`/`dst_seg`, so serial and threaded
+/// execution route identically; [`RouteCtx::route`] is the memoized
+/// hot-path equivalent.
+fn route_next_hop(
+    usable: &[Bridge],
+    n_segments: usize,
+    from_seg: u8,
+    dst_seg: u8,
+    queue: &mut VecDeque<u8>,
+) -> Option<Bridge> {
+    let dist = route_distances(usable, n_segments, dst_seg, queue);
+    first_descending_bridge(usable, &dist, from_seg)
 }
 
 /// The barrier-exchange state: everything the coordinator mutates
@@ -215,20 +402,33 @@ impl Exchange<'_> {
     /// finals, queue bridge crossings, forward multi-hop traffic.
     /// Iteration order — segment ascending, node ascending, FIFO
     /// within an inbox — is the deterministic exchange order.
-    fn drain_route_streams(&mut self, cells: &[ShardCell<'_>], now: SimTime) {
+    fn drain_route_streams(
+        &mut self,
+        cells: &[ShardCell<'_>],
+        now: SimTime,
+        routes: &mut RouteCtx,
+    ) {
         for seg in 0..cells.len() as u8 {
-            let n_nodes = shard(&cells[seg as usize]).n_nodes() as u8;
+            let n_nodes = {
+                let c = shard(&cells[seg as usize]);
+                // Whole segment clean: skip its node loop outright.
+                if c.pending_messages_on(ROUTE_STREAM) == 0 {
+                    continue;
+                }
+                c.n_nodes() as u8
+            };
             for node in 0..n_nodes {
                 // Collect with the shard locked, then route with the
                 // lock released (routing peeks at other shards).
-                let mut datagrams = vec![];
+                let mut datagrams = std::mem::take(&mut routes.datagrams);
+                datagrams.clear();
                 {
                     let mut c = shard(&cells[seg as usize]);
                     while let Some(d) = c.pop_message_on(node, ROUTE_STREAM) {
                         datagrams.push(d);
                     }
                 }
-                for d in datagrams {
+                for d in &datagrams {
                     let Some((dst, src, payload)) = decode(&d.payload) else {
                         continue;
                     };
@@ -250,8 +450,7 @@ impl Exchange<'_> {
                     } else {
                         // This node is a router on the path: cross the
                         // bridge toward dst.
-                        let usable = self.usable_bridges(cells);
-                        match route_next_hop(&usable, cells.len(), seg, dst.segment) {
+                        match routes.route(self, cells, seg, dst.segment) {
                             Some(br) => {
                                 let (local, remote) =
                                     if br.a.segment == seg { (br.a, br.b) } else { (br.b, br.a) };
@@ -275,12 +474,18 @@ impl Exchange<'_> {
                         }
                     }
                 }
+                routes.datagrams = datagrams;
             }
         }
     }
 
     /// Inject matured crossings into their ingress segment.
-    fn deliver_crossings(&mut self, cells: &[ShardCell<'_>], now: SimTime) {
+    fn deliver_crossings(
+        &mut self,
+        cells: &[ShardCell<'_>],
+        now: SimTime,
+        routes: &mut RouteCtx,
+    ) {
         let mut staying = vec![];
         let pending: Vec<InFlight> = self.crossing.drain(..).collect();
         for x in pending {
@@ -305,8 +510,7 @@ impl Exchange<'_> {
                 shard(&cells[seg]).send_message(x.ingress.node, dst.node, ROUTE_STREAM, &x.wire);
             } else {
                 // Multi-hop: route onward from the ingress router.
-                let usable = self.usable_bridges(cells);
-                match route_next_hop(&usable, cells.len(), x.ingress.segment, dst.segment) {
+                match routes.route(self, cells, x.ingress.segment, dst.segment) {
                     Some(br) => {
                         let (local, remote) = if br.a.segment == x.ingress.segment {
                             (br.a, br.b)
@@ -335,25 +539,57 @@ impl Exchange<'_> {
         *self.crossing = staying;
     }
 
-    /// End of the current slice: the next boundary the shards advance
-    /// to. Normally `now + slice`, clamped to `deadline` — and clamped
-    /// to the earliest pending crossing's maturity instant, so a
-    /// datagram that must cross a bridge near the deadline is injected
-    /// *at* `deliver_at` (and can still traverse the far ring before
-    /// `deadline`) instead of being deferred to a coarse boundary past
-    /// it. That deferral was the slice-boundary loss bug: with
-    /// `deadline - now < slice` the final slice used to inject the
-    /// crossing at the deadline itself, where the far shard never runs
-    /// again.
-    fn next_boundary(&self, now: SimTime, slice: SimDuration, deadline: SimTime) -> SimTime {
-        let mut step = (now + slice).min(deadline);
-        for x in self.crossing.iter() {
-            if x.deliver_at > now && x.deliver_at < step {
-                step = x.deliver_at;
-            }
-        }
-        step
+}
+
+/// One planned slice: the boundary every shard advances to, plus which
+/// shards actually have work before it.
+struct SlicePlan {
+    step_to: SimTime,
+    /// `busy[i]` — shard `i` has an event due at or before `step_to`
+    /// and must be advanced by a worker; quiescent shards only need a
+    /// clock bump.
+    busy: Vec<bool>,
+    quiescent: u64,
+}
+
+/// Plan the next slice, or `None` once every shard has reached
+/// `deadline`. Pure function of deterministic shard state (clock
+/// maxima, queue peeks, in-flight crossings), so Serial and Threads
+/// modes plan identical boundary sequences — the whole determinism
+/// argument reduces to this.
+fn plan_slice(
+    cells: &[ShardCell<'_>],
+    crossing: &[InFlight],
+    planner: &SlicePlanner,
+    deadline: SimTime,
+) -> Option<SlicePlan> {
+    let mut now = SimTime::ZERO;
+    let mut nexts = Vec::with_capacity(cells.len());
+    for cell in cells {
+        let mut c = shard(cell);
+        now = now.max(c.now());
+        nexts.push(c.next_event_time());
     }
+    if now >= deadline {
+        return None;
+    }
+    let earliest_event = nexts.iter().flatten().copied().min();
+    let earliest_crossing = crossing
+        .iter()
+        .map(|x| x.deliver_at)
+        .filter(|&t| t > now)
+        .min();
+    let step_to = planner.boundary(now, deadline, earliest_event, earliest_crossing);
+    let busy: Vec<bool> = nexts
+        .iter()
+        .map(|nx| nx.is_some_and(|t| t <= step_to))
+        .collect();
+    let quiescent = busy.iter().filter(|b| !**b).count() as u64;
+    Some(SlicePlan {
+        step_to,
+        busy,
+        quiescent,
+    })
 }
 
 impl MultiSegment {
@@ -371,7 +607,10 @@ impl MultiSegment {
             delivered,
             unroutable: 0,
             mode: ParallelMode::Serial,
+            lookahead: Lookahead::default(),
+            stats: SliceStats::default(),
             shard_tels: vec![],
+            coord: None,
         }
     }
 
@@ -405,6 +644,25 @@ impl MultiSegment {
         self.mode
     }
 
+    /// Select the slice-sizing policy. [`Lookahead::Adaptive`] is the
+    /// default; [`Lookahead::Fixed`] reproduces the fixed-slice engine
+    /// exactly (A/B baseline for the scale bench). Either policy is
+    /// bit-identical across [`ParallelMode`]s for the same seed.
+    pub fn set_lookahead(&mut self, policy: Lookahead) {
+        self.lookahead = policy;
+    }
+
+    /// The active [`Lookahead`] policy.
+    pub fn lookahead(&self) -> Lookahead {
+        self.lookahead
+    }
+
+    /// Accumulated engine counters across every `run_until` call so
+    /// far. See [`SliceStats`] for which fields are mode-invariant.
+    pub fn slice_stats(&self) -> SliceStats {
+        self.stats
+    }
+
     /// The conservative-PDES lookahead bound: the smallest one-way
     /// bridge latency (None while no bridges exist). Slices no longer
     /// than this never quantise a cross-segment interaction.
@@ -433,6 +691,16 @@ impl MultiSegment {
                 tel
             })
             .collect();
+        let coord = Telemetry::new(flight_capacity);
+        self.enable_coordinator_telemetry_with(&coord);
+    }
+
+    /// Register the coordinator's engine counters (slices, elided
+    /// exchanges, quiescent shard-slices) on an existing registry. All
+    /// of them are mode-invariant — see [`SliceStats`] — so merged
+    /// snapshots stay byte-identical across [`ParallelMode`]s.
+    pub fn enable_coordinator_telemetry_with(&mut self, tel: &Telemetry) {
+        self.coord = Some(CoordTel::new(tel));
     }
 
     /// Enable the milestone trace on every segment (needed for
@@ -452,7 +720,11 @@ impl MultiSegment {
         for c in &self.clusters {
             c.publish_metrics();
         }
-        Telemetry::merge_shards(&self.shard_tels)
+        let mut regs = self.shard_tels.clone();
+        if let Some(coord) = &self.coord {
+            regs.push(coord.tel.clone());
+        }
+        Telemetry::merge_shards(&regs)
     }
 
     /// Deterministic digest of the whole network: each segment's trace
@@ -494,7 +766,8 @@ impl MultiSegment {
             })
             .copied()
             .collect();
-        match route_next_hop(&usable, self.clusters.len(), src.segment, dst.segment) {
+        let mut queue = VecDeque::new();
+        match route_next_hop(&usable, self.clusters.len(), src.segment, dst.segment, &mut queue) {
             Some(br) => {
                 let router = if br.a.segment == src.segment { br.a } else { br.b };
                 if router.node == src.node {
@@ -525,18 +798,26 @@ impl MultiSegment {
     }
 
     /// Advance every segment in lockstep to `deadline`, moving bridge
-    /// traffic between slices of at most `slice` duration (boundaries
-    /// are additionally placed at crossing maturity instants and at
-    /// `deadline` — see `Exchange::next_boundary`). Under
-    /// [`ParallelMode::Threads`] the shards of each slice advance
-    /// concurrently; the exchange between slices is always performed
-    /// by this thread in deterministic order.
+    /// traffic between slices. The [`SlicePlanner`] sizes each slice
+    /// (at most `slice` under [`Lookahead::Fixed`], adaptively grown
+    /// under [`Lookahead::Adaptive`]); boundaries are additionally
+    /// placed at crossing maturity instants and at `deadline`. Under
+    /// [`ParallelMode::Threads`] the busy shards of each slice advance
+    /// concurrently (quiescent shards get an inline clock bump without
+    /// a worker wake); the exchange between slices is always performed
+    /// by this thread in deterministic order, and elided outright when
+    /// it provably has nothing to move.
     pub fn run_until(&mut self, deadline: SimTime, slice: SimDuration) {
         assert!(slice.as_nanos() > 0, "slice must be positive");
+        if self.clusters.is_empty() {
+            return;
+        }
         let workers = match self.mode {
             ParallelMode::Serial => 1,
             ParallelMode::Threads(n) => n.min(self.clusters.len()).max(1),
         };
+        let mut planner = SlicePlanner::new(slice, self.lookahead);
+        let mut tally = SliceStats::default();
         // Split borrows: the shard cells take `clusters`; the exchange
         // takes everything else. Serial and threaded paths then share
         // all slice/exchange code.
@@ -547,73 +828,126 @@ impl MultiSegment {
             delivered: &mut self.delivered,
             unroutable: &mut self.unroutable,
         };
-        if workers <= 1 {
-            loop {
-                let now = cells
-                    .iter()
-                    .map(|c| shard(c).now())
-                    .max()
-                    .unwrap_or(SimTime::ZERO);
-                if now >= deadline {
-                    break;
-                }
-                let step_to = xch.next_boundary(now, slice, deadline);
-                for cell in &cells {
-                    shard(cell).run_until(step_to);
-                }
-                xch.drain_route_streams(&cells, step_to);
-                xch.deliver_crossings(&cells, step_to);
+        // The boundary exchange, shared by both drive paths. Elision:
+        // draining is a no-op unless some shard holds ROUTE_STREAM
+        // backlog, delivery is a no-op unless a crossing has matured —
+        // both checks are O(shards) reads of deterministic state, so
+        // the elision decisions are mode-invariant (and under
+        // `Lookahead::Fixed` eliding changes nothing at all).
+        fn exchange_at(
+            xch: &mut Exchange<'_>,
+            cells: &[ShardCell<'_>],
+            step_to: SimTime,
+            planner: &mut SlicePlanner,
+            tally: &mut SliceStats,
+            routes: &mut RouteCtx,
+        ) {
+            // Liveness cannot change while every shard is parked at
+            // this boundary, so one lazily computed usable-bridge set
+            // serves both phases; the distance tables memoized in
+            // `routes` survive boundaries until the set changes.
+            routes.new_boundary();
+            let any_backlog = cells
+                .iter()
+                .any(|c| shard(c).pending_messages_on(ROUTE_STREAM) > 0);
+            if any_backlog {
+                xch.drain_route_streams(cells, step_to, routes);
+            } else {
+                tally.drains_elided += 1;
             }
-            return;
+            // Crossings queued by the drain just now mature at
+            // `step_to + latency` (latency > 0), never at `step_to`
+            // itself, so checking after the drain misses nothing.
+            let any_matured = xch.crossing.iter().any(|x| x.deliver_at <= step_to);
+            if any_matured {
+                xch.deliver_crossings(cells, step_to, routes);
+            } else {
+                tally.deliveries_elided += 1;
+            }
+            planner.note_exchange(any_backlog || any_matured);
+            tally.slices += 1;
         }
-        // Threaded drive: persistent workers parked on a barrier, so a
-        // slice costs two barrier crossings instead of `workers` thread
-        // spawns. The coordinator publishes the next boundary in an
-        // atomic (u64::MAX = shut down), releases the workers, waits
-        // for them to finish the slice, then runs the exchange while
-        // they are parked. Worker `w` advances segments `w, w + n, ...`
-        // — a fixed partition, so each shard is advanced by the same
-        // thread every slice (shard confinement).
-        let barrier = Barrier::new(workers + 1);
-        let step_target = AtomicU64::new(0);
-        std::thread::scope(|scope| {
-            for w in 0..workers {
-                let cells = &cells;
-                let barrier = &barrier;
-                let step_target = &step_target;
-                scope.spawn(move || loop {
-                    barrier.wait();
-                    let step = step_target.load(Ordering::Acquire);
-                    if step == u64::MAX {
-                        break;
-                    }
-                    let mut i = w;
-                    while i < cells.len() {
-                        shard(&cells[i]).run_until(SimTime(step));
-                        i += workers;
-                    }
-                    barrier.wait();
-                });
-            }
-            loop {
-                let now = cells
-                    .iter()
-                    .map(|c| shard(c).now())
-                    .max()
-                    .unwrap_or(SimTime::ZERO);
-                if now >= deadline {
-                    break;
+        let mut routes = RouteCtx::default();
+        if workers <= 1 {
+            while let Some(plan) = plan_slice(&cells, xch.crossing, &planner, deadline) {
+                tally.quiescent_shard_slices += plan.quiescent;
+                for cell in &cells {
+                    shard(cell).run_until(plan.step_to);
                 }
-                let step_to = xch.next_boundary(now, slice, deadline);
-                step_target.store(step_to.0, Ordering::Release);
-                barrier.wait(); // release the workers into the slice
-                barrier.wait(); // all shards now at step_to
-                xch.drain_route_streams(&cells, step_to);
-                xch.deliver_crossings(&cells, step_to);
+                exchange_at(&mut xch, &cells, plan.step_to, &mut planner, &mut tally, &mut routes);
             }
-            step_target.store(u64::MAX, Ordering::Release);
-            barrier.wait();
-        });
+        } else {
+            // Threaded drive: persistent workers parked on per-worker
+            // channels. Each slice the coordinator wakes only the
+            // workers owning at least one busy shard, bumps the clocks
+            // of every other shard inline (O(1) each — their queues
+            // are empty up to the boundary), waits for the woken
+            // workers, then runs the exchange while all are parked.
+            // Worker `w` owns segments `w, w + n, ...` — a fixed
+            // partition, so across slices a shard is only ever touched
+            // by its worker or (when the whole partition is quiescent)
+            // the coordinator, never two threads in the same slice.
+            let (done_tx, done_rx) = mpsc::channel::<()>();
+            std::thread::scope(|scope| {
+                let mut wakes: Vec<mpsc::Sender<u64>> = Vec::with_capacity(workers);
+                for w in 0..workers {
+                    let (tx, rx) = mpsc::channel::<u64>();
+                    wakes.push(tx);
+                    let cells = &cells;
+                    let done = done_tx.clone();
+                    scope.spawn(move || {
+                        while let Ok(step) = rx.recv() {
+                            if step == u64::MAX {
+                                break;
+                            }
+                            let mut i = w;
+                            while i < cells.len() {
+                                shard(&cells[i]).run_until(SimTime(step));
+                                i += workers;
+                            }
+                            if done.send(()).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+                while let Some(plan) = plan_slice(&cells, xch.crossing, &planner, deadline) {
+                    tally.quiescent_shard_slices += plan.quiescent;
+                    let mut woken = 0usize;
+                    for (w, wake) in wakes.iter().enumerate() {
+                        let has_busy = (w..cells.len()).step_by(workers).any(|i| plan.busy[i]);
+                        if has_busy {
+                            wake.send(plan.step_to.0).expect("worker exited early");
+                            woken += 1;
+                        } else {
+                            // Entire partition quiescent: bump the
+                            // clocks here instead of a wake.
+                            let mut i = w;
+                            while i < cells.len() {
+                                shard(&cells[i]).run_until(plan.step_to);
+                                i += workers;
+                            }
+                        }
+                    }
+                    for _ in 0..woken {
+                        done_rx.recv().expect("worker exited early");
+                    }
+                    tally.worker_wakes += woken as u64;
+                    exchange_at(&mut xch, &cells, plan.step_to, &mut planner, &mut tally, &mut routes);
+                }
+                for wake in &wakes {
+                    let _ = wake.send(u64::MAX);
+                }
+            });
+        }
+        self.stats.absorb(&tally);
+        if let Some(coord) = &self.coord {
+            coord.tel.add(coord.slices, tally.slices);
+            coord
+                .tel
+                .add(coord.exchanges_elided, tally.drains_elided + tally.deliveries_elided);
+            coord.tel.add(coord.quiescent, tally.quiescent_shard_slices);
+        }
     }
 
     /// Convenience: run for a duration with a default 10 µs slice.

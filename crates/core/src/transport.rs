@@ -19,7 +19,52 @@ use ampnet_services::socket::AMPIP_STREAM;
 use ampnet_services::threads::THREAD_VECTOR;
 use ampnet_sim::SimDuration;
 
+/// Memoized per-hop wire timing. Every hop with the same fiber run
+/// and frame size has identical serialization/propagation delays, but
+/// the f64 math that derives them (`LinkParams::serialize_time` +
+/// `propagation`) used to run per transmission — a measurable slice of
+/// the serial scale bench. One fiber run dominates a ring (all
+/// node–switch links share `cfg.fiber_length_m`), so the cache keys on
+/// the last-seen fiber length and memoizes serialize times by wire
+/// size. Values are produced by the exact same `LinkParams` calls, so
+/// event timing — and therefore every digest — is unchanged.
+#[derive(Debug, Default)]
+pub(crate) struct HopTimingCache {
+    /// `f64::to_bits` of the cached fiber run (0 = nothing cached).
+    key: u64,
+    /// Propagation + per-node transit latency for that run, nanos.
+    fixed_ns: u64,
+    /// `serialize_time(bytes)` in nanos by wire size; `u64::MAX` =
+    /// not yet computed.
+    ser_ns: Vec<u64>,
+}
+
 impl Cluster {
+    /// `(serialize_time, serialize_time + propagation + node_latency)`
+    /// for one hop, memoized.
+    fn hop_timing(&mut self, fiber_m: f64, wire_bytes: usize) -> (SimDuration, SimDuration) {
+        let key = fiber_m.to_bits();
+        let cache = &mut self.hop_timing;
+        let timing = &self.cfg.timing;
+        if cache.key != key || cache.ser_ns.is_empty() {
+            cache.key = key;
+            cache.fixed_ns =
+                (timing.link(fiber_m).propagation() + timing.node_latency).as_nanos();
+            cache.ser_ns.clear();
+        }
+        if wire_bytes >= cache.ser_ns.len() {
+            cache.ser_ns.resize(wire_bytes + 1, u64::MAX);
+        }
+        if cache.ser_ns[wire_bytes] == u64::MAX {
+            cache.ser_ns[wire_bytes] = timing.link(fiber_m).serialize_time(wire_bytes).as_nanos();
+        }
+        let ser = cache.ser_ns[wire_bytes];
+        (
+            SimDuration::from_nanos(ser),
+            SimDuration::from_nanos(ser + cache.fixed_ns),
+        )
+    }
+
     // ----- insertion -----
 
     pub(crate) fn enqueue_own(&mut self, node: u8, pkt: MicroPacket) {
@@ -67,9 +112,7 @@ impl Cluster {
                         self.nodes[i].outstanding_unicast.push((now, packet));
                     }
                 }
-                let link = self.cfg.timing.link(fiber_m);
-                let ser = link.serialize_time(frame.wire_bytes as usize);
-                let latency = ser + link.propagation() + self.cfg.timing.node_latency;
+                let (ser, latency) = self.hop_timing(fiber_m, frame.wire_bytes as usize);
                 self.tx_busy[i] = true;
                 let epoch = self.epoch;
                 self.sim.schedule_in(ser, Ev::TxDone { epoch, node });
@@ -119,6 +162,7 @@ impl Cluster {
                         if d.stream == AMPIP_STREAM {
                             self.nodes[i].ampip.on_datagram(d);
                         } else if !self.try_collective(node, d.stream, &d.payload) {
+                            self.stream_backlog[d.stream as usize] += 1;
                             self.nodes[i].inbox.push_back(d);
                         }
                     }
@@ -132,6 +176,7 @@ impl Cluster {
             PacketType::Data => {
                 // Raw data cells: surfaced via the interrupt-style
                 // inbox as 8-byte datagrams.
+                self.stream_backlog[pkt.ctrl.tag as usize] += 1;
                 self.nodes[i].inbox.push_back(Datagram {
                     src: pkt.ctrl.src,
                     stream: pkt.ctrl.tag,
@@ -272,12 +317,21 @@ impl Cluster {
                     StackOutcome::Forwarded => {}
                 }
                 // Expire confirmed unicasts (anything older than two
-                // tours has certainly reached its destination).
-                let expiry = self.quiet_tour().saturating_mul(2);
+                // tours has certainly reached its destination). The
+                // window only changes with the ring, so it is cached
+                // keyed on ring length rather than recomputed (four
+                // f64 rounds) on every arrival.
+                let ring_len = self.ring.order.len();
+                if self.unicast_expiry.0 != ring_len {
+                    self.unicast_expiry = (ring_len, self.quiet_tour().saturating_mul(2));
+                }
+                let expiry = self.unicast_expiry.1;
                 let now = self.sim.now();
-                self.nodes[i]
-                    .outstanding_unicast
-                    .retain(|(t, _)| now.saturating_since(*t) <= expiry);
+                if !self.nodes[i].outstanding_unicast.is_empty() {
+                    self.nodes[i]
+                        .outstanding_unicast
+                        .retain(|(t, _)| now.saturating_since(*t) <= expiry);
+                }
                 self.kick(node);
             }
             Ev::TxDone { epoch, node } => {

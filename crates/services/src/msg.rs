@@ -16,7 +16,6 @@
 use ampnet_packet::{build, DmaCtrl, MicroPacket, PacketType, MAX_DMA_PAYLOAD};
 use ampnet_phy::crc32;
 use ampnet_telemetry::{defs, CounterHandle, Telemetry};
-use std::collections::HashMap;
 
 /// Sentinel region id marking message traffic (not a cache region).
 pub const MSG_REGION: u8 = 0xFE;
@@ -150,12 +149,17 @@ struct Partial {
 }
 
 /// Receiver side: reassembles datagrams per (source, datagram id).
+///
+/// Both lookup structures are linear-scan vectors, not maps: a
+/// receiver holds at most a handful of in-flight partials and one
+/// delivered id per source, so the scan beats hashing on the packet
+/// hot path and order never influences behaviour (keyed access only).
 #[derive(Debug, Default)]
 pub struct MsgRx {
-    partials: HashMap<(u8, u16), Partial>,
+    partials: Vec<((u8, u16), Partial)>,
     /// Last delivered datagram id per source, for retransmission
     /// dedup (sources replay outstanding datagrams after rostering).
-    delivered_ids: HashMap<u8, u16>,
+    delivered_ids: Vec<(u8, u16)>,
     stats: MsgRxStats,
     tel: Telemetry,
     assembled: CounterHandle,
@@ -200,7 +204,7 @@ impl MsgRx {
         let chunk = pkt.dma_payload().expect("variable body");
 
         let key = (src, id);
-        if self.delivered_ids.get(&src) == Some(&id) {
+        if self.delivered_ids.iter().any(|&(s, i)| s == src && i == id) {
             // Retransmission of an already-delivered datagram
             // (post-rostering replay): drop silently.
             return None;
@@ -215,23 +219,24 @@ impl MsgRx {
             let crc = u32::from_be_bytes(chunk[4..8].try_into().expect("4 bytes"));
             let mut data = Vec::with_capacity(expected_len);
             data.extend_from_slice(&chunk[HEADER..]);
-            self.partials.insert(
-                key,
-                Partial {
-                    expected_len,
-                    crc,
-                    data,
-                    next_frag: 1,
-                },
-            );
+            let fresh = Partial {
+                expected_len,
+                crc,
+                data,
+                next_frag: 1,
+            };
+            match self.partials.iter_mut().find(|(k, _)| *k == key) {
+                Some(entry) => entry.1 = fresh,
+                None => self.partials.push((key, fresh)),
+            }
         } else {
-            let Some(p) = self.partials.get_mut(&key) else {
+            let Some((_, p)) = self.partials.iter_mut().find(|(k, _)| *k == key) else {
                 self.stats.sequence_errors += 1;
                 return None;
             };
             if p.next_frag != frag {
                 self.stats.sequence_errors += 1;
-                self.partials.remove(&key);
+                self.partials.retain(|(k, _)| *k != key);
                 return None;
             }
             p.next_frag += 1;
@@ -240,11 +245,17 @@ impl MsgRx {
 
         let done = self
             .partials
-            .get(&key)
-            .map(|p| p.data.len() >= p.expected_len)
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, p)| p.data.len() >= p.expected_len)
             .unwrap_or(false);
         if done {
-            let p = self.partials.remove(&key).expect("checked");
+            let at = self
+                .partials
+                .iter()
+                .position(|(k, _)| *k == key)
+                .expect("checked");
+            let (_, p) = self.partials.swap_remove(at);
             let mut payload = p.data;
             payload.truncate(p.expected_len);
             if crc32(&payload) != p.crc {
@@ -252,7 +263,10 @@ impl MsgRx {
                 return None;
             }
             self.stats.delivered += 1;
-            self.delivered_ids.insert(src, id);
+            match self.delivered_ids.iter_mut().find(|(s, _)| *s == src) {
+                Some(entry) => entry.1 = id,
+                None => self.delivered_ids.push((src, id)),
+            }
             self.tel.inc(self.assembled);
             return Some(Datagram {
                 src,

@@ -24,7 +24,10 @@
 
 mod digest;
 mod queue;
+mod queue_heap;
 mod rng;
+mod seqhash;
+mod seqset;
 #[allow(clippy::module_inception)]
 mod sim;
 mod stats;
@@ -33,7 +36,11 @@ mod trace;
 
 pub use digest::{fnv64, Fnv64};
 pub use queue::{EventId, EventQueue};
+#[doc(hidden)]
+pub use queue::QueueMutation;
+pub use queue_heap::HeapEventQueue;
 pub use rng::SimRng;
+pub use seqhash::{SeqHashBuilder, SeqHasher};
 pub use sim::Sim;
 pub use stats::{jain_fairness, mean, stddev, Counter, Histogram, Throughput};
 pub use time::{SimDuration, SimTime};
@@ -49,5 +56,6 @@ pub use trace::{Level, Trace, TraceEntry};
 const fn _assert_send<T: Send>() {}
 const _: () = _assert_send::<Sim<u64>>();
 const _: () = _assert_send::<EventQueue<u64>>();
+const _: () = _assert_send::<HeapEventQueue<u64>>();
 const _: () = _assert_send::<SimRng>();
 const _: () = _assert_send::<Trace>();

@@ -134,24 +134,21 @@ impl<E> Sim<E> {
     /// therefore bit-for-bit equivalent while touching the heap once
     /// per instant instead of once per event.
     pub fn pop_batch(&mut self, deadline: SimTime, out: &mut Vec<(SimTime, E)>) -> usize {
-        let at = match self.queue.peek_time() {
-            Some(t) if t <= deadline => t,
-            _ => {
+        let before = out.len();
+        match self.queue.pop_instant_into(deadline, out) {
+            Some(at) => {
+                self.now = at;
+                let n = out.len() - before;
+                self.processed += n as u64;
+                n
+            }
+            None => {
                 if deadline > self.now && deadline != SimTime::MAX {
                     self.now = deadline;
                 }
-                return 0;
+                0
             }
-        };
-        self.now = at;
-        let mut n = 0;
-        while self.queue.peek_time() == Some(at) {
-            let (t, ev) = self.queue.pop().expect("peeked event vanished");
-            out.push((t, ev));
-            n += 1;
         }
-        self.processed += n as u64;
-        n
     }
 
     /// Drop all pending events (used when tearing a scenario down).

@@ -160,6 +160,18 @@ def!(SERVICES_SEM_ACQUIRE_NS, "services_sem_acquire_ns", Histogram, Nanos, Servi
     "slide 10",
     "Semaphore acquire latency from request to ownership");
 
+// ---- pdes -------------------------------------------------------------
+def!(PDES_SLICES, "pdes_slices", Counter, Events, Pdes, false,
+    "slide 15",
+    "Lockstep time slices executed by the multi-segment coordinator");
+def!(PDES_EXCHANGES_ELIDED, "pdes_exchanges_elided", Counter, Events, Pdes, false,
+    "slide 15",
+    "Boundary exchange halves skipped as provable no-ops (no backlog / no matured crossing)");
+def!(PDES_QUIESCENT_SHARD_SLICES, "pdes_quiescent_shard_slices", Counter, Events, Pdes,
+    false,
+    "slide 15",
+    "Shard-slices advanced as a bare clock bump (no event due, no worker wake)");
+
 /// Every metric in the catalog, in `docs/METRICS.md` order.
 pub static ALL: &[&MetricDef] = &[
     &PHY_TX_FRAMES,
@@ -199,6 +211,9 @@ pub static ALL: &[&MetricDef] = &[
     &SERVICES_MSGS_ASSEMBLED,
     &SERVICES_SEM_ACQUISITIONS,
     &SERVICES_SEM_ACQUIRE_NS,
+    &PDES_SLICES,
+    &PDES_EXCHANGES_ELIDED,
+    &PDES_QUIESCENT_SHARD_SLICES,
 ];
 
 /// The complete `docs/METRICS.md` document, generated from the

@@ -100,6 +100,10 @@ pub enum Plane {
     Cache,
     /// Messaging and semaphore services (`ampnet-services`).
     Services,
+    /// The sharded conservative-PDES engine itself: slice planning,
+    /// exchange elision, quiescent-shard accounting (`ampnet-core`'s
+    /// multi-segment coordinator).
+    Pdes,
 }
 
 impl Plane {
@@ -113,6 +117,7 @@ impl Plane {
             Plane::Membership => "membership",
             Plane::Cache => "cache",
             Plane::Services => "services",
+            Plane::Pdes => "pdes",
         }
     }
 }

@@ -1,13 +1,24 @@
 //! Tier-1 acceptance for the sharded-PDES engine: same seed ⇒ same
 //! digest AND byte-identical merged metrics, whether the shards
 //! advance on one thread (`ParallelMode::Serial`) or on a worker pool
-//! (`Threads(2)`, `Threads(8)`). This is the determinism contract that
-//! makes the threaded mode usable at all — if it ever fails, every
-//! reproducibility guarantee of the workspace is off.
+//! (`Threads(2)`, `Threads(8)`) — and that contract holds under BOTH
+//! slice-sizing policies ([`Lookahead::Fixed`], the PR-5 reference
+//! decision, and [`Lookahead::Adaptive`], the default). This is the
+//! determinism contract that makes the threaded mode usable at all —
+//! if it ever fails, every reproducibility guarantee of the workspace
+//! is off.
+//!
+//! The adaptive-specific legs pin the three amortizations the planner
+//! adds: slice growth through quiet phases (far fewer boundaries than
+//! Fixed on the same scenario), exchange elision (counted, mode-
+//! invariant), and quiescent-shard skipping — including the critical
+//! wake-up path where a long-idle segment receives a bridge crossing
+//! and must resume at exactly the crossing's maturity.
 
 use ampnet::chaos::multiseg::MultiSegScenario;
 use ampnet::core::{
-    ClusterConfig, Component, GlobalAddr, MultiSegment, NodeId, ParallelMode, SimDuration, SwitchId,
+    ClusterConfig, Component, GlobalAddr, Lookahead, MultiSegment, NodeId, ParallelMode,
+    SimDuration, SwitchId,
 };
 
 fn ga(segment: u8, node: u8) -> GlobalAddr {
@@ -20,9 +31,11 @@ const MODES: [ParallelMode; 3] = [
     ParallelMode::Threads(8),
 ];
 
+const POLICIES: [Lookahead; 2] = [Lookahead::Fixed, Lookahead::Adaptive];
+
 /// Build a 4-segment ring-of-segments network, run cross-segment
 /// all-to-router traffic, and return (digest, merged metrics JSON).
-fn healthy_run(mode: ParallelMode) -> (u64, String) {
+fn healthy_run(mode: ParallelMode, policy: Lookahead) -> (u64, String) {
     let mut net = MultiSegment::new(
         (0..4u64)
             .map(|s| ClusterConfig::small(4).with_seed(700 + s))
@@ -35,6 +48,7 @@ fn healthy_run(mode: ParallelMode) -> (u64, String) {
     net.enable_traces(4096);
     net.enable_telemetry(64);
     net.set_parallel_mode(mode);
+    net.set_lookahead(policy);
     let slice = net.min_bridge_latency().unwrap();
 
     let t0 = net.segment(0).now() + SimDuration::from_millis(1);
@@ -63,21 +77,23 @@ fn healthy_run(mode: ParallelMode) -> (u64, String) {
 }
 
 #[test]
-fn healthy_run_is_mode_invariant() {
-    let (digest, metrics) = healthy_run(ParallelMode::Serial);
-    assert_ne!(digest, 0);
-    assert!(metrics.contains("mac_inserted"), "metrics actually merged");
-    for mode in [ParallelMode::Threads(2), ParallelMode::Threads(8)] {
-        let (d, m) = healthy_run(mode);
-        assert_eq!(digest, d, "trace digest differs under {mode:?}");
-        assert_eq!(metrics, m, "merged metrics differ under {mode:?}");
+fn healthy_run_is_mode_invariant_under_both_policies() {
+    for policy in POLICIES {
+        let (digest, metrics) = healthy_run(ParallelMode::Serial, policy);
+        assert_ne!(digest, 0);
+        assert!(metrics.contains("mac_inserted"), "metrics actually merged");
+        for mode in [ParallelMode::Threads(2), ParallelMode::Threads(8)] {
+            let (d, m) = healthy_run(mode, policy);
+            assert_eq!(digest, d, "trace digest differs under {mode:?}/{policy:?}");
+            assert_eq!(metrics, m, "merged metrics differ under {mode:?}/{policy:?}");
+        }
     }
 }
 
 /// Chaos leg: a mid-run fiber cut on segment 1 (forcing a roster
 /// episode inside the sliced run) plus traffic before, during and
 /// after the cut — the digest and metrics must still be mode-invariant.
-fn chaos_scenario() -> MultiSegScenario {
+fn chaos_scenario(policy: Lookahead) -> MultiSegScenario {
     let mut sc = MultiSegScenario::new(
         (0..3u64)
             .map(|s| ClusterConfig::small(4).with_seed(800 + s))
@@ -86,6 +102,7 @@ fn chaos_scenario() -> MultiSegScenario {
     sc.bridge(ga(0, 3), ga(1, 0), SimDuration::from_micros(5));
     sc.bridge(ga(1, 3), ga(2, 0), SimDuration::from_micros(6));
     sc.run_for(SimDuration::from_millis(3));
+    sc.lookahead(policy);
     sc.send_at(SimDuration::from_micros(50), ga(0, 1), ga(2, 2), b"before");
     // The cut lands while "during" is crossing the network.
     sc.send_at(SimDuration::from_micros(290), ga(2, 1), ga(0, 2), b"during");
@@ -99,23 +116,25 @@ fn chaos_scenario() -> MultiSegScenario {
 }
 
 #[test]
-fn fiber_cut_chaos_is_mode_invariant() {
-    let sc = chaos_scenario();
-    let reference = sc.run(ParallelMode::Serial);
-    assert!(
-        reference
-            .delivered
-            .iter()
-            .any(|(_, _, p)| p == b"after".as_slice()),
-        "traffic flows again after the cut heals around: {:?}",
-        reference.delivered
-    );
-    for mode in &MODES[1..] {
-        let report = sc.run(*mode);
-        assert_eq!(
-            reference, report,
-            "chaos report differs between Serial and {mode:?}"
+fn fiber_cut_chaos_is_mode_invariant_under_both_policies() {
+    for policy in POLICIES {
+        let sc = chaos_scenario(policy);
+        let reference = sc.run(ParallelMode::Serial);
+        assert!(
+            reference
+                .delivered
+                .iter()
+                .any(|(_, _, p)| p == b"after".as_slice()),
+            "traffic flows again after the cut heals around ({policy:?}): {:?}",
+            reference.delivered
         );
+        for mode in &MODES[1..] {
+            let report = sc.run(*mode);
+            assert_eq!(
+                reference, report,
+                "chaos report differs between Serial and {mode:?} under {policy:?}"
+            );
+        }
     }
 }
 
@@ -123,8 +142,163 @@ fn fiber_cut_chaos_is_mode_invariant() {
 fn repeated_threaded_runs_are_self_identical() {
     // Thread scheduling noise must not leak: two Threads(8) runs of
     // the same scenario agree with each other bit-for-bit.
-    let sc = chaos_scenario();
+    let sc = chaos_scenario(Lookahead::Adaptive);
     let a = sc.run(ParallelMode::Threads(8));
     let b = sc.run(ParallelMode::Threads(8));
     assert_eq!(a, b);
+}
+
+/// Bursty storm leg: dense cross-segment mesh bursts separated by long
+/// quiet gaps, with a fiber cut landing inside the second gap. The
+/// gaps let adaptive slices grow to the cap; each burst must snap them
+/// back without reordering anything — under every mode, both policies.
+fn storm_scenario(policy: Lookahead) -> MultiSegScenario {
+    let mut sc = MultiSegScenario::new(
+        (0..4u64)
+            .map(|s| ClusterConfig::small(4).with_seed(870 + s))
+            .collect(),
+    );
+    for s in 0..4u8 {
+        sc.bridge(ga(s, 3), ga((s + 1) % 4, 0), SimDuration::from_micros(5));
+    }
+    sc.run_for(SimDuration::from_millis(4));
+    sc.lookahead(policy);
+    // Three bursts: a full mesh each, 1.3 ms of dead air in between.
+    for (burst, at_us) in [(0u8, 100u64), (1, 1_400), (2, 2_700)] {
+        for s in 0..4u8 {
+            for d in 0..4u8 {
+                if s != d {
+                    sc.send_at(
+                        SimDuration::from_micros(at_us),
+                        ga(s, 1),
+                        ga(d, 2),
+                        format!("b{burst}-{s}{d}").as_bytes(),
+                    );
+                }
+            }
+        }
+    }
+    // The cut lands mid-gap, when adaptive slices are fully grown.
+    sc.fail_at(
+        SimDuration::from_micros(2_000),
+        2,
+        Component::Link(NodeId(1), SwitchId(0)),
+    );
+    sc
+}
+
+#[test]
+fn bursty_storm_is_mode_invariant_under_both_policies() {
+    for policy in POLICIES {
+        let sc = storm_scenario(policy);
+        let reference = sc.run(ParallelMode::Serial);
+        assert_eq!(
+            reference.delivered.len(),
+            36,
+            "all three 12-datagram bursts land under {policy:?}"
+        );
+        assert_eq!(reference.unroutable, 0);
+        for mode in &MODES[1..] {
+            let report = sc.run(*mode);
+            assert_eq!(
+                reference, report,
+                "storm report differs between Serial and {mode:?} under {policy:?}"
+            );
+        }
+    }
+}
+
+/// The quiescent-wake pin: a segment that has been idle long enough
+/// for the engine to stop waking its worker receives a bridge crossing
+/// and must resume — delivering at exactly the crossing's maturity, in
+/// every mode, with identical digests and identical mode-invariant
+/// slice accounting (`worker_wakes` is the one deliberately
+/// mode-dependent field and is excluded).
+#[test]
+fn quiescent_segment_wakes_on_crossing() {
+    let mut reference: Option<(u64, u64, u64, u64, u64)> = None;
+    for mode in MODES {
+        let mut net = MultiSegment::new(
+            (0..3u64)
+                .map(|s| ClusterConfig::small(4).with_seed(950 + s))
+                .collect(),
+        );
+        net.add_bridge(ga(0, 3), ga(1, 0), SimDuration::from_micros(5));
+        net.add_bridge(ga(1, 3), ga(2, 0), SimDuration::from_micros(5));
+        net.enable_traces(4096);
+        net.set_parallel_mode(mode);
+        assert_eq!(net.lookahead(), Lookahead::Adaptive, "adaptive is the default");
+        let slice = net.min_bridge_latency().unwrap();
+
+        // A long quiet stretch: slices grow, exchanges elide, idle
+        // shards stop being woken.
+        let t0 = net.segment(0).now() + SimDuration::from_millis(3);
+        net.run_until(t0, slice);
+
+        // Now the crossing: two bridge hops into the idle segment 2.
+        net.send_global(ga(0, 1), ga(2, 2), b"wake");
+        net.run_until(t0 + SimDuration::from_millis(2), slice);
+
+        let d = net
+            .pop_global(ga(2, 2))
+            .expect("quiescent segment woken by the crossing");
+        assert_eq!(d.payload, b"wake");
+        assert_eq!(net.unroutable, 0);
+
+        let stats = net.slice_stats();
+        assert!(
+            stats.quiescent_shard_slices > 0,
+            "idle shards advanced as bare clock bumps ({mode:?})"
+        );
+        assert!(
+            stats.drains_elided > 0,
+            "quiet boundaries elided their exchanges ({mode:?})"
+        );
+        let invariant = (
+            net.digest(),
+            stats.slices,
+            stats.drains_elided,
+            stats.deliveries_elided,
+            stats.quiescent_shard_slices,
+        );
+        match &reference {
+            None => reference = Some(invariant),
+            Some(r) => assert_eq!(
+                *r, invariant,
+                "digest or slice accounting differs under {mode:?}"
+            ),
+        }
+    }
+}
+
+/// Amortization sanity: on a quiet network the adaptive planner must
+/// run dramatically fewer slices (and elide most exchanges) than the
+/// fixed policy over the same interval — that is the whole point.
+#[test]
+fn adaptive_amortizes_quiet_phases() {
+    let run = |policy: Lookahead| {
+        let mut net = MultiSegment::new(
+            (0..2u64)
+                .map(|s| ClusterConfig::small(4).with_seed(990 + s))
+                .collect(),
+        );
+        net.add_bridge(ga(0, 3), ga(1, 0), SimDuration::from_micros(5));
+        net.set_lookahead(policy);
+        let slice = net.min_bridge_latency().unwrap();
+        let t0 = net.segment(0).now() + SimDuration::from_millis(5);
+        net.run_until(t0, slice);
+        net.slice_stats()
+    };
+    let fixed = run(Lookahead::Fixed);
+    let adaptive = run(Lookahead::Adaptive);
+    assert!(
+        adaptive.slices * 4 <= fixed.slices,
+        "adaptive ran {} slices vs fixed {} — growth is not amortizing",
+        adaptive.slices,
+        fixed.slices
+    );
+    assert!(
+        adaptive.drains_elided > 0,
+        "a quiet run must elide exchanges"
+    );
 }
