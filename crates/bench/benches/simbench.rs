@@ -62,10 +62,10 @@ fn bench_ring_solver(c: &mut Criterion) {
 }
 
 fn bench_rostering(c: &mut Criterion) {
-    let mut topo = Topology::quad(64, 100.0);
-    let ring = largest_ring(&topo);
+    let mut topo = ampnet_topo::Plant::crossbar(64, 4, 100.0);
+    let ring = topo.largest_ring();
     let dead = ring.order[10];
-    topo.fail_node(dead);
+    topo.apply(Component::Node(dead));
     let params = RosterParams::default();
     c.bench_function("roster/episode_64n", |b| {
         b.iter(|| {

@@ -9,6 +9,7 @@
 //! cargo run -p ampnet-bench --release --bin figures -- --metrics METRICS_snapshot.json
 //! cargo run -p ampnet-bench --release --bin figures -- --metrics-doc > docs/METRICS.md
 //! cargo run -p ampnet-bench --release --bin figures -- --check CHECK_models.json
+//! cargo run -p ampnet-bench --release --bin figures -- --bench-topo BENCH_topo.json
 //! ```
 //!
 //! `--bench-ring` runs the data-plane perf baseline: a 6-node segment
@@ -34,10 +35,15 @@
 //! guard unmeasurable, instead of silently self-disabling.
 //!
 //! `--check` runs the `ampnet-check` protocol models (seqlock,
-//! semaphore, roster/failover, frame arena, slice planner under both
-//! lookahead policies) to exhaustion and writes a JSON summary; any
-//! safety violation prints its shortest counterexample trace and fails
-//! the run.
+//! semaphore, roster/failover on crossbar, torus and folded-Clos
+//! plants, frame arena, slice planner under both lookahead policies)
+//! to exhaustion and writes a JSON summary; any safety violation
+//! prints its shortest counterexample trace and fails the run.
+//!
+//! `--bench-topo` replays one generic chaos schedule across the three
+//! plant families and records goodput, reconvergence time and failover
+//! latency against each family's redundancy degree; it also guards the
+//! crossbar golden trace digest against drift.
 //!
 //! `--metrics` runs the deterministic full-stack telemetry exercise
 //! (`ampnet_bench::metrics`) and writes the registry snapshot; same
@@ -502,6 +508,8 @@ fn check_models(path: &str) {
         ("seqlock", seqlock::check_seqlock(BUDGET)),
         ("semaphore", semaphore::check_semaphore(BUDGET)),
         ("roster-failover", roster::check_roster(BUDGET)),
+        ("roster-torus", roster::check_roster_torus(BUDGET)),
+        ("roster-clos", roster::check_roster_clos(BUDGET)),
         ("frame-arena", arena::check_arena(BUDGET)),
         ("slice-planner", planner::check_planner(BUDGET)),
         ("slice-planner-fixed", planner::check_planner_fixed(BUDGET)),
@@ -546,6 +554,120 @@ fn check_models(path: &str) {
         println!("model check: FAILED (violation or state budget exceeded)");
         std::process::exit(1);
     }
+}
+
+/// `--bench-topo`: replay ONE generic traffic + chaos schedule —
+/// index-addressed fiber cut, element failure, splice, element repair
+/// under simultaneous all-to-all — across all three plant families
+/// (crossbar, 3D torus, folded Clos) and write `BENCH_topo.json`:
+/// goodput, reconvergence time and failover latency against each
+/// family's redundancy degree (minimum fiber attachments per node).
+///
+/// Before the sweep it re-runs the fixed crossbar golden scenario
+/// from `tests/refactor_equivalence.rs` and hard-fails on trace-digest
+/// drift: the topology zoo must not move the paper-exact crossbar
+/// behavior by a single bit.
+fn bench_topo(path: &str) {
+    use ampnet_chaos::{FaultOp, Scenario, Traffic};
+    use ampnet_core::{ClusterConfig, PlantSpec};
+
+    // Same scenario and golden as tests/refactor_equivalence.rs.
+    const GOLDEN_TRACE_DIGEST: u64 = 0x024e2491afb824f9;
+    let golden = Scenario::builder(ClusterConfig::small(6).with_seed(0xA11CE))
+        .traffic(Traffic::all_to_all())
+        .traffic(Traffic::ping_pong(1, 4))
+        .fault_in(
+            SimDuration::from_millis(8),
+            FaultOp::ErrorBurst { node: 2, seed: 77, errors: 9 },
+        )
+        .fault_in(SimDuration::from_millis(14), FaultOp::CrashNode(3))
+        .fault_in(SimDuration::from_millis(22), FaultOp::CutFiber(0, 1))
+        .standard_invariants()
+        .build()
+        .run();
+    assert!(golden.ok(), "{}", golden.summary());
+    assert_eq!(
+        golden.trace_digest, GOLDEN_TRACE_DIGEST,
+        "crossbar golden digest drifted (got {:#018x}) — the plant \
+         refactor changed paper-exact crossbar behavior",
+        golden.trace_digest
+    );
+    println!("crossbar golden digest {:#018x} ok", golden.trace_digest);
+
+    let specs = [
+        PlantSpec::Crossbar,
+        PlantSpec::Torus3d { dims: [2, 2, 2] },
+        PlantSpec::FoldedClos { leaves: 4, spines: 2 },
+    ];
+    let mut entries = Vec::new();
+    for spec in specs {
+        let cfg = ClusterConfig::small(8).with_seed(0x70B0).with_plant(spec);
+        let plant = cfg.build_plant();
+        let family = plant.family();
+        let redundancy = plant.redundancy_degree();
+        let n_links = plant.link_components().len();
+        let n_elements = plant.n_switches();
+        let scenario = Scenario::builder(cfg)
+            .traffic(Traffic::all_to_all())
+            .fault_in(SimDuration::from_millis(8), FaultOp::CutLinkIndex(8))
+            .fault_in(SimDuration::from_millis(20), FaultOp::FailElement(4))
+            .fault_in(SimDuration::from_millis(36), FaultOp::SpliceLinkIndex(8))
+            .fault_in(SimDuration::from_millis(44), FaultOp::RepairElement(4))
+            .standard_invariants()
+            .build();
+        let span_s = scenario.span().as_nanos() as f64 / 1e9;
+        let report = scenario.run();
+        assert!(report.ok(), "family {family}: {}", report.summary());
+        let goodput = report.delivered as f64 / span_s;
+        println!(
+            "topo {family:>11}: redundancy {redundancy}, {} fibers / {} elements, \
+             {}/{} delivered ({goodput:.0} msg/s), reconvergence {} us, \
+             worst failover {} us, {} roster episode(s)",
+            n_links,
+            n_elements,
+            report.delivered,
+            report.sent,
+            report.reconvergence_ns / 1_000,
+            report.failover_ns / 1_000,
+            report.roster_episodes,
+        );
+        entries.push(format!(
+            concat!(
+                "    {{\"family\": \"{}\", \"redundancy_degree\": {}, ",
+                "\"fibers\": {}, \"elements\": {}, ",
+                "\"sent\": {}, \"delivered\": {}, ",
+                "\"goodput_msgs_per_sec\": {:.1}, ",
+                "\"reconvergence_ns\": {}, \"failover_ns\": {}, ",
+                "\"roster_episodes\": {}, \"trace_digest\": \"{:016x}\"}}"
+            ),
+            family,
+            redundancy,
+            n_links,
+            n_elements,
+            report.sent,
+            report.delivered,
+            goodput,
+            report.reconvergence_ns,
+            report.failover_ns,
+            report.roster_episodes,
+            report.trace_digest,
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"topology_zoo\",\n",
+            "  \"n_nodes\": 8,\n",
+            "  \"schedule\": \"cut link#8, fail element#4, splice, repair\",\n",
+            "  \"crossbar_golden_digest\": \"{:016x}\",\n",
+            "  \"crossbar_golden_ok\": true,\n",
+            "  \"families\": [\n{}\n  ]\n}}\n"
+        ),
+        GOLDEN_TRACE_DIGEST,
+        entries.join(",\n"),
+    );
+    std::fs::write(path, &json).expect("write topo json");
+    print!("{json}");
+    println!("wrote {path}");
 }
 
 /// `--metrics`: run the deterministic full-stack telemetry exercise
@@ -602,6 +724,14 @@ fn main() {
             .map(String::as_str)
             .unwrap_or("BENCH_scale.json");
         bench_scale(path);
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--bench-topo") {
+        let path = args
+            .get(i + 1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_topo.json");
+        bench_topo(path);
         return;
     }
     if let Some(i) = args.iter().position(|a| a == "--check") {

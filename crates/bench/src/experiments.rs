@@ -17,7 +17,7 @@ use ampnet_ring::{PacingMode, Segment, SegmentParams};
 use ampnet_roster::{run_rostering, RosterParams};
 use ampnet_sim::SimTime as T;
 use ampnet_topo::montecarlo::{survival_sweep, FailureDomain};
-use ampnet_topo::{largest_ring, Topology};
+use ampnet_topo::Topology;
 use rand::SeedableRng;
 
 fn fixed_of(t: PacketType) -> MicroPacket {
@@ -480,10 +480,10 @@ pub fn e8_rostering() -> Table {
     let mut cases = 0;
     for &n in &[8usize, 16, 32, 64] {
         for &fiber in &[10.0f64, 100.0, 1000.0, 10_000.0] {
-            let mut topo = Topology::quad(n, fiber);
-            let ring = largest_ring(&topo);
+            let mut topo = ampnet_topo::Plant::crossbar(n, 4, fiber);
+            let ring = topo.largest_ring();
             let dead = ring.order[n / 2];
-            topo.fail_node(dead);
+            topo.apply(Component::Node(dead));
             let out = run_rostering(
                 &topo,
                 &ring,
@@ -528,10 +528,10 @@ pub fn a3_roster_ablation() -> Table {
     );
     let params = RosterParams::default();
     for &n in &[8usize, 16, 32, 64] {
-        let mut topo = Topology::quad(n, 100.0);
-        let ring = largest_ring(&topo);
+        let mut topo = ampnet_topo::Plant::crossbar(n, 4, 100.0);
+        let ring = topo.largest_ring();
         let dead = ring.order[1];
-        topo.fail_node(dead);
+        topo.apply(Component::Node(dead));
         let out = run_rostering(&topo, &ring, Component::Node(dead), T::ZERO, 0, &params)
             .expect("runs");
         let guided = out.recovery_time();

@@ -7,7 +7,8 @@ use crate::ledger::Ledger;
 use crate::scenario::{FaultOp, Scenario, Traffic};
 use ampnet_core::{
     BackoffPolicy, Cluster, Component, CounterAppConfig, FailoverPolicy, Features, JoinRequest,
-    NodeId, RecordLayout, SemStressConfig, SeqProbeConfig, SimDuration, SimTime, SwitchId, Version,
+    NodeId, RecordLayout, RosterReason, SemStressConfig, SeqProbeConfig, SimDuration, SimTime,
+    SwitchId, Version,
 };
 use std::collections::BTreeSet;
 
@@ -52,6 +53,12 @@ pub struct RunReport {
     pub doomed: u64,
     /// Roster episodes (boot included) over the run.
     pub roster_episodes: usize,
+    /// Simulated time the ring spent reconverging, summed over every
+    /// post-boot roster episode (failure instant → ring live), ns.
+    pub reconvergence_ns: u64,
+    /// Worst single post-boot roster episode (ns) — the failover
+    /// latency an application rides through.
+    pub failover_ns: u64,
     /// Final roster epoch.
     pub final_epoch: u64,
     /// Simulated end of run.
@@ -140,6 +147,7 @@ impl Scenario {
         } else {
             (cluster.trace().dump(), cluster.flight_dump())
         };
+        let (reconvergence_ns, failover_ns) = roster_latencies(&cluster);
         RunReport {
             seed: self.cfg.seed,
             violations,
@@ -147,6 +155,8 @@ impl Scenario {
             delivered: ledger.delivered,
             doomed: ledger.doomed_total,
             roster_episodes: cluster.roster_history().len(),
+            reconvergence_ns,
+            failover_ns,
             final_epoch: cluster.epoch(),
             final_time: cluster.now(),
             trace_digest: cluster.trace().digest(),
@@ -247,9 +257,68 @@ fn schedule_faults(cluster: &mut Cluster, sc: &Scenario) -> Vec<(SimTime, u8)> {
                 // 8b/10b checker decides whether this escalates.
                 cluster.schedule_error_burst(at, node, seed, errors);
             }
+            FaultOp::CutLinkIndex(k) => {
+                if let Some(c) = resolve_link(cluster, k) {
+                    cluster.schedule_failure(at, c);
+                }
+            }
+            FaultOp::SpliceLinkIndex(k) => {
+                if let Some(c) = resolve_link(cluster, k) {
+                    cluster.schedule_repair(at, c);
+                }
+            }
+            FaultOp::FailElement(k) => {
+                if let Some(s) = resolve_element(cluster, k) {
+                    cluster.schedule_failure(at, Component::Switch(s));
+                }
+            }
+            FaultOp::RepairElement(k) => {
+                if let Some(s) = resolve_element(cluster, k) {
+                    cluster.schedule_repair(at, Component::Switch(s));
+                }
+            }
         }
     }
     crashes
+}
+
+/// (total, worst) post-boot recovery time in nanoseconds over the
+/// run's roster episodes. Boot is excluded — it is bring-up, not
+/// reconvergence around damage.
+fn roster_latencies(cluster: &Cluster) -> (u64, u64) {
+    let mut total = 0u64;
+    let mut worst = 0u64;
+    for ev in cluster.roster_history() {
+        if matches!(ev.reason, RosterReason::Boot) {
+            continue;
+        }
+        let ns = ev.outcome.recovery_time().as_nanos();
+        total += ns;
+        worst = worst.max(ns);
+    }
+    (total, worst)
+}
+
+/// The `k mod L`-th fiber of the plant's deterministic link
+/// enumeration (port fibers on switched families, trunks on a torus);
+/// `None` only for a degenerate plant with no fibers at all.
+fn resolve_link(cluster: &Cluster, k: u32) -> Option<Component> {
+    let links = cluster.topology().link_components();
+    if links.is_empty() {
+        return None;
+    }
+    Some(links[k as usize % links.len()])
+}
+
+/// The `k mod S`-th switching element; `None` on element-free
+/// families (a torus has only trunks), making element faults a no-op
+/// there by design.
+fn resolve_element(cluster: &Cluster, k: u32) -> Option<SwitchId> {
+    let s = cluster.topology().n_switches();
+    if s == 0 {
+        return None;
+    }
+    Some(SwitchId((k as usize % s) as u8))
 }
 
 /// Inject one step of stateless traffic. Endpoints that are offline

@@ -12,6 +12,12 @@ use std::rc::Rc;
 /// `ErrorBurst` is injected at the victim node's **PHY plane** — the
 /// `ampnet-ring` `NodeStack` assesses it with the 8b/10b checker and
 /// only a detected burst escalates into a topology-level link failure.
+///
+/// The `CutLinkIndex`/`SpliceLinkIndex`/`FailElement`/`RepairElement`
+/// variants address the plant *generically* — by position in its
+/// deterministic component enumeration rather than by concrete
+/// node/switch id — so the same schedule replays on a crossbar, a 3D
+/// torus or a folded Clos without editing the scenario.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultOp {
     /// Power off a node (its traffic is doomed until it rejoins).
@@ -38,6 +44,21 @@ pub enum FaultOp {
         /// Number of single-bit errors.
         errors: u32,
     },
+    /// Cut the `k mod L`-th fiber of the plant's link enumeration,
+    /// where `L` is the number of fibers. Topology-agnostic: on a
+    /// crossbar or folded Clos this lands on a node–switch port fiber,
+    /// on a torus it lands on a node–node trunk, so one scenario
+    /// replays unchanged across families.
+    CutLinkIndex(u32),
+    /// Splice the `k mod L`-th fiber of the link enumeration.
+    SpliceLinkIndex(u32),
+    /// Fail the `k mod S`-th switching element, where `S` is the
+    /// plant's element count. A no-op on families without switching
+    /// elements (e.g. a direct-trunk torus).
+    FailElement(u32),
+    /// Repair the `k mod S`-th switching element; no-op when the
+    /// family has none.
+    RepairElement(u32),
 }
 
 /// A fault op at an offset from the start of the (post-warmup) run.

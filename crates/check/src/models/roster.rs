@@ -33,10 +33,10 @@
 use crate::model::{FnvHasher, Model, Property, PropertyKind};
 use crate::{CheckOptions, CheckReport};
 use ampnet_dk::{ControlGroup, FailoverEngine, FailoverPolicy, GroupId};
-use ampnet_roster::{detect, elect_master, run_rostering, Detection, RosterParams};
+use ampnet_roster::{detect, elect_flooding_master, run_rostering, Detection, RosterParams};
 use ampnet_sim::SimTime;
 use ampnet_topo::montecarlo::Component;
-use ampnet_topo::{largest_ring, LogicalRing, NodeId, Topology};
+use ampnet_topo::{NodeId, Plant, PlantRing};
 use std::hash::{Hash, Hasher};
 
 /// Instant the component fails (arbitrary; times are reported, not
@@ -52,11 +52,13 @@ const MAX_POLLS: u8 = 8;
 struct Scenario {
     name: String,
     comp: Component,
-    /// Topology with the failure applied.
-    topo: Topology,
+    /// Plant with the failure applied.
+    topo: Plant,
     /// The ring that was live before the failure.
-    pre_ring: LogicalRing,
-    /// Loss-of-light detectors, ascending id.
+    pre_ring: PlantRing,
+    /// Loss-of-light detectors that can still flood (connectable),
+    /// ascending id. A detector whose every attachment died notices
+    /// the dark fiber but never launches a token.
     detectors: Vec<NodeId>,
     /// The master `elect_master` predicts (lowest detector).
     expected_master: NodeId,
@@ -132,37 +134,56 @@ fn qualification(node: u8) -> u32 {
 }
 
 fn rotate_path(order: &[NodeId], start: NodeId) -> Vec<NodeId> {
-    let pos = order
-        .iter()
-        .position(|&n| n == start)
-        .expect("detector survives the failure");
-    let mut p = order.to_vec();
-    p.rotate_left(pos);
-    p
+    match order.iter().position(|&n| n == start) {
+        Some(pos) => {
+            let mut p = order.to_vec();
+            p.rotate_left(pos);
+            p
+        }
+        None => {
+            // The detector survives but the maximal ring excludes it
+            // (possible off-crossbar, e.g. a torus minus one vertex):
+            // its token enters the cycle at the first member and still
+            // wraps home to the detector.
+            let mut p = Vec::with_capacity(order.len() + 1);
+            p.push(start);
+            p.extend_from_slice(order);
+            p
+        }
+    }
 }
 
 impl RosterModel {
-    /// All single-component failures of an `n`-node quad plant:
-    /// every node, the ring's switch, and one ring link.
+    /// All single-component failures of an `n`-node quad crossbar
+    /// plant: every node, the ring's switch, and one ring link.
     pub fn quad_plant(n: usize) -> Self {
+        Self::on_plant(Plant::crossbar(n, 4, 100.0))
+    }
+
+    /// Single-component failures of an arbitrary plant: every node
+    /// dies; the busiest switching element on the ring dies (skipped
+    /// for families whose rings cross none, e.g. a torus); and the
+    /// first ring hop's first physical segment is cut (a node–switch
+    /// fiber, or the direct trunk on switchless families).
+    pub fn on_plant(healthy: Plant) -> Self {
         let params = RosterParams::default();
-        let healthy = Topology::quad(n, 100.0);
-        let pre_ring = largest_ring(&healthy);
+        let pre_ring = healthy.largest_ring();
         let mut scenarios = vec![];
 
         let mut push = |name: String, comp: Component| {
             let mut topo = healthy.clone();
-            match comp {
-                Component::Node(id) => topo.fail_node(id),
-                Component::Switch(id) => topo.fail_switch(id),
-                Component::Link(u, s) => topo.fail_link(u, s),
-            }
+            topo.apply(comp);
             let detection = detect(&topo, &pre_ring, comp, &params);
             let Detection::LossOfLight { detectors, .. } = detection.clone() else {
                 panic!("{name}: expected loss-of-light, got {detection:?}");
             };
-            let expected_master = elect_master(&detection).expect("detectors exist");
-            let survivors = largest_ring(&topo);
+            let detectors: Vec<NodeId> = detectors
+                .into_iter()
+                .filter(|&d| topo.connectable(d))
+                .collect();
+            let expected_master =
+                elect_flooding_master(&topo, &detection).expect("a connectable detector exists");
+            let survivors = topo.largest_ring();
             let paths = detectors
                 .iter()
                 .map(|&d| rotate_path(&survivors.order, d))
@@ -170,8 +191,8 @@ impl RosterModel {
             let (group, failed_node, expected_new_leader) = match comp {
                 Component::Node(dead) => {
                     let mut g = ControlGroup::new(GroupId(1));
-                    for id in 0..n as u8 {
-                        g.join(id, qualification(id)).expect("unique nodes");
+                    for id in healthy.node_ids() {
+                        g.join(id.0, qualification(id.0)).expect("unique nodes");
                     }
                     g.mark_offline(dead.0);
                     let heir = g.leader().expect("survivors remain").node;
@@ -193,17 +214,26 @@ impl RosterModel {
             });
         };
 
-        for k in 0..n as u8 {
-            push(format!("node{k}-dies"), Component::Node(NodeId(k)));
+        for k in healthy.node_ids() {
+            push(format!("node{}-dies", k.0), Component::Node(k));
         }
-        push(
-            format!("switch{}-dies", pre_ring.hops[0].0),
-            Component::Switch(pre_ring.hops[0]),
-        );
-        push(
-            format!("link{}-s{}-cut", pre_ring.order[0].0, pre_ring.hops[0].0),
-            Component::Link(pre_ring.order[0], pre_ring.hops[0]),
-        );
+        // Kill the middle of the route crossing the most switching
+        // elements: the one crossbar switch, or the spine of a Clos
+        // leaf–spine–leaf route.
+        if let Some(h) = pre_ring.hops.iter().max_by_key(|h| h.via.len()) {
+            if !h.via.is_empty() {
+                let sw = h.via[h.via.len() / 2];
+                push(format!("switch{}-dies", sw.0), Component::Switch(sw));
+            }
+        }
+        let u = pre_ring.order[0];
+        let v = pre_ring.order[1 % pre_ring.order.len()];
+        let cut = match pre_ring.hops[0].via.first() {
+            Some(&sw) => Component::Link(u, sw),
+            None if u <= v => Component::Trunk(u, v),
+            None => Component::Trunk(v, u),
+        };
+        push(format!("hop0-{cut:?}-cut"), cut);
         RosterModel {
             scenarios,
             drop_budget: 1,
@@ -229,19 +259,28 @@ impl RosterModel {
         };
         let excludes_failed = match sc.comp {
             Component::Node(dead) => !out.ring.order.contains(&dead),
-            Component::Switch(dead) => out.ring.hops.iter().all(|&h| h != dead),
-            Component::Link(u, sw) => out
-                .ring
-                .order
-                .iter()
-                .zip(&out.ring.hops)
-                .all(|(&a, &h)| !(a == u && h == sw))
-                && !out
-                    .ring
-                    .order
-                    .iter()
-                    .enumerate()
-                    .any(|(i, _)| out.ring.hops[i] == sw && out.ring.order[(i + 1) % out.ring.len()] == u),
+            Component::Switch(dead) => out.ring.hops.iter().all(|h| !h.via.contains(&dead)),
+            // A node–switch fiber is on a hop route iff it is the
+            // first segment out of the transmitter or the last into
+            // the receiver.
+            Component::Link(u, sw) => (0..out.ring.len()).all(|i| {
+                let a = out.ring.order[i];
+                let b = out.ring.order[(i + 1) % out.ring.len()];
+                let h = &out.ring.hops[i];
+                !((a == u && h.via.first() == Some(&sw))
+                    || (b == u && h.via.last() == Some(&sw)))
+            }),
+            Component::Trunk(x, y) => (0..out.ring.len()).all(|i| {
+                let a = out.ring.order[i];
+                let b = out.ring.order[(i + 1) % out.ring.len()];
+                !(out.ring.hops[i].via.is_empty()
+                    && ((a == x && b == y) || (a == y && b == x)))
+            }),
+            Component::Stage(x, y) => out.ring.hops.iter().all(|h| {
+                !h.via
+                    .windows(2)
+                    .any(|w| (w[0] == x && w[1] == y) || (w[0] == y && w[1] == x))
+            }),
         };
         Some(out.master) == s.master
             && out.master == sc.expected_master
@@ -479,4 +518,22 @@ impl Model for RosterModel {
 /// Check every single-failure scenario of a 4-node quad plant.
 pub fn check_roster(max_states: usize) -> CheckReport {
     crate::check(&RosterModel::quad_plant(4), CheckOptions { max_states })
+}
+
+/// The same model over a 2×2×2 torus: direct node–node trunks, no
+/// switching elements, and maximal rings that may exclude a survivor.
+pub fn check_roster_torus(max_states: usize) -> CheckReport {
+    crate::check(
+        &RosterModel::on_plant(Plant::torus3d([2, 2, 2], 100.0)),
+        CheckOptions { max_states },
+    )
+}
+
+/// The same model over a 4-node folded Clos (2 leaves × 2 spines):
+/// multi-element leaf–spine–leaf hop routes.
+pub fn check_roster_clos(max_states: usize) -> CheckReport {
+    crate::check(
+        &RosterModel::on_plant(Plant::folded_clos(4, 2, 2, 100.0)),
+        CheckOptions { max_states },
+    )
 }

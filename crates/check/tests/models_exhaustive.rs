@@ -48,6 +48,30 @@ fn roster_single_master_and_recovery() {
 }
 
 #[test]
+fn roster_recovers_on_torus() {
+    let report = roster::check_roster_torus(BUDGET);
+    println!("{}", report.summary("roster-torus"));
+    if let Some(cx) = &report.violation {
+        panic!("unexpected violation:\n{}", cx.render());
+    }
+    assert!(report.passed(), "state space must be fully explored");
+    assert!(report.visited > 100, "token interleavings explored");
+    assert!(report.terminals > 0, "every scenario recovers");
+}
+
+#[test]
+fn roster_recovers_on_clos() {
+    let report = roster::check_roster_clos(BUDGET);
+    println!("{}", report.summary("roster-clos"));
+    if let Some(cx) = &report.violation {
+        panic!("unexpected violation:\n{}", cx.render());
+    }
+    assert!(report.passed(), "state space must be fully explored");
+    assert!(report.visited > 100, "token interleavings explored");
+    assert!(report.terminals > 0, "every scenario recovers");
+}
+
+#[test]
 fn arena_ownership_protocol_is_sound() {
     let report = arena::check_arena(BUDGET);
     println!("{}", report.summary("arena"));

@@ -31,7 +31,7 @@ use ampnet_services::threads::{TaskKind, TaskTable};
 use ampnet_sim::{Level, Sim, SimDuration, SimTime, Trace};
 use ampnet_telemetry::{MetricsSnapshot, Telemetry};
 use ampnet_topo::montecarlo::Component;
-use ampnet_topo::{LogicalRing, NodeId, Topology};
+use ampnet_topo::{NodeId, Plant, PlantRing};
 use std::collections::VecDeque;
 
 /// Why a roster episode ran.
@@ -112,8 +112,8 @@ pub(crate) enum Ev {
 /// The simulated AmpNet cluster.
 pub struct Cluster {
     pub(crate) cfg: ClusterConfig,
-    pub(crate) topo: Topology,
-    pub(crate) ring: LogicalRing,
+    pub(crate) topo: Plant,
+    pub(crate) ring: PlantRing,
     pub(crate) ring_up: bool,
     pub(crate) epoch: u64,
     pub(crate) sim: Sim<Ev>,
@@ -167,7 +167,7 @@ impl Cluster {
     /// Build and boot a cluster. The initial roster episode is charged
     /// for (the ring is up after its two tours).
     pub fn new(cfg: ClusterConfig) -> Self {
-        let topo = Topology::redundant(cfg.n_nodes, cfg.n_switches, cfg.fiber_length_m);
+        let topo = cfg.build_plant();
         let nominal_link = cfg.timing.link(cfg.fiber_length_m);
         let nodes = (0..cfg.n_nodes)
             .map(|i| {
@@ -202,7 +202,7 @@ impl Cluster {
         let n = cfg.n_nodes;
         let mut cluster = Cluster {
             topo,
-            ring: LogicalRing::empty(),
+            ring: PlantRing::empty(),
             ring_up: false,
             epoch: 1,
             sim,
@@ -267,7 +267,7 @@ impl Cluster {
     // ----- introspection -----
 
     /// The current logical ring.
-    pub fn ring(&self) -> &LogicalRing {
+    pub fn ring(&self) -> &PlantRing {
         &self.ring
     }
 
@@ -402,7 +402,7 @@ impl Cluster {
     }
 
     /// The physical plant (for assertions).
-    pub fn topology(&self) -> &Topology {
+    pub fn topology(&self) -> &Plant {
         &self.topo
     }
 

@@ -43,6 +43,32 @@ impl TimingModel {
     }
 }
 
+/// Which plant family the cluster is built on.
+///
+/// `Crossbar` (the default) reproduces the paper's plant exactly;
+/// `Torus3d` and `FoldedClos` swap in the topology-zoo families from
+/// `ampnet-topo` while the entire stack above (rostering, transport,
+/// chaos) runs unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlantSpec {
+    /// Node×switch crossbar, `n_nodes` × `n_switches`.
+    Crossbar,
+    /// 3D torus of the given dimensions (their product must equal
+    /// `n_nodes`); `n_switches` is ignored.
+    Torus3d {
+        /// Torus extent per dimension.
+        dims: [usize; 3],
+    },
+    /// Folded Clos with `leaves` leaf and `spines` spine switches;
+    /// `n_switches` is ignored.
+    FoldedClos {
+        /// Leaf switch count (nodes attach round-robin).
+        leaves: usize,
+        /// Spine switch count.
+        spines: usize,
+    },
+}
+
 /// Full cluster configuration.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -50,6 +76,8 @@ pub struct ClusterConfig {
     pub n_nodes: usize,
     /// Redundant switches: 2 (dual) or 4 (quad) per slides 14–15.
     pub n_switches: usize,
+    /// Plant family (default: the paper's crossbar).
+    pub plant: PlantSpec,
     /// Fiber length of every node–switch link, metres.
     pub fiber_length_m: f64,
     /// Deterministic seed.
@@ -69,6 +97,7 @@ impl Default for ClusterConfig {
         ClusterConfig {
             n_nodes: 8,
             n_switches: 4,
+            plant: PlantSpec::Crossbar,
             fiber_length_m: 100.0,
             seed: 0xA3B1,
             cache_regions: vec![(0, 64 * 1024)],
@@ -119,6 +148,36 @@ impl ClusterConfig {
         self.cache_regions = regions;
         self
     }
+
+    /// Builder-style plant-family override. For `Torus3d`, `n_nodes`
+    /// is set to the product of the dimensions.
+    pub fn with_plant(mut self, plant: PlantSpec) -> Self {
+        if let PlantSpec::Torus3d { dims } = plant {
+            self.n_nodes = dims[0] * dims[1] * dims[2];
+        }
+        self.plant = plant;
+        self
+    }
+
+    /// Build the physical plant this configuration describes.
+    pub fn build_plant(&self) -> ampnet_topo::Plant {
+        match self.plant {
+            PlantSpec::Crossbar => {
+                ampnet_topo::Plant::crossbar(self.n_nodes, self.n_switches, self.fiber_length_m)
+            }
+            PlantSpec::Torus3d { dims } => {
+                assert_eq!(
+                    dims[0] * dims[1] * dims[2],
+                    self.n_nodes,
+                    "torus dims must multiply to n_nodes"
+                );
+                ampnet_topo::Plant::torus3d(dims, self.fiber_length_m)
+            }
+            PlantSpec::FoldedClos { leaves, spines } => {
+                ampnet_topo::Plant::folded_clos(self.n_nodes, leaves, spines, self.fiber_length_m)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -145,6 +204,24 @@ mod tests {
         assert_eq!(c.fiber_length_m, 1000.0);
         assert_eq!(c.n_switches, 2);
         assert_eq!(c.cache_regions, vec![(1, 128)]);
+    }
+
+    #[test]
+    fn plant_spec_builds_each_family() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.plant, PlantSpec::Crossbar);
+        assert_eq!(c.build_plant().family(), "crossbar");
+
+        let t = ClusterConfig::small(4).with_plant(PlantSpec::Torus3d { dims: [2, 2, 2] });
+        assert_eq!(t.n_nodes, 8, "torus dims set the node count");
+        assert_eq!(t.build_plant().family(), "torus3d");
+
+        let f = ClusterConfig::small(6).with_plant(PlantSpec::FoldedClos {
+            leaves: 2,
+            spines: 2,
+        });
+        assert_eq!(f.build_plant().family(), "folded-clos");
+        assert_eq!(f.build_plant().n_switches(), 4);
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub use multiseg::{
 };
 pub use planner::{plan_boundary, Lookahead, SlicePlanner, MAX_SLICE_GROWTH};
 pub use collectives::COLLECTIVE_STREAM;
-pub use config::{ClusterConfig, TimingModel};
+pub use config::{ClusterConfig, PlantSpec, TimingModel};
 pub use ampnet_services::mpi::ReduceOp;
 pub use ampnet_services::socket::{Received, SockAddr, SocketError};
 pub use ampnet_packet::build::InterruptPayload;
@@ -65,4 +65,4 @@ pub use ampnet_dk::{
 pub use ampnet_sim::{SimDuration, SimTime};
 pub use ampnet_telemetry::{MetricsSnapshot, Telemetry};
 pub use ampnet_topo::montecarlo::Component;
-pub use ampnet_topo::{NodeId, SwitchId};
+pub use ampnet_topo::{HopRoute, NodeId, Plant, PlantRing, SwitchId};

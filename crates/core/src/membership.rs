@@ -16,8 +16,8 @@ use ampnet_packet::MicroPacket;
 use ampnet_ring::PlaneFault;
 use ampnet_roster::{initial_rostering, run_rostering, RosterOutcome, RosterSkip};
 use ampnet_sim::{Level, SimDuration, SimTime};
-use ampnet_topo::montecarlo::{apply as apply_failure, Component};
-use ampnet_topo::{LogicalRing, NodeId};
+use ampnet_topo::montecarlo::Component;
+use ampnet_topo::{NodeId, PlantRing};
 
 impl Cluster {
     pub(crate) fn apply_error_burst(&mut self, node: u8, seed: u64, errors: u32) {
@@ -40,11 +40,13 @@ impl Cluster {
             self.observe(ObservedEvent::ErrorBurstAbsorbed { node });
             return;
         }
-        // Loss-of-sync on the incoming fiber: the link from the
-        // upstream hop switch into this node is declared dead.
+        // Loss-of-sync on the incoming fiber: the final segment of the
+        // upstream hop's route into this node is declared dead.
         let n = self.ring.order.len();
-        let sw = self.ring.hops[(pos + n - 1) % n];
-        let link = Component::Link(NodeId(node), sw);
+        let up = (pos + n - 1) % n;
+        let link =
+            self.topo
+                .hop_last_link(self.ring.order[up], NodeId(node), &self.ring.hops[up]);
         self.observe(ObservedEvent::ErrorBurstEscalated { node, link });
         self.log(
             Level::Warn,
@@ -57,7 +59,7 @@ impl Cluster {
     pub(crate) fn inject_failure(&mut self, c: Component) {
         crate::diagnostics::abandon_if_running(self);
         self.observe(ObservedEvent::FailureInjected(c));
-        apply_failure(&mut self.topo, c);
+        self.topo.apply(c);
         if let Component::Node(n) = c {
             self.nodes[n.0 as usize].online = false;
             crate::apps::on_node_death(self, n.0);
@@ -96,7 +98,7 @@ impl Cluster {
             }
             Err(RosterSkip::NoSurvivors) => {
                 self.ring_up = false;
-                self.ring = LogicalRing::empty();
+                self.ring = PlantRing::empty();
                 self.ring_pos.fill(usize::MAX);
                 self.log(Level::Warn, "roster", format!("{c:?} failed; no survivors"));
                 self.observe(ObservedEvent::NoSurvivors(c));
@@ -183,18 +185,17 @@ impl Cluster {
     /// roster episode to capture the capacity; otherwise it silently
     /// returns the component to the spare pool.
     pub(crate) fn apply_repair(&mut self, c: Component) {
-        match c {
-            Component::Switch(s) => self.topo.restore_switch(s),
-            Component::Link(n, s) => self.topo.restore_link(n, s),
-            Component::Node(_) => return,
+        if matches!(c, Component::Node(_)) {
+            return;
         }
+        self.topo.restore(c);
         self.log(
             Level::Info,
             "repair",
             format!("{c:?} repaired"),
         );
         self.observe(ObservedEvent::RepairApplied(c));
-        let best = ampnet_topo::largest_ring(&self.topo);
+        let best = self.topo.largest_ring();
         if best.len() > self.ring.len() && self.ring_up {
             // Re-roster to absorb the recovered capacity.
             if let Ok(mut outcome) = initial_rostering(&self.topo, &self.cfg.timing.roster) {
@@ -234,7 +235,7 @@ impl Cluster {
     }
 
     pub(crate) fn handle_node_online(&mut self, node: u8) {
-        self.topo.restore_node(NodeId(node));
+        self.topo.restore(Component::Node(NodeId(node)));
         // Cache refresh completed (time already charged): copy the
         // sponsor's replica. The packet-level protocol is validated in
         // ampnet-cache::refresh.
@@ -283,22 +284,9 @@ impl Cluster {
         let now = self.sim.now();
         // Scan: failed links/switches that are not on the current ring
         // (ring faults trigger rostering through loss of light).
-        let mut found: Vec<Component> = vec![];
-        for s in self.topo.switch_ids() {
-            if !self.topo.switch_alive(s) {
-                found.push(Component::Switch(s));
-            }
-        }
-        for n in self.topo.node_ids() {
-            for s in self.topo.switch_ids() {
-                if let Some(l) = self.topo.link(n, s) {
-                    if !l.up {
-                        found.push(Component::Link(n, s));
-                    }
-                }
-            }
-        }
-        for c in found {
+        // `failed_components` reports dead switching elements first,
+        // then dark fibers in enumeration order.
+        for c in self.topo.failed_components() {
             let key = format!("{c:?}");
             if self.known_spare_faults.insert(key) {
                 self.log(

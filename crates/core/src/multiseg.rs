@@ -263,7 +263,7 @@ struct RouteCtx {
     tables_for: Vec<Bridge>,
     /// Memoized BFS distances, indexed by destination segment.
     dist_to: Vec<Option<Box<[usize]>>>,
-    queue: VecDeque<u8>,
+    queue: VecDeque<usize>,
     /// Reusable collect buffer for one node's ROUTE_STREAM drain.
     datagrams: Vec<ampnet_services::msg::Datagram>,
 }
@@ -309,28 +309,27 @@ impl RouteCtx {
 }
 
 /// Hop distances from every segment to `dst_seg` over the `usable`
-/// bridges (`usize::MAX` = unreachable): BFS from the destination.
+/// bridges (`usize::MAX` = unreachable): BFS from the destination,
+/// over the workspace's shared traversal
+/// ([`ampnet_topo::pathing::bfs_distances_into`]). Bridges are
+/// enumerated in registration order, so the distance field — and every
+/// routing decision derived from it — is unchanged from the inline
+/// implementation this replaced.
 fn route_distances(
     usable: &[Bridge],
     n_segments: usize,
     dst_seg: u8,
-    queue: &mut VecDeque<u8>,
+    queue: &mut VecDeque<usize>,
 ) -> Box<[usize]> {
-    let mut dist = vec![usize::MAX; n_segments].into_boxed_slice();
-    queue.clear();
-    dist[dst_seg as usize] = 0;
-    queue.push_back(dst_seg);
-    while let Some(seg) = queue.pop_front() {
+    ampnet_topo::pathing::bfs_distances_into(n_segments, dst_seg as usize, queue, |seg, visit| {
         for br in usable {
             for (x, y) in [(br.a, br.b), (br.b, br.a)] {
-                if x.segment == seg && dist[y.segment as usize] == usize::MAX {
-                    dist[y.segment as usize] = dist[seg as usize] + 1;
-                    queue.push_back(y.segment);
+                if x.segment as usize == seg {
+                    visit(y.segment as usize);
                 }
             }
         }
-    }
-    dist
+    })
 }
 
 /// The first usable bridge (registration order) out of `from_seg`
@@ -367,7 +366,7 @@ fn route_next_hop(
     n_segments: usize,
     from_seg: u8,
     dst_seg: u8,
-    queue: &mut VecDeque<u8>,
+    queue: &mut VecDeque<usize>,
 ) -> Option<Bridge> {
     let dist = route_distances(usable, n_segments, dst_seg, queue);
     first_descending_bridge(usable, &dist, from_seg)

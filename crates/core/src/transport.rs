@@ -84,10 +84,10 @@ impl Cluster {
         }
         let n = self.ring.order.len();
         let v = self.ring.order[(pos + 1) % n];
-        let s = self.ring.hops[pos];
-        let lu = self.topo.link(ampnet_topo::NodeId(node), s).map(|l| l.length_m)?;
-        let lv = self.topo.link(v, s).map(|l| l.length_m)?;
-        Some((v.0, lu + lv))
+        let fiber =
+            self.topo
+                .hop_fiber_m(ampnet_topo::NodeId(node), v, &self.ring.hops[pos]);
+        Some((v.0, fiber))
     }
 
     pub(crate) fn kick(&mut self, node: u8) {

@@ -4,7 +4,6 @@
 //! deterministic.
 
 use ampnet_core::{Cluster, ClusterConfig, Component, NodeId, SimDuration, SwitchId};
-use ampnet_topo::largest_ring;
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -66,7 +65,7 @@ proptest! {
 
         // Ring healed and is exactly maximal.
         prop_assert!(c.ring_up(), "ring did not heal");
-        let exact = largest_ring(c.topology());
+        let exact = c.topology().largest_ring();
         prop_assert_eq!(c.ring().len(), exact.len());
         // Paper's no-drop guarantee.
         prop_assert_eq!(c.total_drops(), 0);

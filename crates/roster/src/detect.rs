@@ -12,7 +12,7 @@
 use crate::params::RosterParams;
 use ampnet_sim::SimDuration;
 use ampnet_topo::montecarlo::Component;
-use ampnet_topo::{LogicalRing, NodeId, Topology};
+use ampnet_topo::{NodeId, Plant, PlantRing};
 
 /// How a failure was (or would be) noticed.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,10 +40,10 @@ pub enum Detection {
 }
 
 /// Determine how the current `ring` notices `failed` (which has
-/// already been applied to `topo`).
+/// already been applied to `plant`).
 pub fn detect(
-    topo: &Topology,
-    ring: &LogicalRing,
+    plant: &Plant,
+    ring: &PlantRing,
     failed: Component,
     params: &RosterParams,
 ) -> Detection {
@@ -55,14 +55,10 @@ pub fn detect(
     for i in 0..n {
         let u = ring.order[i];
         let v = ring.order[(i + 1) % n];
-        let s = ring.hops[i];
-        // The hop u →(s)→ v is dark if u cannot drive it or the path
-        // is severed. The downstream receiver v detects, if alive.
-        let broken = !topo.node_alive(u)
-            || !topo.switch_alive(s)
-            || !topo.link(u, s).map(|l| l.up).unwrap_or(false)
-            || !topo.link(v, s).map(|l| l.up).unwrap_or(false);
-        if broken && topo.node_alive(v) && !detectors.contains(&v) {
+        // The hop u → v is dark if u cannot drive it or the route is
+        // severed. The downstream receiver v detects, if alive.
+        let broken = !plant.hop_usable(u, v, &ring.hops[i]);
+        if broken && plant.node_alive(v) && !detectors.contains(&v) {
             detectors.push(v);
         }
     }
@@ -79,10 +75,10 @@ pub fn detect(
     // downstream to see the dark), surviving connectable nodes notice
     // the silence of the periodic ring heartbeats and start rostering.
     let _ = failed;
-    if ring.validate(topo).is_err() {
-        let detectors: Vec<NodeId> = topo
+    if ring.validate(plant).is_err() {
+        let detectors: Vec<NodeId> = plant
             .node_ids()
-            .filter(|&n| topo.node_alive(n) && topo.switch_mask(n) != 0)
+            .filter(|&n| plant.connectable(n))
             .collect();
         if !detectors.is_empty() {
             return Detection::Heartbeat {
@@ -105,15 +101,36 @@ pub fn elect_master(detection: &Detection) -> Option<NodeId> {
     }
 }
 
+/// The master the flooding merge actually produces: the lowest-id
+/// detector that is still *connectable*. A detector whose every
+/// attachment died (impossible to arrange with one cut on a redundant
+/// crossbar, but routine on families with single-attached nodes, e.g.
+/// a folded Clos leaf fiber) notices the dark receive fiber yet cannot
+/// launch a token, so it can never win the merge. On any scenario
+/// where every detector keeps a live port this coincides with
+/// [`elect_master`].
+pub fn elect_flooding_master(plant: &Plant, detection: &Detection) -> Option<NodeId> {
+    match detection {
+        Detection::LossOfLight { detectors, .. } | Detection::Heartbeat { detectors, .. } => {
+            detectors
+                .iter()
+                .copied()
+                .filter(|&d| plant.connectable(d))
+                .min()
+        }
+        Detection::SpareOnly => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ampnet_topo::{largest_ring, SwitchId};
+    use ampnet_topo::SwitchId;
 
-    fn setup(n: usize) -> (Topology, LogicalRing, RosterParams) {
-        let topo = Topology::quad(n, 100.0);
-        let ring = largest_ring(&topo);
-        (topo, ring, RosterParams::default())
+    fn setup(n: usize) -> (Plant, PlantRing, RosterParams) {
+        let plant = Plant::crossbar(n, 4, 100.0);
+        let ring = plant.largest_ring();
+        (plant, ring, RosterParams::default())
     }
 
     #[test]
@@ -123,7 +140,7 @@ mod tests {
         // receiver of hop 2→3 (ring.order[3]) detects.
         let dead = ring.order[2];
         let downstream = ring.order[3];
-        topo.fail_node(dead);
+        topo.apply(Component::Node(dead));
         match detect(&topo, &ring, Component::Node(dead), &params) {
             Detection::LossOfLight { detectors, delay } => {
                 assert_eq!(detectors, vec![downstream]);
@@ -137,7 +154,7 @@ mod tests {
     fn dead_switch_detected_by_all_hops_through_it() {
         let (mut topo, ring, params) = setup(6);
         // All hops in a healthy quad plant go through switch 0.
-        topo.fail_switch(SwitchId(0));
+        topo.apply(Component::Switch(SwitchId(0)));
         match detect(&topo, &ring, Component::Switch(SwitchId(0)), &params) {
             Detection::LossOfLight { detectors, .. } => {
                 assert_eq!(detectors.len(), 6, "every hop broke");
@@ -153,9 +170,9 @@ mod tests {
         // it darkens u's outgoing hop (detected downstream at v) AND
         // u's incoming hop (u itself loses receive light).
         let u = ring.order[0];
-        let s = ring.hops[0];
+        let s = ring.hops[0].via[0];
         let v = ring.order[1];
-        topo.fail_link(u, s);
+        topo.apply(Component::Link(u, s));
         match detect(&topo, &ring, Component::Link(u, s), &params) {
             Detection::LossOfLight { detectors, .. } => {
                 let mut expect = vec![u, v];
@@ -172,7 +189,7 @@ mod tests {
         // In a healthy quad plant the ring uses switch 0 only; a fiber
         // to switch 3 is spare.
         let u = ring.order[0];
-        topo.fail_link(u, SwitchId(3));
+        topo.apply(Component::Link(u, SwitchId(3)));
         assert_eq!(
             detect(&topo, &ring, Component::Link(u, SwitchId(3)), &params),
             Detection::SpareOnly
@@ -192,14 +209,82 @@ mod tests {
     }
 
     #[test]
+    fn disconnected_detector_cannot_become_flooding_master() {
+        // Clos nodes hang off exactly one leaf: cutting node 0's only
+        // fiber makes it a detector (its receive hop goes dark) that
+        // can never flood. The merge winner is the lowest detector
+        // that still has a live attachment.
+        let plant = Plant::folded_clos(4, 2, 2, 100.0);
+        let ring = plant.largest_ring();
+        let params = RosterParams::default();
+        let mut damaged = plant;
+        damaged.apply(Component::Link(NodeId(0), SwitchId(0)));
+        let detection = detect(&damaged, &ring, Component::Link(NodeId(0), SwitchId(0)), &params);
+        let all = elect_master(&detection).expect("detectors exist");
+        assert_eq!(all, NodeId(0), "node 0 does notice the dark fiber");
+        let master = elect_flooding_master(&damaged, &detection).expect("survivors flood");
+        assert_ne!(master, NodeId(0), "node 0 cannot launch a token");
+        assert!(damaged.connectable(master));
+    }
+
+    #[test]
     fn empty_ring_cannot_detect() {
         let (mut topo, _, params) = setup(2);
-        topo.fail_node(NodeId(0));
-        topo.fail_node(NodeId(1));
-        let empty = LogicalRing::empty();
+        topo.apply(Component::Node(NodeId(0)));
+        topo.apply(Component::Node(NodeId(1)));
+        let empty = PlantRing::empty();
         assert_eq!(
             detect(&topo, &empty, Component::Node(NodeId(0)), &params),
             Detection::SpareOnly
         );
+    }
+
+    #[test]
+    fn torus_trunk_cut_detected_downstream() {
+        let plant = Plant::torus3d([4, 1, 1], 100.0);
+        let ring = plant.largest_ring();
+        assert_eq!(ring.len(), 4);
+        let params = RosterParams::default();
+        let u = ring.order[0];
+        let v = ring.order[1];
+        let mut damaged = plant;
+        let cut = if u <= v {
+            Component::Trunk(u, v)
+        } else {
+            Component::Trunk(v, u)
+        };
+        damaged.apply(cut);
+        match detect(&damaged, &ring, cut, &params) {
+            Detection::LossOfLight { detectors, .. } => {
+                // On a 4-ring the trunk carries exactly one directed
+                // hop, so only its downstream receiver loses light.
+                assert_eq!(detectors, vec![v]);
+            }
+            other => panic!("expected loss of light, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clos_spine_death_is_spare_when_rerouted_rings_hold() {
+        // A clos ring threads leaf-spine-leaf routes; killing a spine
+        // that carries hops must be detected.
+        let plant = Plant::folded_clos(4, 2, 2, 100.0);
+        let ring = plant.largest_ring();
+        let params = RosterParams::default();
+        let spine = ring
+            .hops
+            .iter()
+            .flat_map(|h| h.via.iter())
+            .copied()
+            .find(|s| s.0 >= 2)
+            .expect("some hop crosses a spine");
+        let mut damaged = plant;
+        damaged.apply(Component::Switch(spine));
+        match detect(&damaged, &ring, Component::Switch(spine), &params) {
+            Detection::LossOfLight { detectors, .. } => {
+                assert!(!detectors.is_empty());
+            }
+            other => panic!("expected loss of light, got {other:?}"),
+        }
     }
 }

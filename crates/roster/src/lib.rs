@@ -24,6 +24,6 @@ mod detect;
 mod params;
 mod protocol;
 
-pub use detect::{detect, elect_master, Detection};
+pub use detect::{detect, elect_flooding_master, elect_master, Detection};
 pub use params::RosterParams;
 pub use protocol::{initial_rostering, run_rostering, RosterOutcome, RosterSkip};

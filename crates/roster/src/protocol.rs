@@ -26,11 +26,11 @@
 //! microsecond is accounted: detection, per-hop serialization, fiber
 //! propagation, ColdFire processing, and failed-probe timeouts.
 
-use crate::detect::{detect, elect_master, Detection};
+use crate::detect::{detect, elect_flooding_master, Detection};
 use crate::params::RosterParams;
 use ampnet_sim::{SimDuration, SimTime};
 use ampnet_topo::montecarlo::Component;
-use ampnet_topo::{largest_ring, LogicalRing, NodeId, Topology};
+use ampnet_topo::{NodeId, Plant, PlantRing};
 
 /// Wire size of an EXPLORE/PROBE roster packet (one fixed cell).
 const EXPLORE_WIRE: usize = 20;
@@ -41,7 +41,7 @@ pub struct RosterOutcome {
     /// Roster epoch after recovery.
     pub epoch: u64,
     /// The committed logical ring.
-    pub ring: LogicalRing,
+    pub ring: PlantRing,
     /// The node that ran the algorithm.
     pub master: NodeId,
     /// Failure instant.
@@ -89,37 +89,50 @@ fn commit_wire(n: usize) -> usize {
 }
 
 /// Run one rostering episode: `failed` has just been applied to
-/// `topo`; `current` is the ring that was live. Returns the outcome or
-/// the reason no episode was needed.
+/// `plant`; `current` is the ring that was live. Returns the outcome
+/// or the reason no episode was needed.
 pub fn run_rostering(
-    topo: &Topology,
-    current: &LogicalRing,
+    plant: &Plant,
+    current: &PlantRing,
     failed: Component,
     failed_at: SimTime,
     epoch: u64,
     params: &RosterParams,
 ) -> Result<RosterOutcome, RosterSkip> {
-    let detection = detect(topo, current, failed, params);
-    let Some(master) = elect_master(&detection) else {
-        // No detector. Either the failed component was a true spare
-        // (the ring still works) or nobody connectable remains to run
-        // the algorithm.
-        return if current.validate(topo).is_ok() {
-            Err(RosterSkip::SpareComponent)
-        } else {
-            Err(RosterSkip::NoSurvivors)
-        };
-    };
-    let detect_time = match &detection {
-        Detection::LossOfLight { delay, .. } | Detection::Heartbeat { delay, .. } => *delay,
-        Detection::SpareOnly => unreachable!("master elected"),
+    let detection = detect(plant, current, failed, params);
+    let (master, detect_time) = match (elect_flooding_master(plant, &detection), &detection) {
+        (Some(m), Detection::LossOfLight { delay, .. })
+        | (Some(m), Detection::Heartbeat { delay, .. }) => (m, *delay),
+        (None, Detection::LossOfLight { .. }) => {
+            // Every loss-of-light detector lost its own last
+            // attachment along with the ring hop: nobody who saw the
+            // dark fiber can flood a token. Connectable survivors (if
+            // any) notice the heartbeat silence instead and the lowest
+            // of them runs the algorithm.
+            match plant.node_ids().find(|&n| plant.connectable(n)) {
+                Some(m) => (m, params.heartbeat_detect()),
+                None => return Err(RosterSkip::NoSurvivors),
+            }
+        }
+        _ => {
+            // No detector at all. Either the failed component was a
+            // true spare (the ring still works) or nobody remains who
+            // could run the algorithm.
+            return if current.validate(plant).is_ok() {
+                Err(RosterSkip::SpareComponent)
+            } else {
+                Err(RosterSkip::NoSurvivors)
+            };
+        }
     };
 
     // The ring the algorithm will discover and commit.
-    let new_ring = largest_ring(topo);
+    let new_ring = plant.largest_ring();
 
-    // Rotate so the tour starts at the master. The master is always a
-    // member: it is alive and (being a detector) has a live port.
+    // Rotate so the tour starts at the master. The master is alive
+    // and connectable, but off-crossbar the maximal ring may still
+    // exclude it (a torus minus one vertex has no Hamiltonian cycle
+    // through every survivor); `rotate_to` then leaves the ring as-is.
     let ring = rotate_to(&new_ring, master);
 
     // ----- Tour 1: explore -----
@@ -129,16 +142,15 @@ pub fn run_rostering(
     for i in 0..n {
         let u = ring.order[i];
         let v = ring.order[(i + 1) % n];
-        let s = ring.hops[i];
         // Probe candidates with ids cyclically between u and v that
         // are not ring members reachable later — each dead/unreachable
         // candidate burns one probe timeout. This models the flooding
         // search for available paths.
-        let dead_between = dead_candidates_between(topo, u, v);
+        let dead_between = dead_candidates_between(plant, u, v);
         failed_probes += dead_between;
         explore_time += params.probe_timeout.saturating_mul(dead_between);
         // The successful hop.
-        let fiber = hop_fiber_m(topo, u, v, s);
+        let fiber = plant.hop_fiber_m(u, v, &ring.hops[i]);
         explore_time += params.hop_cost(fiber, EXPLORE_WIRE);
     }
 
@@ -148,8 +160,7 @@ pub fn run_rostering(
     for i in 0..n {
         let u = ring.order[i];
         let v = ring.order[(i + 1) % n];
-        let s = ring.hops[i];
-        let fiber = hop_fiber_m(topo, u, v, s);
+        let fiber = plant.hop_fiber_m(u, v, &ring.hops[i]);
         commit_time += params.hop_cost(fiber, wire);
     }
 
@@ -158,8 +169,7 @@ pub fn run_rostering(
     for i in 0..n {
         let u = ring.order[i];
         let v = ring.order[(i + 1) % n];
-        let s = ring.hops[i];
-        ring_tour += params.hop_cost(hop_fiber_m(topo, u, v, s), EXPLORE_WIRE);
+        ring_tour += params.hop_cost(plant.hop_fiber_m(u, v, &ring.hops[i]), EXPLORE_WIRE);
     }
 
     let completed_at = failed_at + detect_time + explore_time + commit_time;
@@ -180,14 +190,14 @@ pub fn run_rostering(
 /// Bring-up rostering: boot the whole plant with no prior ring.
 /// The master is the lowest-id alive node.
 pub fn initial_rostering(
-    topo: &Topology,
+    plant: &Plant,
     params: &RosterParams,
 ) -> Result<RosterOutcome, RosterSkip> {
-    let alive = topo.alive_nodes();
+    let alive = plant.alive_nodes();
     let Some(&master) = alive.first() else {
         return Err(RosterSkip::NoSurvivors);
     };
-    let ring = rotate_to(&largest_ring(topo), master);
+    let ring = rotate_to(&plant.largest_ring(), master);
     let n = ring.order.len();
     let mut explore_time = SimDuration::ZERO;
     let mut failed_probes = 0;
@@ -195,11 +205,10 @@ pub fn initial_rostering(
     for i in 0..n {
         let u = ring.order[i];
         let v = ring.order[(i + 1) % n];
-        let s = ring.hops[i];
-        let dead = dead_candidates_between(topo, u, v);
+        let dead = dead_candidates_between(plant, u, v);
         failed_probes += dead;
         explore_time += params.probe_timeout.saturating_mul(dead);
-        let fiber = hop_fiber_m(topo, u, v, s);
+        let fiber = plant.hop_fiber_m(u, v, &ring.hops[i]);
         explore_time += params.hop_cost(fiber, EXPLORE_WIRE);
         ring_tour += params.hop_cost(fiber, EXPLORE_WIRE);
     }
@@ -208,8 +217,7 @@ pub fn initial_rostering(
     for i in 0..n {
         let u = ring.order[i];
         let v = ring.order[(i + 1) % n];
-        let s = ring.hops[i];
-        commit_time += params.hop_cost(hop_fiber_m(topo, u, v, s), wire);
+        commit_time += params.hop_cost(plant.hop_fiber_m(u, v, &ring.hops[i]), wire);
     }
     Ok(RosterOutcome {
         epoch: 1,
@@ -225,7 +233,7 @@ pub fn initial_rostering(
     })
 }
 
-fn rotate_to(ring: &LogicalRing, start: NodeId) -> LogicalRing {
+fn rotate_to(ring: &PlantRing, start: NodeId) -> PlantRing {
     let Some(pos) = ring.order.iter().position(|&n| n == start) else {
         return ring.clone();
     };
@@ -233,21 +241,18 @@ fn rotate_to(ring: &LogicalRing, start: NodeId) -> LogicalRing {
     let mut hops = ring.hops.clone();
     order.rotate_left(pos);
     hops.rotate_left(pos);
-    LogicalRing { order, hops }
+    PlantRing { order, hops }
 }
 
 /// Nodes with ids cyclically strictly between `u` and `v` that are not
 /// alive-and-connected — the candidates the explorer wastes probes on.
-fn dead_candidates_between(topo: &Topology, u: NodeId, v: NodeId) -> u64 {
-    let total = topo.n_nodes() as u8;
+fn dead_candidates_between(plant: &Plant, u: NodeId, v: NodeId) -> u64 {
+    let total = plant.n_nodes() as u8;
     let mut count = 0u64;
     let mut id = (u.0 + 1) % total;
     while id != v.0 {
-        if id != u.0 {
-            let n = NodeId(id);
-            if !topo.node_alive(n) || topo.switch_mask(n) == 0 {
-                count += 1;
-            }
+        if id != u.0 && !plant.connectable(NodeId(id)) {
+            count += 1;
         }
         id = (id + 1) % total;
         if id == u.0 {
@@ -257,28 +262,22 @@ fn dead_candidates_between(topo: &Topology, u: NodeId, v: NodeId) -> u64 {
     count
 }
 
-fn hop_fiber_m(topo: &Topology, u: NodeId, v: NodeId, s: ampnet_topo::SwitchId) -> f64 {
-    let lu = topo.link(u, s).map(|l| l.length_m).unwrap_or(0.0);
-    let lv = topo.link(v, s).map(|l| l.length_m).unwrap_or(0.0);
-    lu + lv
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use ampnet_topo::SwitchId;
 
-    fn quad(n: usize, fiber: f64) -> (Topology, LogicalRing) {
-        let topo = Topology::quad(n, fiber);
-        let ring = largest_ring(&topo);
-        (topo, ring)
+    fn quad(n: usize, fiber: f64) -> (Plant, PlantRing) {
+        let plant = Plant::crossbar(n, 4, fiber);
+        let ring = plant.largest_ring();
+        (plant, ring)
     }
 
     #[test]
     fn single_node_failure_heals_to_n_minus_1() {
         let (mut topo, ring) = quad(8, 100.0);
         let dead = ring.order[3];
-        topo.fail_node(dead);
+        topo.apply(Component::Node(dead));
         let out = run_rostering(
             &topo,
             &ring,
@@ -301,7 +300,7 @@ mod tests {
     fn recovery_close_to_two_ring_tours() {
         let (mut topo, ring) = quad(16, 100.0);
         let dead = ring.order[5];
-        topo.fail_node(dead);
+        topo.apply(Component::Node(dead));
         let out = run_rostering(
             &topo,
             &ring,
@@ -325,7 +324,7 @@ mod tests {
         for n in [32usize, 48] {
             let (mut topo, ring) = quad(n, 100.0);
             let dead = ring.order[1];
-            topo.fail_node(dead);
+            topo.apply(Component::Node(dead));
             let out = run_rostering(
                 &topo,
                 &ring,
@@ -346,7 +345,7 @@ mod tests {
     #[test]
     fn switch_failure_reroutes_everyone() {
         let (mut topo, ring) = quad(6, 100.0);
-        topo.fail_switch(SwitchId(0));
+        topo.apply(Component::Switch(SwitchId(0)));
         let out = run_rostering(
             &topo,
             &ring,
@@ -357,7 +356,11 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.ring.len(), 6, "all nodes survive on spare switches");
-        assert!(out.ring.hops.iter().all(|&s| s != SwitchId(0)));
+        assert!(out
+            .ring
+            .hops
+            .iter()
+            .all(|h| !h.via.contains(&SwitchId(0))));
         out.ring.validate(&topo).unwrap();
     }
 
@@ -365,7 +368,7 @@ mod tests {
     fn spare_failure_skips_rostering() {
         let (mut topo, ring) = quad(4, 100.0);
         let u = ring.order[0];
-        topo.fail_link(u, SwitchId(2)); // spare fiber
+        topo.apply(Component::Link(u, SwitchId(2))); // spare fiber
         let r = run_rostering(
             &topo,
             &ring,
@@ -380,8 +383,8 @@ mod tests {
     #[test]
     fn total_loss_reports_no_survivors() {
         let (mut topo, ring) = quad(2, 100.0);
-        topo.fail_node(NodeId(0));
-        topo.fail_node(NodeId(1));
+        topo.apply(Component::Node(NodeId(0)));
+        topo.apply(Component::Node(NodeId(1)));
         let r = run_rostering(
             &topo,
             &ring,
@@ -400,7 +403,7 @@ mod tests {
         for fiber in [10.0, 10_000.0] {
             let (mut topo, ring) = quad(16, fiber);
             let dead = ring.order[2];
-            topo.fail_node(dead);
+            topo.apply(Component::Node(dead));
             let out = run_rostering(
                 &topo,
                 &ring,
@@ -425,8 +428,8 @@ mod tests {
         // them.
         let d1 = ring.order[2];
         let d2 = ring.order[3];
-        topo.fail_node(d1);
-        topo.fail_node(d2);
+        topo.apply(Component::Node(d1));
+        topo.apply(Component::Node(d2));
         let out = run_rostering(
             &topo,
             &ring,
@@ -442,7 +445,7 @@ mod tests {
 
     #[test]
     fn initial_rostering_builds_full_ring() {
-        let topo = Topology::quad(10, 100.0);
+        let topo = Plant::crossbar(10, 4, 100.0);
         let out = initial_rostering(&topo, &RosterParams::default()).unwrap();
         assert_eq!(out.ring.len(), 10);
         assert_eq!(out.master, NodeId(0));
@@ -463,7 +466,7 @@ mod tests {
         // covered in detect.rs; here assert loss-of-light dominates.
         let (mut topo, ring) = quad(4, 100.0);
         let dead = ring.order[1];
-        topo.fail_node(dead);
+        topo.apply(Component::Node(dead));
         let out = run_rostering(
             &topo,
             &ring,
@@ -482,7 +485,7 @@ mod tests {
     #[test]
     fn epoch_increments() {
         let (mut topo, ring) = quad(4, 100.0);
-        topo.fail_node(ring.order[0]);
+        topo.apply(Component::Node(ring.order[0]));
         let out = run_rostering(
             &topo,
             &ring,
@@ -493,5 +496,60 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.epoch, 42);
+    }
+
+    #[test]
+    fn torus_node_failure_heals() {
+        let plant = Plant::torus3d([2, 2, 2], 100.0);
+        let boot = initial_rostering(&plant, &RosterParams::default()).unwrap();
+        assert_eq!(boot.ring.len(), 8);
+        let mut damaged = plant;
+        let dead = boot.ring.order[3];
+        damaged.apply(Component::Node(dead));
+        let out = run_rostering(
+            &damaged,
+            &boot.ring,
+            Component::Node(dead),
+            SimTime::ZERO,
+            1,
+            &RosterParams::default(),
+        )
+        .unwrap();
+        assert!(!out.ring.order.contains(&dead));
+        assert!(out.ring.len() >= 6);
+        out.ring.validate(&damaged).unwrap();
+        // Unlike a crossbar, the torus's maximal ring may exclude the
+        // master itself (Q3 minus a vertex has a 6-cycle over 7
+        // survivors); the tour only starts at the master when the
+        // master made the roster.
+        if out.ring.order.contains(&out.master) {
+            assert_eq!(out.ring.order[0], out.master);
+        }
+    }
+
+    #[test]
+    fn clos_spine_failure_heals_full_ring() {
+        let plant = Plant::folded_clos(6, 2, 2, 100.0);
+        let boot = initial_rostering(&plant, &RosterParams::default()).unwrap();
+        assert_eq!(boot.ring.len(), 6);
+        let mut damaged = plant;
+        damaged.apply(Component::Switch(SwitchId(2)));
+        match run_rostering(
+            &damaged,
+            &boot.ring,
+            Component::Switch(SwitchId(2)),
+            SimTime::ZERO,
+            1,
+            &RosterParams::default(),
+        ) {
+            // If the boot ring only crossed spine 3, spine 2 is spare;
+            // otherwise rostering must rebuild the full ring over the
+            // surviving spine.
+            Ok(out) => {
+                assert_eq!(out.ring.len(), 6);
+                out.ring.validate(&damaged).unwrap();
+            }
+            Err(e) => assert_eq!(e, RosterSkip::SpareComponent),
+        }
     }
 }

@@ -1,46 +1,56 @@
 //! Property tests: rostering always rebuilds the *largest possible*
 //! logical ring (equal to the exact solver), validates against the
-//! damaged plant, and its cost accounting is internally consistent.
+//! damaged plant, and its cost accounting is internally consistent —
+//! on every plant family (crossbar, 3D torus, folded Clos).
 
 use ampnet_roster::{initial_rostering, run_rostering, RosterParams, RosterSkip};
 use ampnet_sim::SimTime;
-use ampnet_topo::montecarlo::{apply, components, Component, FailureDomain};
-use ampnet_topo::{largest_ring, Topology};
+use ampnet_topo::montecarlo::{Component, FailureDomain};
+use ampnet_topo::Plant;
 use proptest::prelude::*;
 
-fn arb_plant() -> impl Strategy<Value = (Topology, Vec<u16>)> {
-    (
+fn arb_plant() -> impl Strategy<Value = (Plant, Vec<u16>)> {
+    let crossbar = (
         2usize..=10,
         prop_oneof![Just(2usize), Just(4usize)],
         10.0f64..5_000.0,
+    )
+        .prop_map(|(n, s, fiber)| Plant::crossbar(n, s, fiber));
+    // x >= 2 keeps every generated torus at >= 2 nodes.
+    let torus = (2usize..=3, 1usize..=3, 1usize..=2, 10.0f64..5_000.0)
+        .prop_map(|(x, y, z, fiber)| Plant::torus3d([x, y, z], fiber));
+    let clos = (2usize..=8, 1usize..=3, 1usize..=2, 10.0f64..5_000.0)
+        .prop_map(|(n, l, s, fiber)| Plant::folded_clos(n, l, s, fiber));
+    (
+        prop_oneof![crossbar, torus, clos],
         proptest::collection::vec(any::<u16>(), 0..6),
     )
-        .prop_map(|(n, s, fiber, pre)| (Topology::redundant(n, s, fiber), pre))
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// After any pre-damage plus one more failure, if rostering runs it
-    /// commits a ring that (a) validates and (b) is exactly maximal.
+    /// commits a ring that (a) validates and (b) is exactly maximal
+    /// (all generated plants are within the exact-solver threshold).
     #[test]
     fn rostering_is_maximal_and_valid(
-        (mut topo, pre) in arb_plant(),
+        (mut plant, pre) in arb_plant(),
         last in any::<u16>(),
     ) {
         // Apply pre-existing damage, then compute the live ring.
-        let comps = components(&topo, FailureDomain::Everything);
+        let comps = plant.components(FailureDomain::Everything);
         for f in &pre {
-            apply(&mut topo, comps[*f as usize % comps.len()]);
+            plant.apply(comps[*f as usize % comps.len()]);
         }
-        let current = largest_ring(&topo);
+        let current = plant.largest_ring();
         // One more failure triggers the episode.
         let failed = comps[last as usize % comps.len()];
-        apply(&mut topo, failed);
-        match run_rostering(&topo, &current, failed, SimTime::ZERO, 7, &RosterParams::default()) {
+        plant.apply(failed);
+        match run_rostering(&plant, &current, failed, SimTime::ZERO, 7, &RosterParams::default()) {
             Ok(out) => {
-                prop_assert!(out.ring.validate(&topo).is_ok());
-                let exact = largest_ring(&topo);
+                prop_assert!(out.ring.validate(&plant).is_ok());
+                let exact = plant.largest_ring();
                 prop_assert_eq!(out.ring.len(), exact.len(),
                     "committed ring not maximal");
                 prop_assert_eq!(out.epoch, 8);
@@ -53,29 +63,29 @@ proptest! {
             }
             Err(RosterSkip::SpareComponent) => {
                 // Then the old ring must still be valid as-is.
-                prop_assert!(current.validate(&topo).is_ok());
+                prop_assert!(current.validate(&plant).is_ok());
             }
             Err(RosterSkip::NoSurvivors) => {
-                prop_assert!(largest_ring(&topo).is_empty()
-                    || topo.alive_nodes().is_empty());
+                prop_assert!(plant.largest_ring().is_empty()
+                    || plant.alive_nodes().is_empty());
             }
         }
     }
 
     /// Initial rostering always builds the maximal ring of the plant.
     #[test]
-    fn initial_builds_maximal((mut topo, pre) in arb_plant()) {
-        let comps = components(&topo, FailureDomain::Everything);
+    fn initial_builds_maximal((mut plant, pre) in arb_plant()) {
+        let comps = plant.components(FailureDomain::Everything);
         for f in &pre {
-            apply(&mut topo, comps[*f as usize % comps.len()]);
+            plant.apply(comps[*f as usize % comps.len()]);
         }
-        match initial_rostering(&topo, &RosterParams::default()) {
+        match initial_rostering(&plant, &RosterParams::default()) {
             Ok(out) => {
-                prop_assert!(out.ring.validate(&topo).is_ok());
-                prop_assert_eq!(out.ring.len(), largest_ring(&topo).len());
+                prop_assert!(out.ring.validate(&plant).is_ok());
+                prop_assert_eq!(out.ring.len(), plant.largest_ring().len());
             }
             Err(RosterSkip::NoSurvivors) => {
-                prop_assert!(topo.alive_nodes().is_empty());
+                prop_assert!(plant.alive_nodes().is_empty());
             }
             Err(e) => prop_assert!(false, "unexpected skip {:?}", e),
         }
@@ -88,12 +98,12 @@ proptest! {
         let params = RosterParams::default();
         let mut prev = None;
         for n in [4usize, 8, 16, 32] {
-            let mut topo = Topology::quad(n, seed_fiber);
-            let ring = largest_ring(&topo);
+            let mut plant = Plant::crossbar(n, 4, seed_fiber);
+            let ring = plant.largest_ring();
             let dead = ring.order[1];
-            topo.fail_node(dead);
+            plant.apply(Component::Node(dead));
             let out = run_rostering(
-                &topo, &ring, Component::Node(dead), SimTime::ZERO, 0, &params,
+                &plant, &ring, Component::Node(dead), SimTime::ZERO, 0, &params,
             ).unwrap();
             if let Some(p) = prev {
                 prop_assert!(out.recovery_time() > p,
@@ -112,19 +122,19 @@ proptest! {
 /// property-test framework's seeding or shrinking.
 #[test]
 fn regression_redundant3x2_predamaged_then_failed() {
-    let mut topo = Topology::redundant(3, 2, 10.0);
-    let comps = components(&topo, FailureDomain::Everything);
+    let mut plant = Plant::crossbar(3, 2, 10.0);
+    let comps = plant.components(FailureDomain::Everything);
     let pre: [u16; 4] = [10678, 21230, 5623, 30044];
     for f in pre {
-        apply(&mut topo, comps[f as usize % comps.len()]);
+        plant.apply(comps[f as usize % comps.len()]);
     }
-    let current = largest_ring(&topo);
+    let current = plant.largest_ring();
     let failed = comps[13760usize % comps.len()];
-    apply(&mut topo, failed);
-    match run_rostering(&topo, &current, failed, SimTime::ZERO, 7, &RosterParams::default()) {
+    plant.apply(failed);
+    match run_rostering(&plant, &current, failed, SimTime::ZERO, 7, &RosterParams::default()) {
         Ok(out) => {
-            assert!(out.ring.validate(&topo).is_ok());
-            let exact = largest_ring(&topo);
+            assert!(out.ring.validate(&plant).is_ok());
+            let exact = plant.largest_ring();
             assert_eq!(out.ring.len(), exact.len(), "committed ring not maximal");
             assert_eq!(out.epoch, 8);
             let total = out.detect_time + out.explore_time + out.commit_time;
@@ -132,10 +142,10 @@ fn regression_redundant3x2_predamaged_then_failed() {
             assert!(out.explore_time >= out.ring_tour);
         }
         Err(RosterSkip::SpareComponent) => {
-            assert!(current.validate(&topo).is_ok());
+            assert!(current.validate(&plant).is_ok());
         }
         Err(RosterSkip::NoSurvivors) => {
-            assert!(largest_ring(&topo).is_empty() || topo.alive_nodes().is_empty());
+            assert!(plant.largest_ring().is_empty() || plant.alive_nodes().is_empty());
         }
     }
 }

@@ -33,7 +33,11 @@ impl fmt::Display for SwitchId {
 }
 
 /// One bidirectional node–switch fiber pair.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Deliberately not `PartialEq`: `length_m` is an `f64`, and a derived
+/// float equality invites accidental exact comparisons. Compare the
+/// identity (`node`, `switch`) and `up` state explicitly instead.
+#[derive(Debug, Clone, Copy)]
 pub struct Link {
     /// Node endpoint.
     pub node: NodeId,

@@ -9,10 +9,14 @@
 //!
 //! * [`Topology`] — graph + failure state, switch masks, shared-switch
 //!   queries, hop fiber lengths.
+//! * [`Plant`] — the generalized plant (crossbar, 3D torus, folded
+//!   Clos) with routes, components and a family-agnostic ring solver.
 //! * [`largest_ring`]/[`LogicalRing`] — exact maximum logical ring
 //!   with per-hop switch assignment and validity checking.
 //! * [`montecarlo`] — random failure sweeps for the E7 redundancy
 //!   experiment (dual vs quad survivability).
+//! * [`pathing`] — the shared BFS distance helper used by plant
+//!   routing and multi-segment datagram routing.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -20,7 +24,12 @@
 pub mod availability;
 mod graph;
 pub mod montecarlo;
+pub mod pathing;
+mod plant;
 mod ring_solver;
 
 pub use graph::{Link, NodeId, SwitchId, Topology};
+pub use plant::{
+    GraphPlant, HopRoute, Plant, PlantRing, GRAPH_EXACT_THRESHOLD, GRAPH_HEURISTIC_BUDGET,
+};
 pub use ring_solver::{largest_ring, LogicalRing};

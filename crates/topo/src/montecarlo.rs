@@ -21,14 +21,20 @@ pub enum FailureDomain {
 }
 
 /// One component that can fail.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Component {
     /// A node–switch fiber.
     Link(NodeId, SwitchId),
-    /// A crossbar switch.
+    /// A crossbar switch (or any switching element).
     Switch(SwitchId),
     /// A host node.
     Node(NodeId),
+    /// A direct node–node trunk fiber (torus plants; endpoints are
+    /// kept normalized `a < b`). No-op on crossbar topologies.
+    Trunk(NodeId, NodeId),
+    /// A switch–switch stage fiber (multistage plants; endpoints
+    /// normalized `a < b`). No-op on crossbar topologies.
+    Stage(SwitchId, SwitchId),
 }
 
 /// Enumerate the failable components of `topo` under `domain`.
@@ -63,6 +69,8 @@ pub fn apply(topo: &mut Topology, c: Component) {
         Component::Link(n, s) => topo.fail_link(n, s),
         Component::Switch(s) => topo.fail_switch(s),
         Component::Node(n) => topo.fail_node(n),
+        // Crossbar plants have no trunks or stages.
+        Component::Trunk(..) | Component::Stage(..) => {}
     }
 }
 

@@ -1,0 +1,106 @@
+//! The workspace's one breadth-first-search implementation.
+//!
+//! Unweighted hop distances show up twice in the stack: the plant
+//! abstraction routes ring hops through switching elements
+//! ([`crate::Plant::hop_route`]), and the multi-segment coordinator in
+//! `ampnet-core` routes datagrams between segments over bridge nodes.
+//! Both call [`bfs_distances`] with a caller-supplied neighbour
+//! closure, so the traversal logic — and its determinism contract —
+//! lives in exactly one place.
+//!
+//! Determinism: the result is a pure function of the neighbour
+//! relation. Callers enumerate neighbours in a deterministic order
+//! (adjacency insertion order), so any path reconstruction walking the
+//! distance field is deterministic too.
+
+use std::collections::VecDeque;
+
+/// Hop distances from `start` to every vertex `0..n`
+/// (`usize::MAX` = unreachable), by breadth-first search.
+///
+/// `neighbors(v, visit)` must call `visit(w)` once for each neighbour
+/// `w` of `v`; already-visited vertices are ignored, so the closure
+/// does not need to deduplicate.
+pub fn bfs_distances(
+    n: usize,
+    start: usize,
+    neighbors: impl FnMut(usize, &mut dyn FnMut(usize)),
+) -> Box<[usize]> {
+    let mut queue = VecDeque::new();
+    bfs_distances_into(n, start, &mut queue, neighbors)
+}
+
+/// [`bfs_distances`] with a caller-owned scratch queue, for hot paths
+/// that run many searches and want to reuse the allocation.
+pub fn bfs_distances_into(
+    n: usize,
+    start: usize,
+    queue: &mut VecDeque<usize>,
+    mut neighbors: impl FnMut(usize, &mut dyn FnMut(usize)),
+) -> Box<[usize]> {
+    let mut dist = vec![usize::MAX; n].into_boxed_slice();
+    queue.clear();
+    dist[start] = 0;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        let next = dist[v] + 1;
+        neighbors(v, &mut |w| {
+            if dist[w] == usize::MAX {
+                dist[w] = next;
+                queue.push_back(w);
+            }
+        });
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_neighbors(n: usize) -> impl FnMut(usize, &mut dyn FnMut(usize)) {
+        move |v, visit| {
+            visit((v + 1) % n);
+            visit((v + n - 1) % n);
+        }
+    }
+
+    #[test]
+    fn ring_distances() {
+        let d = bfs_distances(6, 0, ring_neighbors(6));
+        assert_eq!(&*d, &[0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn unreachable_is_max() {
+        // Two components: 0-1 and 2-3.
+        let d = bfs_distances(4, 0, |v, visit| match v {
+            0 => visit(1),
+            1 => visit(0),
+            2 => visit(3),
+            3 => visit(2),
+            _ => unreachable!(),
+        });
+        assert_eq!(&*d, &[0, 1, usize::MAX, usize::MAX]);
+    }
+
+    #[test]
+    fn scratch_queue_reuse_matches() {
+        let mut q = VecDeque::new();
+        let a = bfs_distances_into(6, 2, &mut q, ring_neighbors(6));
+        let b = bfs_distances(6, 2, ring_neighbors(6));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duplicate_visits_ignored() {
+        let d = bfs_distances(3, 0, |v, visit| {
+            if v == 0 {
+                visit(1);
+                visit(1);
+                visit(2);
+            }
+        });
+        assert_eq!(&*d, &[0, 1, 1]);
+    }
+}

@@ -70,9 +70,8 @@ impl LogicalRing {
                 self.hops.len()
             ));
         }
-        let mut seen = std::collections::HashSet::new();
-        for &n in &self.order {
-            if !seen.insert(n) {
+        for (i, &n) in self.order.iter().enumerate() {
+            if self.order[..i].contains(&n) {
                 return Err(format!("{n} appears twice"));
             }
             if !topo.node_alive(n) {
@@ -366,8 +365,7 @@ fn build_ring(nodes: &[(NodeId, u8)], r_mask: u8, edges: &[(u8, u8, u8)]) -> Log
 
     // Loop nodes: everyone not used as a transition, assigned to the
     // lowest switch in their mask ∩ R.
-    let transition_ids: std::collections::HashSet<NodeId> =
-        assigned.iter().map(|&(_, _, n)| n).collect();
+    let transition_ids: Vec<NodeId> = assigned.iter().map(|&(_, _, n)| n).collect();
     let mut loops_at: Vec<Vec<NodeId>> = vec![vec![]; 8];
     for &(n, m) in &usable {
         if !transition_ids.contains(&n) {

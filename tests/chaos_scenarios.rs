@@ -8,7 +8,7 @@
 //! availability claims must hold under each fault schedule.
 
 use ampnet::chaos::{FaultOp, Scenario, Traffic};
-use ampnet::core::{ClusterConfig, SimDuration};
+use ampnet::core::{ClusterConfig, PlantSpec, SimDuration};
 
 fn ms(n: u64) -> SimDuration {
     SimDuration::from_millis(n)
@@ -249,6 +249,97 @@ fn same_seed_same_trace_digest() {
     assert_eq!(a.doomed, b.doomed);
     assert_eq!(a.final_epoch, b.final_epoch);
     assert_eq!(a.final_time, b.final_time);
+}
+
+/// One generic schedule — index-addressed fiber cut, element failure,
+/// splice, element repair — replays unchanged across all three plant
+/// families. The indices resolve against each family's own component
+/// enumeration (a port fiber on the crossbar, a stage fiber on the
+/// Clos, a trunk on the torus), and element ops vanish on the
+/// element-free torus. Every family must ride it out losslessly.
+#[test]
+fn generic_schedule_replays_on_every_family() {
+    for (spec, min_episodes) in [
+        // Switch 0 carries the healthy crossbar ring: boot + damage.
+        (PlantSpec::Crossbar, 2),
+        // Element faults are no-ops on a torus and the cut trunk may
+        // be spare, so only boot is guaranteed.
+        (PlantSpec::Torus3d { dims: [2, 2, 2] }, 1),
+        // The failed element is a spine with ring hops through it.
+        (PlantSpec::FoldedClos { leaves: 4, spines: 2 }, 2),
+    ] {
+        let report = Scenario::builder(ClusterConfig::small(8).with_seed(0xD7).with_plant(spec))
+            .traffic(Traffic::all_to_all())
+            .fault_in(ms(8), FaultOp::CutLinkIndex(8))
+            .fault_in(ms(20), FaultOp::FailElement(4))
+            .fault_in(ms(36), FaultOp::SpliceLinkIndex(8))
+            .fault_in(ms(44), FaultOp::RepairElement(4))
+            .standard_invariants()
+            .build()
+            .run();
+        assert!(report.ok(), "family {spec:?}: {}", report.summary());
+        assert_eq!(report.sent, report.delivered, "{spec:?}: no endpoint died");
+        assert!(
+            report.roster_episodes >= min_episodes,
+            "{spec:?}: expected ≥{min_episodes} episodes, got {}",
+            report.roster_episodes
+        );
+        assert_eq!(
+            report.failover_ns == 0,
+            report.reconvergence_ns == 0,
+            "{spec:?}: latency metrics must agree on whether the ring took damage"
+        );
+        assert!(report.failover_ns <= report.reconvergence_ns);
+        if report.roster_episodes > 1 {
+            assert!(report.failover_ns > 0, "{spec:?}: damage episodes take time");
+        }
+    }
+}
+
+/// Same generic schedule, same family, same seed: bit-identical runs.
+/// The index-addressed faults resolve deterministically.
+#[test]
+fn generic_schedule_is_deterministic_per_family() {
+    let run = || {
+        Scenario::builder(
+            ClusterConfig::small(8)
+                .with_seed(0xD8)
+                .with_plant(PlantSpec::FoldedClos { leaves: 4, spines: 2 }),
+        )
+        .traffic(Traffic::all_to_all())
+        .fault_in(ms(10), FaultOp::CutLinkIndex(11))
+        .fault_in(ms(25), FaultOp::SpliceLinkIndex(11))
+        .standard_invariants()
+        .build()
+        .run()
+    };
+    let a = run();
+    let b = run();
+    assert!(a.ok(), "{}", a.summary());
+    assert_eq!(a.trace_digest, b.trace_digest);
+    assert_eq!(a.reconvergence_ns, b.reconvergence_ns);
+    assert_eq!(a.failover_ns, b.failover_ns);
+}
+
+/// Element faults on an element-free family are no-ops by design:
+/// a torus has trunks but no switching elements to fail.
+#[test]
+fn element_faults_are_no_ops_on_a_torus() {
+    let report = Scenario::builder(
+        ClusterConfig::small(8)
+            .with_seed(0xD9)
+            .with_plant(PlantSpec::Torus3d { dims: [2, 2, 2] }),
+    )
+    .traffic(Traffic::ping_pong(0, 7))
+    .fault_in(ms(10), FaultOp::FailElement(0))
+    .fault_in(ms(20), FaultOp::RepairElement(0))
+    .standard_invariants()
+    .build()
+    .run();
+    assert!(report.ok(), "{}", report.summary());
+    assert_eq!(report.roster_episodes, 1, "boot only: nothing to fail");
+    assert_eq!(report.reconvergence_ns, 0);
+    assert_eq!(report.failover_ns, 0);
 }
 
 /// The digest is a real fingerprint: changing the fault schedule

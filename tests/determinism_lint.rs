@@ -33,6 +33,9 @@ const SIM_FACING: &[&str] = &[
     "dk",
     "chaos",
     "telemetry",
+    // The plant abstraction and family generators: adjacency must be
+    // construction-ordered and damage seeded, never hashed or random.
+    "topo",
 ];
 
 /// Identifier tokens rejected under word-boundary matching.

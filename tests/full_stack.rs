@@ -51,7 +51,7 @@ fn whole_paper_in_one_run() {
     // Healed: ring has the 7 survivors, avoids switch 0.
     assert!(c.ring_up());
     assert_eq!(c.ring().len(), 7);
-    assert!(c.ring().hops.iter().all(|&s| s != SwitchId(0)));
+    assert!(c.ring().hops.iter().all(|h| !h.via.contains(&SwitchId(0))));
     assert_eq!(c.epoch(), 3, "boot + switch heal + node heal");
 
     // Failover happened to the best-qualified survivor, losslessly.
@@ -101,7 +101,7 @@ fn fault_storm_invariants() {
         // All survivors converged after replay.
         assert!(c.caches_converged(), "seed {seed}: caches diverged");
         // Ring is exactly the maximal one for the damaged plant.
-        let exact = ampnet::topo::largest_ring(c.topology());
+        let exact = c.topology().largest_ring();
         assert_eq!(c.ring().len(), exact.len(), "seed {seed}: not maximal");
     }
 }

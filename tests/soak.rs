@@ -87,7 +87,7 @@ fn half_second_of_cluster_life() {
         // Checkpoint invariants.
         assert!(c.ring_up(), "epoch {epoch}: ring must be up at checkpoint");
         assert_eq!(c.total_drops(), 0, "epoch {epoch}: a packet dropped");
-        let exact = ampnet::topo::largest_ring(c.topology());
+        let exact = c.topology().largest_ring();
         assert_eq!(
             c.ring().len(),
             exact.len(),
