@@ -10,6 +10,8 @@
 //! cargo run -p ampnet-bench --release --bin figures -- --metrics-doc > docs/METRICS.md
 //! cargo run -p ampnet-bench --release --bin figures -- --check CHECK_models.json
 //! cargo run -p ampnet-bench --release --bin figures -- --bench-topo BENCH_topo.json
+//! cargo run -p ampnet-bench --release --bin figures -- --bench-load BENCH_load.json
+//! cargo run -p ampnet-bench --release --bin figures -- --workloads-doc > docs/WORKLOADS.md
 //! ```
 //!
 //! `--bench-ring` runs the data-plane perf baseline: a 6-node segment
@@ -49,6 +51,13 @@
 //! (`ampnet_bench::metrics`) and writes the registry snapshot; same
 //! seed ⇒ byte-identical JSON. `--metrics-doc` prints the generated
 //! `docs/METRICS.md` metrics reference.
+//!
+//! `--bench-load` runs the million-client workload sweep: every
+//! arrival process (Poisson, Pareto α=1.5, diurnal) × modeled
+//! populations 1k → 1M against a healthy 6-node cluster, judging the
+//! standard SLO set per cell, plus one repeated cell proving the
+//! same-seed byte-identical report contract. `--workloads-doc` prints
+//! the generated `docs/WORKLOADS.md` workload reference.
 
 use ampnet_bench::experiments as ex;
 use ampnet_bench::host_seqlock::e5_host_seqlock;
@@ -670,6 +679,89 @@ fn bench_topo(path: &str) {
     println!("wrote {path}");
 }
 
+/// `--bench-load`: the workload sweep behind `BENCH_load.json`.
+///
+/// Every arrival process × modeled population cell runs the standard
+/// workload spec against a healthy 6-node cluster under one shared
+/// seed; every cell must pass the standard SLO set (this is the
+/// committed healthy baseline — chaos cells live in the load crate's
+/// own tests). One cell is then re-run from the same seed and must
+/// reproduce its report byte for byte; CI fails the `load` job on
+/// either a failed verdict or a digest mismatch.
+fn bench_load(path: &str) {
+    use ampnet_core::ClusterConfig;
+    use ampnet_load::{ArrivalProcess, LoadSpec};
+    use ampnet_sim::SimDuration;
+
+    const SEED: u64 = 0xA3B1;
+    let processes = [
+        ArrivalProcess::Poisson,
+        ArrivalProcess::Pareto { alpha: 1.5 },
+        ArrivalProcess::Diurnal {
+            period: SimDuration::from_millis(2),
+            swing: 0.8,
+        },
+    ];
+    let populations = [1_000u64, 32_000, 1_000_000];
+
+    let mut cells = Vec::new();
+    let mut all_pass = true;
+    for process in processes {
+        for population in populations {
+            let spec = LoadSpec::standard(population, process);
+            let report = ampnet_load::run(ClusterConfig::small(6).with_seed(SEED), &spec);
+            println!(
+                "load {:>7} clients × {:<7}: {} (digest {:#018x})",
+                population,
+                process.name(),
+                if report.all_slos_pass() { "all SLOs pass" } else { "SLO FAILURE" },
+                report.digest(),
+            );
+            if !report.all_slos_pass() {
+                println!("{}", report.summary());
+                all_pass = false;
+            }
+            cells.push(format!("    {}", report.to_json()));
+        }
+    }
+
+    // Determinism guard: one cell repeated from the same seed must be
+    // byte-identical (the load crate tests this per-class; the bench
+    // commits the evidence).
+    let spec = LoadSpec::standard(32_000, ArrivalProcess::Poisson);
+    let a = ampnet_load::run(ClusterConfig::small(6).with_seed(SEED), &spec);
+    let b = ampnet_load::run(ClusterConfig::small(6).with_seed(SEED), &spec);
+    let byte_identical = a.to_json() == b.to_json();
+    println!(
+        "determinism rerun (32k × poisson): byte_identical = {byte_identical} \
+         (digest {:#018x})",
+        a.digest()
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"load_sweep\",\n",
+            "  \"seed\": {},\n",
+            "  \"nodes\": 6,\n",
+            "  \"processes\": [\"poisson\", \"pareto\", \"diurnal\"],\n",
+            "  \"populations\": [1000, 32000, 1000000],\n",
+            "  \"all_slos_pass\": {},\n",
+            "  \"determinism\": {{\"cell\": \"poisson/32000\", ",
+            "\"byte_identical\": {}, \"digest\": \"{:016x}\"}},\n",
+            "  \"cells\": [\n{}\n  ]\n}}\n"
+        ),
+        SEED,
+        all_pass,
+        byte_identical,
+        a.digest(),
+        cells.join(",\n"),
+    );
+    std::fs::write(path, &json).expect("write load json");
+    println!("wrote {path}");
+    assert!(all_pass, "healthy baseline must pass every SLO");
+    assert!(byte_identical, "same seed must reproduce the report byte for byte");
+}
+
 /// `--metrics`: run the deterministic full-stack telemetry exercise
 /// and write the registry snapshot as JSON. Same seed ⇒ byte-identical
 /// output.
@@ -740,6 +832,18 @@ fn main() {
             .map(String::as_str)
             .unwrap_or("CHECK_models.json");
         check_models(path);
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--bench-load") {
+        let path = args
+            .get(i + 1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_load.json");
+        bench_load(path);
+        return;
+    }
+    if args.iter().any(|a| a == "--workloads-doc") {
+        print!("{}", ampnet_load::reference_doc());
         return;
     }
     if let Some(i) = args.iter().position(|a| a == "--metrics") {

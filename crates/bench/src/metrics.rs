@@ -1,9 +1,9 @@
 //! The `figures --metrics` exercise: one deterministic run that drives
 //! every instrumented plane of the stack — PHY bursts, MAC
 //! insert/forward/strip, host delivery, cache DMA + seqlock + atomics,
-//! messaging, semaphores, rostering, assimilation and smart data
-//! recovery — into a single shared telemetry registry, then snapshots
-//! it.
+//! messaging, semaphores, rostering, assimilation, smart data
+//! recovery and the workload engine's load plane — into a single
+//! shared telemetry registry, then snapshots it.
 //!
 //! The cluster and a standalone ring segment share one
 //! [`Telemetry`] handle (the segment contributes the tour/access
@@ -17,6 +17,7 @@ use ampnet_core::{
     MultiSegment, NodeId, RecordLayout, SemStressConfig, SemaphoreAddr, SeqProbeConfig,
     SimDuration, SwitchId, Version,
 };
+use ampnet_load::{ArrivalProcess, LoadReport, LoadSpec};
 use ampnet_ring::{Segment, SegmentParams};
 use ampnet_telemetry::{MetricsSnapshot, Telemetry};
 
@@ -31,6 +32,8 @@ pub struct TelemetryExercise {
     pub cluster: Cluster,
     /// The standalone ring segment (tour/access latency source).
     pub segment: Segment,
+    /// The workload-engine leg's report (load-plane metrics source).
+    pub load: LoadReport,
     /// The shared registry + flight recorder.
     pub tel: Telemetry,
 }
@@ -159,6 +162,19 @@ pub fn telemetry_exercise(seed: u64) -> TelemetryExercise {
     );
     net.run_for(SimDuration::from_millis(5));
 
+    // ----- workload-engine leg: load-plane instruments -----
+    // A small healthy sweep cell on its own cluster, recording into the
+    // shared registry: this is what registers (and bumps) every
+    // `defs::LOAD_*` def, so the catalog coverage check proves the
+    // load plane is live alongside every other plane.
+    let mut load_spec = LoadSpec::standard(8_000, ArrivalProcess::Poisson);
+    load_spec.ticks = 20;
+    let load = ampnet_load::run_with(
+        ampnet_core::ClusterConfig::small(6).with_seed(seed ^ 0x10AD),
+        &load_spec,
+        &tel,
+    );
+
     // ----- ring-segment leg: tour/access latency histograms -----
     let mut segment = Segment::new(
         SegmentParams {
@@ -172,7 +188,7 @@ pub fn telemetry_exercise(seed: u64) -> TelemetryExercise {
     segment.all_to_all_broadcast(1.0);
     let _ = segment.run_for(SimDuration::from_millis(1));
 
-    TelemetryExercise { cluster, segment, tel }
+    TelemetryExercise { cluster, segment, load, tel }
 }
 
 #[cfg(test)]
@@ -205,9 +221,12 @@ mod tests {
             "pdes_slices",
             "pdes_exchanges_elided",
             "pdes_quiescent_shard_slices",
+            "load_arrivals",
+            "load_completions",
         ] {
             assert!(snap.counter_total(name) > 0, "{name} stayed zero");
         }
         assert!(ex.tel.flight_recorded() > 0);
+        assert!(ex.load.all_slos_pass(), "{}", ex.load.summary());
     }
 }

@@ -4,7 +4,7 @@
 
 use crate::invariant::{CheckCtx, Phase};
 use crate::ledger::Ledger;
-use crate::scenario::{FaultOp, Scenario, Traffic};
+use crate::scenario::{FaultEvent, FaultOp, Scenario, Traffic};
 use ampnet_core::{
     BackoffPolicy, Cluster, Component, CounterAppConfig, FailoverPolicy, Features, JoinRequest,
     NodeId, RecordLayout, RosterReason, SemStressConfig, SeqProbeConfig, SimDuration, SimTime,
@@ -219,9 +219,20 @@ fn start_apps(cluster: &mut Cluster, sc: &Scenario, deadline: SimTime) -> Option
 /// Schedule every fault; returns node-crash instants in time order
 /// (the ledger dooms a crashed endpoint's pending traffic).
 fn schedule_faults(cluster: &mut Cluster, sc: &Scenario) -> Vec<(SimTime, u8)> {
+    apply_fault_schedule(cluster, sc.faults())
+}
+
+/// Schedule a fault list against a cluster, offsets relative to *now*;
+/// returns node-crash instants in time order so the caller can doom a
+/// crashed endpoint's pending traffic in its [`Ledger`].
+///
+/// This is the scenario engine's own scheduling path, exposed so other
+/// drivers (the `ampnet-load` workload engine) compose the same
+/// declarative fault schedules with their own traffic loops.
+pub fn apply_fault_schedule(cluster: &mut Cluster, faults: &[FaultEvent]) -> Vec<(SimTime, u8)> {
     let t0 = cluster.now();
     let mut crashes = vec![];
-    for f in sc.faults() {
+    for f in faults {
         let at = t0 + f.at;
         match f.op {
             FaultOp::CrashNode(n) => {

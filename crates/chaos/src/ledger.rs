@@ -57,16 +57,21 @@ pub struct Ledger {
 }
 
 impl Ledger {
-    /// Record a send; returns the payload to inject.
-    pub(crate) fn send(&mut self, src: u8, dst: u8, now: SimTime) -> Vec<u8> {
+    /// Record a send; returns the tagged payload to inject. Public so
+    /// external drivers (the `ampnet-load` workload engine) can put
+    /// their own traffic under the same exactly-once accounting the
+    /// chaos invariants check.
+    pub fn send(&mut self, src: u8, dst: u8, now: SimTime) -> Vec<u8> {
         let id = self.next_id;
         self.next_id += 1;
         self.pending.insert(id, SentMsg { src, dst, sent_at: now });
         encode_payload(id, src, dst)
     }
 
-    /// Record a drained message observed at `node`.
-    pub(crate) fn drained(&mut self, node: u8, payload: &[u8]) {
+    /// Record a drained message observed at `node`. Payloads that are
+    /// not chaos-tagged (no magic prefix, or trailing application
+    /// bytes) are ignored, so callers may feed every drained datagram.
+    pub fn drained(&mut self, node: u8, payload: &[u8]) {
         let Some((id, _src, dst)) = decode_payload(payload) else {
             return; // not chaos traffic (collectives, raw cells, apps)
         };
@@ -88,7 +93,7 @@ impl Ledger {
     }
 
     /// Excuse all pending messages touching `node` (it crashed).
-    pub(crate) fn doom_endpoint(&mut self, node: u8) {
+    pub fn doom_endpoint(&mut self, node: u8) {
         let ids: Vec<u64> = self
             .pending
             .iter()

@@ -44,7 +44,7 @@ pub mod multiseg;
 mod scenario;
 mod sweep;
 
-pub use engine::{RunReport, Violation};
+pub use engine::{apply_fault_schedule, RunReport, Violation};
 pub use invariant::{
     CheckCtx, FailoverWithinPolicy, Invariant, LosslessDelivery, MutualExclusion, NoDuplicates,
     Phase, ReconvergenceBound, RingDrops, SeqlockCoherence, StateConservation,

@@ -27,7 +27,8 @@ use ampnet_ring::{HostQueues, NodeStack, RegisterMac, SerialPhy};
 use ampnet_roster::{initial_rostering, RosterOutcome};
 use ampnet_services::msg::{Datagram, MsgRx, MsgTx};
 use ampnet_services::socket::{AmpIp, Received, SockAddr, SocketError};
-use ampnet_services::threads::{TaskKind, TaskTable};
+use ampnet_services::files::{FileError, FileStore};
+use ampnet_services::threads::{TaskError, TaskKind, TaskTable};
 use ampnet_sim::{Level, Sim, SimDuration, SimTime, Trace};
 use ampnet_telemetry::{MetricsSnapshot, Telemetry};
 use ampnet_topo::montecarlo::Component;
@@ -516,17 +517,31 @@ impl Cluster {
 
     /// Submit a remote task: writes the replicated task entry and
     /// rings the target's doorbell. Collect with
-    /// [`Cluster::collect_remote`].
-    pub fn spawn_remote(&mut self, submitter: u8, slot: u32, kind: TaskKind, target: u8, arg: u32) {
+    /// [`Cluster::collect_remote`]. Returns `false` (submitting
+    /// nothing) when the slot still holds a pending or uncollected
+    /// task — callers pick another slot or retry after collecting.
+    pub fn spawn_remote(
+        &mut self,
+        submitter: u8,
+        slot: u32,
+        kind: TaskKind,
+        target: u8,
+        arg: u32,
+    ) -> bool {
         let table = self.task_table.expect("enable_threads first");
-        let (pkts, doorbell) = table
-            .submit(&mut self.nodes[submitter as usize].cache, slot, kind, target, arg)
-            .expect("task table region configured");
+        let (pkts, doorbell) =
+            match table.submit(&mut self.nodes[submitter as usize].cache, slot, kind, target, arg)
+            {
+                Ok(out) => out,
+                Err(TaskError::SlotBusy) => return false,
+                Err(TaskError::Cache(e)) => panic!("task table region configured: {e}"),
+            };
         for p in pkts {
             self.enqueue_own(submitter, p);
         }
         self.enqueue_own(submitter, doorbell);
         self.kick(submitter);
+        true
     }
 
     /// Collect a finished remote task's result at `node` (frees the
@@ -596,6 +611,26 @@ impl Cluster {
             self.enqueue_own(node, p);
         }
         self.kick(node);
+    }
+
+    /// Write a file through an AmpFiles store handle at `node`; the
+    /// store's region must be configured on every node. The data,
+    /// heap-cursor and directory-entry updates replicate via broadcast
+    /// DMA MicroPackets, directory entry last (the commit point), so
+    /// replicas never observe a half-written file.
+    pub fn file_write(
+        &mut self,
+        node: u8,
+        store: &FileStore,
+        name: &str,
+        data: &[u8],
+    ) -> Result<(), FileError> {
+        let pkts = store.write(&mut self.nodes[node as usize].cache, name, data)?;
+        for p in pkts {
+            self.enqueue_own(node, p);
+        }
+        self.kick(node);
+        Ok(())
     }
 
     /// Write a seqlock record at `node` (slide 9 protocol).

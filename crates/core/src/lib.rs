@@ -54,7 +54,8 @@ pub use config::{ClusterConfig, PlantSpec, TimingModel};
 pub use ampnet_services::mpi::ReduceOp;
 pub use ampnet_services::socket::{Received, SockAddr, SocketError};
 pub use ampnet_packet::build::InterruptPayload;
-pub use ampnet_services::threads::TaskKind;
+pub use ampnet_services::files::{FileError, FileStore, FileStoreLayout};
+pub use ampnet_services::threads::{TaskError, TaskKind};
 
 // Re-export the vocabulary types callers need.
 pub use ampnet_cache::seqlock_msg::{ReadOutcome, RecordLayout};

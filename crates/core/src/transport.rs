@@ -68,7 +68,18 @@ impl Cluster {
     // ----- insertion -----
 
     pub(crate) fn enqueue_own(&mut self, node: u8, pkt: MicroPacket) {
-        let stream = pkt.ctrl.tag % self.cfg.mac.n_streams as u8;
+        // Streams are spread by tag — except D64 atomics, whose tag is
+        // the opcode. The semaphore protocol is only safe under
+        // per-source FIFO delivery (verified by `check`'s semaphore
+        // model with FIFO channels): spreading TestAndSet and Clear
+        // over different DRR streams lets a delayed TAS response
+        // overtake the Clear response that ends the round, and the
+        // requester mistakes it for a grant of its *next* acquire —
+        // two holders. All atomic ops therefore share one stream.
+        let stream = match pkt.ctrl.ptype {
+            PacketType::D64Atomic => 1 % self.cfg.mac.n_streams as u8,
+            _ => pkt.ctrl.tag % self.cfg.mac.n_streams as u8,
+        };
         let ctx = &mut self.nodes[node as usize];
         if pkt.ctrl.flags.contains(ampnet_packet::Flags::URGENT) {
             ctx.stack.enqueue_urgent_packet(&mut self.arena, &pkt);

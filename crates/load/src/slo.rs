@@ -1,0 +1,124 @@
+//! Declarative service-level objectives and their verdicts.
+//!
+//! An SLO binds to one workload class by name and states three
+//! ceilings: tail latency (`p99 ≤ X`), delivered fraction (≥ Y) and
+//! the longest tolerated degraded-throughput window (consecutive ticks
+//! in which work was in flight but nothing completed — the
+//! application-visible "outage" while the ring reconverges around
+//! damage). The engine evaluates all three after the settle phase and
+//! reports per-objective pass/fail, so a chaos cell can show *which*
+//! guarantee bent.
+
+use ampnet_sim::SimDuration;
+
+/// One class's objectives. Fractions are expressed in parts-per-million
+/// to keep reports integer-only (byte-stable JSON).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloSpec {
+    /// Workload class this spec binds to (a [`crate::catalog`] name).
+    pub class: &'static str,
+    /// Ceiling on the class's end-to-end p99 latency.
+    pub p99_max: SimDuration,
+    /// Floor on completed/attempted, in parts per million.
+    pub min_delivered_ppm: u64,
+    /// Ceiling on the longest run of ticks with work in flight but
+    /// zero completions.
+    pub max_degraded_window: SimDuration,
+}
+
+/// The measured outcome of one [`SloSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloVerdict {
+    /// Class judged.
+    pub class: &'static str,
+    /// Measured p99 latency (ns).
+    pub p99_ns: u64,
+    /// Ceiling it was judged against (ns).
+    pub p99_max_ns: u64,
+    /// Measured delivered fraction (ppm).
+    pub delivered_ppm: u64,
+    /// Floor it was judged against (ppm).
+    pub min_delivered_ppm: u64,
+    /// Longest degraded-throughput window observed (ns).
+    pub degraded_window_ns: u64,
+    /// Ceiling it was judged against (ns).
+    pub max_degraded_window_ns: u64,
+}
+
+impl SloVerdict {
+    /// Tail-latency objective held.
+    pub fn p99_pass(&self) -> bool {
+        self.p99_ns <= self.p99_max_ns
+    }
+
+    /// Delivered-fraction objective held.
+    pub fn delivered_pass(&self) -> bool {
+        self.delivered_ppm >= self.min_delivered_ppm
+    }
+
+    /// Degraded-window objective held.
+    pub fn degraded_pass(&self) -> bool {
+        self.degraded_window_ns <= self.max_degraded_window_ns
+    }
+
+    /// All three objectives held.
+    pub fn pass(&self) -> bool {
+        self.p99_pass() && self.delivered_pass() && self.degraded_pass()
+    }
+
+    /// `"pass"` or a comma-separated list of the objectives that bent.
+    pub fn detail(&self) -> String {
+        if self.pass() {
+            return "pass".into();
+        }
+        let mut broken = vec![];
+        if !self.p99_pass() {
+            broken.push(format!("p99 {}ns > {}ns", self.p99_ns, self.p99_max_ns));
+        }
+        if !self.delivered_pass() {
+            broken.push(format!(
+                "delivered {}ppm < {}ppm",
+                self.delivered_ppm, self.min_delivered_ppm
+            ));
+        }
+        if !self.degraded_pass() {
+            broken.push(format!(
+                "degraded window {}ns > {}ns",
+                self.degraded_window_ns, self.max_degraded_window_ns
+            ));
+        }
+        broken.join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdict(p99: u64, delivered: u64, window: u64) -> SloVerdict {
+        SloVerdict {
+            class: "t",
+            p99_ns: p99,
+            p99_max_ns: 1000,
+            delivered_ppm: delivered,
+            min_delivered_ppm: 990_000,
+            degraded_window_ns: window,
+            max_degraded_window_ns: 500,
+        }
+    }
+
+    #[test]
+    fn boundaries_are_inclusive() {
+        assert!(verdict(1000, 990_000, 500).pass());
+        assert!(!verdict(1001, 990_000, 500).pass());
+        assert!(!verdict(1000, 989_999, 500).pass());
+        assert!(!verdict(1000, 990_000, 501).pass());
+    }
+
+    #[test]
+    fn detail_names_every_broken_objective() {
+        let d = verdict(2000, 1, 9999).detail();
+        assert!(d.contains("p99") && d.contains("delivered") && d.contains("degraded"));
+        assert_eq!(verdict(0, 1_000_000, 0).detail(), "pass");
+    }
+}

@@ -46,7 +46,13 @@ impl Default for AimdParams {
             max_gap: SimDuration::from_micros(20),
             recover_step: SimDuration::from_nanos(100),
             backoff_factor: 2,
-            congestion_bytes: 21, // more than one fixed cell waiting
+            // Congestion means a *backlog*: more than one max-size frame
+            // queued in the insertion buffer at once. A single frame in
+            // normal transit passage (up to MAX_PACKET_WIRE = 84 bytes)
+            // must not count, or any sustained broadcast load pins every
+            // node at max_gap and own insertion collapses to a trickle
+            // while the links sit mostly idle.
+            congestion_bytes: crate::mac::MAX_PACKET_WIRE + 1,
         }
     }
 }
@@ -255,6 +261,29 @@ mod tests {
             g.on_insert(g.next_allowed(), 0);
         }
         assert_eq!(g.gap(), p.min_gap);
+    }
+
+    #[test]
+    fn single_transit_frame_is_not_congestion() {
+        // Regression: the default threshold used to be 21 bytes, so a
+        // lone 84-byte DMA frame passing through the insertion buffer
+        // counted as congestion. Under any sustained broadcast load
+        // (e.g. the workload engine's pub/sub + thread-spawn mix) every
+        // node backed off to max_gap and own insertion collapsed to one
+        // frame per 20 µs — semaphore responses queued for hundreds of
+        // microseconds and tripped their 500 µs retransmission timers
+        // on an otherwise idle ring. One max-size frame in passage is
+        // normal operation; only a multi-frame backlog may back off.
+        let p = AimdParams::default();
+        let mut g = InsertionGovernor::new(PacingMode::Adaptive(p));
+        for _ in 0..100 {
+            g.on_insert(g.next_allowed(), crate::mac::MAX_PACKET_WIRE);
+        }
+        assert_eq!(g.backoffs(), 0, "one frame in transit must not back off");
+        assert_eq!(g.gap(), p.min_gap);
+        // Two queued max-size frames are a real backlog: still backs off.
+        g.on_insert(g.next_allowed(), 2 * crate::mac::MAX_PACKET_WIRE);
+        assert_eq!(g.backoffs(), 1);
     }
 
     #[test]

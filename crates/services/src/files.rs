@@ -6,17 +6,25 @@
 //! its predecessor's files locally.
 //!
 //! Layout inside the region: a fixed directory of entries (name,
-//! offset, length, version, in-use flag) followed by a bump-allocated
-//! data heap. Single-writer discipline per store (multi-writer stores
-//! serialize with a network semaphore, as slide 10 prescribes).
+//! active buffer offset/capacity, standby buffer offset/capacity,
+//! length, version, in-use flag) followed by a bump-allocated data
+//! heap. Overwrites ping-pong between the two buffers: the new
+//! contents land in the standby buffer and the directory entry —
+//! the single commit point — swaps the roles, so a steady stream of
+//! same-sized overwrites never consumes fresh heap. Fresh heap is
+//! bump-allocated only when a file is created or outgrows both of
+//! its buffers. Single-writer discipline per store (multi-writer
+//! stores serialize with a network semaphore, as slide 10
+//! prescribes).
 
 use ampnet_cache::{CacheError, NetworkCache, RegionId};
 use ampnet_packet::MicroPacket;
 
 /// Maximum file-name bytes.
 pub const NAME_LEN: usize = 16;
-/// Directory entry size: name + offset + len + version + flags.
-const ENTRY: u32 = NAME_LEN as u32 + 4 + 4 + 4 + 4;
+/// Directory entry size: name + offset + len + version + flags +
+/// active capacity + standby offset + standby capacity.
+const ENTRY: u32 = NAME_LEN as u32 + 4 + 4 + 4 + 4 + 4 + 4 + 4;
 
 /// Store geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +50,23 @@ impl FileStoreLayout {
     fn heap_base(&self) -> u32 {
         8 + self.max_files * ENTRY
     }
+}
+
+/// Decoded directory entry (in-use slots only).
+#[derive(Debug, Clone)]
+struct RawEntry {
+    name: String,
+    /// Active buffer offset (absolute region offset).
+    offset: u32,
+    /// Committed file length.
+    len: u32,
+    version: u32,
+    /// Active buffer capacity.
+    cap: u32,
+    /// Standby buffer offset (0 when none allocated yet).
+    alt_offset: u32,
+    /// Standby buffer capacity (0 when none allocated yet).
+    alt_cap: u32,
 }
 
 /// File metadata.
@@ -113,11 +138,7 @@ impl FileStore {
         Ok(out)
     }
 
-    fn read_entry(
-        &self,
-        cache: &NetworkCache,
-        slot: u32,
-    ) -> Result<Option<(String, u32, u32, u32)>, FileError> {
+    fn read_entry(&self, cache: &NetworkCache, slot: u32) -> Result<Option<RawEntry>, FileError> {
         let off = self.layout.entry_offset(slot);
         let raw = cache.read(self.layout.region, off, ENTRY)?;
         let flags = u32::from_be_bytes(raw[28..32].try_into().expect("4 bytes"));
@@ -129,16 +150,22 @@ impl FileStore {
             .position(|&b| b == 0)
             .unwrap_or(NAME_LEN);
         let name = String::from_utf8_lossy(&raw[..name_end]).into_owned();
-        let offset = u32::from_be_bytes(raw[16..20].try_into().expect("4 bytes"));
-        let len = u32::from_be_bytes(raw[20..24].try_into().expect("4 bytes"));
-        let version = u32::from_be_bytes(raw[24..28].try_into().expect("4 bytes"));
-        Ok(Some((name, offset, len, version)))
+        let word = |at: usize| u32::from_be_bytes(raw[at..at + 4].try_into().expect("4 bytes"));
+        Ok(Some(RawEntry {
+            name,
+            offset: word(16),
+            len: word(20),
+            version: word(24),
+            cap: word(32),
+            alt_offset: word(36),
+            alt_cap: word(40),
+        }))
     }
 
     fn find(&self, cache: &NetworkCache, name: &str) -> Result<Option<u32>, FileError> {
         for slot in 0..self.layout.max_files {
-            if let Some((n, _, _, _)) = self.read_entry(cache, slot)? {
-                if n == name {
+            if let Some(e) = self.read_entry(cache, slot)? {
+                if e.name == name {
                     return Ok(Some(slot));
                 }
             }
@@ -151,6 +178,11 @@ impl FileStore {
     }
 
     /// Create or overwrite a file; returns the replication packets.
+    ///
+    /// Overwrites reuse the file's standby buffer when it is large
+    /// enough (ping-pong), so sustained overwrites of a bounded-size
+    /// file consume no fresh heap; the directory entry written last is
+    /// the single commit point either way.
     pub fn write(
         &self,
         cache: &mut NetworkCache,
@@ -172,38 +204,60 @@ impl FileStore {
                 free.ok_or(FileError::DirectoryFull)?
             }
         };
-        // Allocate heap space (simple bump allocator; overwrites
-        // allocate fresh space — compaction is a maintenance task).
-        let cursor = self.heap_cursor(cache)?;
-        let data_off = self.layout.heap_base() + cursor;
-        if cursor + data.len() as u32 > self.layout.heap_bytes {
-            return Err(FileError::HeapFull);
-        }
-        let prev_version = self
-            .read_entry(cache, slot)?
-            .map(|(_, _, _, v)| v)
-            .unwrap_or(0);
+        let prev = self.read_entry(cache, slot)?;
+        let len = data.len() as u32;
+        // Place the new contents: reuse the standby buffer when it
+        // fits, otherwise bump-allocate fresh heap (file creation or
+        // growth beyond both buffers).
+        let (data_off, cap, alt_offset, alt_cap, new_cursor) = match &prev {
+            Some(e) if e.alt_cap >= len => {
+                (e.alt_offset, e.alt_cap, e.offset, e.cap, None)
+            }
+            _ => {
+                let cursor = self.heap_cursor(cache)?;
+                if cursor + len > self.layout.heap_bytes {
+                    return Err(FileError::HeapFull);
+                }
+                let (alt_offset, alt_cap) =
+                    prev.as_ref().map(|e| (e.offset, e.cap)).unwrap_or((0, 0));
+                (
+                    self.layout.heap_base() + cursor,
+                    len,
+                    alt_offset,
+                    alt_cap,
+                    Some(cursor + len),
+                )
+            }
+        };
+        let prev_version = prev.map(|e| e.version).unwrap_or(0);
 
         let mut pkts = vec![];
-        // 1. Data into the heap.
+        // 1. Data into the (standby or fresh) buffer — readers still
+        //    see the committed buffer through the old entry.
         if !data.is_empty() {
             pkts.extend(cache.write(self.layout.region, data_off, data, 12, 3)?);
         }
-        // 2. Bump the heap cursor.
-        pkts.extend(cache.write(
-            self.layout.region,
-            0,
-            &((cursor + data.len() as u32) as u64).to_be_bytes(),
-            12,
-            3,
-        )?);
-        // 3. Publish the directory entry last (commit point).
+        // 2. Bump the heap cursor if fresh heap was claimed.
+        if let Some(cursor) = new_cursor {
+            pkts.extend(cache.write(
+                self.layout.region,
+                0,
+                &(cursor as u64).to_be_bytes(),
+                12,
+                3,
+            )?);
+        }
+        // 3. Publish the directory entry last (commit point): the
+        //    buffers swap roles atomically with the new length/version.
         let mut entry = [0u8; ENTRY as usize];
         entry[..NAME_LEN].copy_from_slice(&name_bytes);
         entry[16..20].copy_from_slice(&data_off.to_be_bytes());
-        entry[20..24].copy_from_slice(&(data.len() as u32).to_be_bytes());
+        entry[20..24].copy_from_slice(&len.to_be_bytes());
         entry[24..28].copy_from_slice(&(prev_version + 1).to_be_bytes());
         entry[28..32].copy_from_slice(&1u32.to_be_bytes());
+        entry[32..36].copy_from_slice(&cap.to_be_bytes());
+        entry[36..40].copy_from_slice(&alt_offset.to_be_bytes());
+        entry[40..44].copy_from_slice(&alt_cap.to_be_bytes());
         pkts.extend(cache.write(
             self.layout.region,
             self.layout.entry_offset(slot),
@@ -217,19 +271,18 @@ impl FileStore {
     /// Read a file from the local replica.
     pub fn read(&self, cache: &NetworkCache, name: &str) -> Result<Vec<u8>, FileError> {
         let slot = self.find(cache, name)?.ok_or(FileError::NotFound)?;
-        let (_, off, len, _) = self.read_entry(cache, slot)?.ok_or(FileError::NotFound)?;
-        Ok(cache.read(self.layout.region, off, len)?.to_vec())
+        let e = self.read_entry(cache, slot)?.ok_or(FileError::NotFound)?;
+        Ok(cache.read(self.layout.region, e.offset, e.len)?.to_vec())
     }
 
     /// File metadata.
     pub fn stat(&self, cache: &NetworkCache, name: &str) -> Result<FileInfo, FileError> {
         let slot = self.find(cache, name)?.ok_or(FileError::NotFound)?;
-        let (name, _, len, version) =
-            self.read_entry(cache, slot)?.ok_or(FileError::NotFound)?;
+        let e = self.read_entry(cache, slot)?.ok_or(FileError::NotFound)?;
         Ok(FileInfo {
-            name,
-            len,
-            version,
+            name: e.name,
+            len: e.len,
+            version: e.version,
         })
     }
 
@@ -254,11 +307,11 @@ impl FileStore {
     pub fn list(&self, cache: &NetworkCache) -> Result<Vec<FileInfo>, FileError> {
         let mut out = vec![];
         for slot in 0..self.layout.max_files {
-            if let Some((name, _, len, version)) = self.read_entry(cache, slot)? {
+            if let Some(e) = self.read_entry(cache, slot)? {
                 out.push(FileInfo {
-                    name,
-                    len,
-                    version,
+                    name: e.name,
+                    len: e.len,
+                    version: e.version,
                 });
             }
         }
@@ -336,6 +389,40 @@ mod tests {
             fs.write(&mut a, "one-too-many", b"x"),
             Err(FileError::DirectoryFull)
         );
+    }
+
+    #[test]
+    fn sustained_overwrite_does_not_exhaust_heap() {
+        // Regression: the old bump-only allocator leaked one buffer per
+        // overwrite, so ~4 overwrites of a 1000-byte file exhausted a
+        // 4096-byte heap. Ping-pong buffering bounds a bounded-size
+        // file at two buffers no matter how many times it's rewritten.
+        let (mut a, _, fs) = setup();
+        for i in 0..100u32 {
+            fs.write(&mut a, "hot", &vec![i as u8; 1000]).unwrap();
+        }
+        assert_eq!(fs.read(&a, "hot").unwrap(), vec![99u8; 1000]);
+        assert_eq!(fs.stat(&a, "hot").unwrap().version, 100);
+        // Exactly two 1000-byte buffers were ever allocated.
+        assert_eq!(a.read_u64(4, 0).unwrap(), 2000);
+    }
+
+    #[test]
+    fn overwrite_growth_allocates_then_pingpongs() {
+        let (mut a, _, fs) = setup();
+        fs.write(&mut a, "f", &[1u8; 100]).unwrap();
+        // Growth beyond both buffers claims fresh heap…
+        fs.write(&mut a, "f", &[2u8; 300]).unwrap();
+        assert_eq!(fs.read(&a, "f").unwrap(), vec![2u8; 300]);
+        // …a shrink fits the 100-byte standby again…
+        fs.write(&mut a, "f", &[3u8; 100]).unwrap();
+        let cursor_after = a.read_u64(4, 0).unwrap();
+        fs.write(&mut a, "f", &[4u8; 300]).unwrap();
+        fs.write(&mut a, "f", &[5u8; 100]).unwrap();
+        // Steady alternation between the two established buffers
+        // consumes no further heap.
+        assert_eq!(a.read_u64(4, 0).unwrap(), cursor_after);
+        assert_eq!(fs.read(&a, "f").unwrap(), vec![5u8; 100]);
     }
 
     #[test]

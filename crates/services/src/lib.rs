@@ -11,7 +11,9 @@
 //!   write their local replica, subscribers poll theirs, slow
 //!   consumers observe explicit lag, never corruption.
 //! * [`files`] — AmpFiles: a replicated file store; files survive the
-//!   writer's death because every node holds the whole store.
+//!   writer's death because every node holds the whole store, and
+//!   overwrites ping-pong between two heap buffers so hot files never
+//!   exhaust the data heap.
 //! * [`threads`] — AmpThreads: remote task execution with the task
 //!   table in the network cache and Interrupt-MicroPacket doorbells.
 //! * [`mpi`] — the collective patterns MPI/PVM lean on (barrier,
@@ -19,6 +21,11 @@
 //!   broadcast.
 //! * [`socket`] — AmpIP: port-addressed UDP-style datagram sockets
 //!   over the message layer.
+//!
+//! All of these endpoints are exercised under production-shaped load
+//! (open-loop arrival processes, chaos fault schedules) by the
+//! `ampnet-load` workload engine; see `docs/WORKLOADS.md` at the
+//! repository root for the workload catalogue and SLO classes.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

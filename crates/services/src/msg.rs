@@ -148,17 +148,28 @@ struct Partial {
     next_frag: u32,
 }
 
+/// Delivered-id window entries retained per source for replay dedup.
+/// Sources replay *all* outstanding datagrams after rostering, so the
+/// window must cover every datagram that can be in flight at once —
+/// one remembered id is not enough (an older already-delivered
+/// datagram would re-deliver as a duplicate).
+const DEDUP_WINDOW: usize = 128;
+
 /// Receiver side: reassembles datagrams per (source, datagram id).
 ///
 /// Both lookup structures are linear-scan vectors, not maps: a
-/// receiver holds at most a handful of in-flight partials and one
-/// delivered id per source, so the scan beats hashing on the packet
-/// hot path and order never influences behaviour (keyed access only).
+/// receiver holds at most a handful of in-flight partials and a
+/// bounded window of delivered ids per source, so the scan beats
+/// hashing on the packet hot path and order never influences
+/// behaviour (keyed access only).
 #[derive(Debug, Default)]
 pub struct MsgRx {
     partials: Vec<((u8, u16), Partial)>,
-    /// Last delivered datagram id per source, for retransmission
-    /// dedup (sources replay outstanding datagrams after rostering).
+    /// Recently delivered datagram ids, oldest first within each
+    /// source, capped at [`DEDUP_WINDOW`] per source. Exact-match
+    /// lookup (not a `≤` cursor): a datagram whose first delivery
+    /// attempt failed CRC must still deliver when replayed, even if
+    /// newer ids from the same source landed in between.
     delivered_ids: Vec<(u8, u16)>,
     stats: MsgRxStats,
     tel: Telemetry,
@@ -263,9 +274,14 @@ impl MsgRx {
                 return None;
             }
             self.stats.delivered += 1;
-            match self.delivered_ids.iter_mut().find(|(s, _)| *s == src) {
-                Some(entry) => entry.1 = id,
-                None => self.delivered_ids.push((src, id)),
+            self.delivered_ids.push((src, id));
+            if self.delivered_ids.iter().filter(|&&(s, _)| s == src).count() > DEDUP_WINDOW {
+                let oldest = self
+                    .delivered_ids
+                    .iter()
+                    .position(|&(s, _)| s == src)
+                    .expect("just pushed one");
+                self.delivered_ids.remove(oldest);
             }
             self.tel.inc(self.assembled);
             return Some(Datagram {
@@ -411,6 +427,58 @@ mod tests {
             assert!(rx.on_packet(p).is_none(), "duplicate delivered");
         }
         assert_eq!(rx.stats().delivered, 1);
+    }
+
+    #[test]
+    fn replayed_older_datagram_deduplicated() {
+        // Regression: the receiver used to remember only the *last*
+        // delivered id per source, so a post-rostering replay of an
+        // older already-delivered datagram re-delivered it as a
+        // duplicate (and regressed the remembered id).
+        let mut tx = MsgTx::new(1);
+        let mut rx = MsgRx::new();
+        let d0 = tx.send(2, 0, b"first");
+        let d1 = tx.send(2, 0, b"second");
+        assert!(rx.on_packet(&d0[0]).is_some());
+        assert!(rx.on_packet(&d1[0]).is_some());
+        // The source replays both outstanding datagrams, oldest first.
+        for p in d0.iter().chain(d1.iter()) {
+            assert!(rx.on_packet(p).is_none(), "duplicate delivered");
+        }
+        assert_eq!(rx.stats().delivered, 2);
+        // A genuinely new datagram still delivers.
+        let d2 = tx.send(2, 0, b"third");
+        assert!(rx.on_packet(&d2[0]).is_some());
+        assert_eq!(rx.stats().delivered, 3);
+    }
+
+    #[test]
+    fn crc_failed_datagram_delivers_on_replay() {
+        // The dedup window records *delivered* ids only: a datagram
+        // whose first copy was corrupted must go through when the
+        // source replays it, even after newer ids were delivered.
+        let mut tx = MsgTx::new(1);
+        let mut rx = MsgRx::new();
+        let mut bad = tx.send(2, 0, &[7u8; 100]);
+        if let ampnet_packet::Body::Variable { data, .. } = &mut bad[1].body {
+            data[3] ^= 0xFF;
+        }
+        let good = tx.send(2, 0, b"newer");
+        for p in &bad {
+            assert!(rx.on_packet(p).is_none());
+        }
+        assert_eq!(rx.stats().crc_errors, 1);
+        assert!(rx.on_packet(&good[0]).is_some());
+        // Clean replay of the corrupted datagram: delivers now.
+        let clean = {
+            let mut tx_replay = MsgTx::new(1);
+            tx_replay.send(2, 0, &[7u8; 100]) // same id 0 as `bad`
+        };
+        let mut out = None;
+        for p in &clean {
+            out = out.or(rx.on_packet(p));
+        }
+        assert_eq!(out.expect("replay delivers").payload, vec![7u8; 100]);
     }
 
     #[test]

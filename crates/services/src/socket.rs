@@ -10,7 +10,7 @@
 
 use crate::msg::{Datagram, MsgRx, MsgTx};
 use ampnet_packet::MicroPacket;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// The message stream AmpIP rides on.
 pub const AMPIP_STREAM: u8 = 4;
@@ -59,7 +59,8 @@ pub struct AmpIp {
     node: u8,
     tx: MsgTx,
     rx: MsgRx,
-    bound: HashMap<u16, VecDeque<Received>>,
+    /// Port-ordered (deterministic iteration) bound-port queues.
+    bound: BTreeMap<u16, VecDeque<Received>>,
     /// Datagrams to unbound ports (counted, then discarded — UDP
     /// semantics).
     dropped_unbound: u64,
@@ -72,7 +73,7 @@ impl AmpIp {
             node,
             tx: MsgTx::new(node),
             rx: MsgRx::new(),
-            bound: HashMap::new(),
+            bound: BTreeMap::new(),
             dropped_unbound: 0,
         }
     }

@@ -27,7 +27,11 @@ pub struct TopicLayout {
 
 impl TopicLayout {
     /// Head counter: a seqlock record holding the u64 publish count.
-    fn head_record(&self) -> RecordLayout {
+    ///
+    /// Public so external drivers (e.g. the `ampnet-load` workload
+    /// engine) can publish through a cluster's replication path while
+    /// reusing the exact topic geometry subscribers poll.
+    pub fn head_record(&self) -> RecordLayout {
         RecordLayout {
             region: self.region,
             offset: self.base,
@@ -35,7 +39,9 @@ impl TopicLayout {
         }
     }
 
-    fn slot_record(&self, index: u64) -> RecordLayout {
+    /// Slot record for publish index `index` (the ring wraps every
+    /// [`TopicLayout::slots`] records).
+    pub fn slot_record(&self, index: u64) -> RecordLayout {
         let slot = (index % self.slots as u64) as u32;
         let slot_footprint = 8 + self.slot_len + 8;
         RecordLayout {

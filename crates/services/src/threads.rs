@@ -83,6 +83,33 @@ pub struct TaskEntry {
 
 const ENTRY: u32 = 16;
 
+/// Errors from task submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskError {
+    /// Underlying cache failure.
+    Cache(CacheError),
+    /// The slot already holds a pending or uncollected task; submitting
+    /// would silently clobber it.
+    SlotBusy,
+}
+
+impl From<CacheError> for TaskError {
+    fn from(e: CacheError) -> Self {
+        TaskError::Cache(e)
+    }
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskError::Cache(e) => write!(f, "cache: {e}"),
+            TaskError::SlotBusy => write!(f, "task slot busy (collect it first)"),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
 /// The replicated task table.
 #[derive(Debug, Clone, Copy)]
 pub struct TaskTable {
@@ -146,6 +173,10 @@ impl TaskTable {
     /// Submit a task into `slot`: writes the Pending entry and builds
     /// the doorbell interrupt for the target node. Returns
     /// (replication packets, interrupt packet).
+    ///
+    /// Refuses with [`TaskError::SlotBusy`] when the slot still holds a
+    /// pending or uncollected task — a silent overwrite would lose the
+    /// in-flight task (or its result) with no signal to the submitter.
     pub fn submit(
         &self,
         cache: &mut NetworkCache,
@@ -153,7 +184,10 @@ impl TaskTable {
         kind: TaskKind,
         target: u8,
         arg: u32,
-    ) -> Result<(Vec<MicroPacket>, MicroPacket), CacheError> {
+    ) -> Result<(Vec<MicroPacket>, MicroPacket), TaskError> {
+        if self.read(cache, slot)?.is_some() {
+            return Err(TaskError::SlotBusy);
+        }
         let entry = TaskEntry {
             kind,
             status: TaskStatus::Pending,
@@ -299,6 +333,33 @@ mod tests {
     fn empty_slot_reads_none() {
         let (sub, _, table) = setup();
         assert!(table.read(&sub, 5).unwrap().is_none());
+    }
+
+    #[test]
+    fn submit_refuses_occupied_slot() {
+        // Regression: submit used to write the Pending entry blindly,
+        // silently clobbering an in-flight task (or an uncollected
+        // result) in the same slot.
+        let (mut sub, mut wrk, table) = setup();
+        let (pkts, _) = table.submit(&mut sub, 3, TaskKind::Square, 2, 7).unwrap();
+        sync(&pkts, &mut wrk);
+        // Pending → busy.
+        assert_eq!(
+            table.submit(&mut sub, 3, TaskKind::Increment, 2, 1),
+            Err(TaskError::SlotBusy)
+        );
+        // Done but uncollected → still busy (the result would be lost).
+        let (_, pkts, _) = table.execute(&mut wrk, 3).unwrap().unwrap();
+        sync(&pkts, &mut sub);
+        assert_eq!(
+            table.submit(&mut sub, 3, TaskKind::Increment, 2, 1),
+            Err(TaskError::SlotBusy)
+        );
+        // Collected → free again.
+        let (result, pkts) = table.collect(&mut sub, 3).unwrap().unwrap();
+        assert_eq!(result, 49);
+        sync(&pkts, &mut wrk);
+        assert!(table.submit(&mut sub, 3, TaskKind::Increment, 2, 1).is_ok());
     }
 
     #[test]

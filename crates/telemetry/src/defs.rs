@@ -172,6 +172,32 @@ def!(PDES_QUIESCENT_SHARD_SLICES, "pdes_quiescent_shard_slices", Counter, Events
     "slide 15",
     "Shard-slices advanced as a bare clock bump (no event due, no worker wake)");
 
+// ---- load -------------------------------------------------------------
+def!(LOAD_ARRIVALS, "load_arrivals", Counter, Ops, Load, false,
+    "slide 2",
+    "Modeled client operations offered by the open-loop arrival processes, all classes");
+def!(LOAD_COMPLETIONS, "load_completions", Counter, Ops, Load, false,
+    "slide 2",
+    "Modeled client operations completed end to end, all classes");
+def!(LOAD_PUBSUB_LAGGED, "load_pubsub_lagged", Counter, Records, Load, false,
+    "slide 12",
+    "AmpSubscribe records lost to subscriber lag under load (ring overwritten)");
+def!(LOAD_PUBSUB_NS, "load_pubsub_ns", Histogram, Nanos, Load, false,
+    "slide 12",
+    "Publish-to-observe latency of AmpSubscribe records under load");
+def!(LOAD_CACHE_NS, "load_cache_ns", Histogram, Nanos, Load, false,
+    "slide 12",
+    "Write-to-replica-visibility latency of AmpFiles writes under load");
+def!(LOAD_SOCKET_NS, "load_socket_ns", Histogram, Nanos, Load, false,
+    "slide 12",
+    "AmpIP request-reply round-trip latency under load");
+def!(LOAD_THREADS_NS, "load_threads_ns", Histogram, Nanos, Load, false,
+    "slide 12",
+    "AmpThreads submit-to-collect latency under load");
+def!(LOAD_SEM_NS, "load_sem_ns", Histogram, Nanos, Load, false,
+    "slide 10",
+    "Semaphore acquire latency inside the contention-storm workload class");
+
 /// Every metric in the catalog, in `docs/METRICS.md` order.
 pub static ALL: &[&MetricDef] = &[
     &PHY_TX_FRAMES,
@@ -214,6 +240,14 @@ pub static ALL: &[&MetricDef] = &[
     &PDES_SLICES,
     &PDES_EXCHANGES_ELIDED,
     &PDES_QUIESCENT_SHARD_SLICES,
+    &LOAD_ARRIVALS,
+    &LOAD_COMPLETIONS,
+    &LOAD_PUBSUB_LAGGED,
+    &LOAD_PUBSUB_NS,
+    &LOAD_CACHE_NS,
+    &LOAD_SOCKET_NS,
+    &LOAD_THREADS_NS,
+    &LOAD_SEM_NS,
 ];
 
 /// The complete `docs/METRICS.md` document, generated from the

@@ -104,6 +104,10 @@ pub enum Plane {
     /// exchange elision, quiescent-shard accounting (`ampnet-core`'s
     /// multi-segment coordinator).
     Pdes,
+    /// The workload engine's modeled client populations: per-class
+    /// offered/completed operations and end-to-end latency
+    /// (`ampnet-load`).
+    Load,
 }
 
 impl Plane {
@@ -118,6 +122,7 @@ impl Plane {
             Plane::Cache => "cache",
             Plane::Services => "services",
             Plane::Pdes => "pdes",
+            Plane::Load => "load",
         }
     }
 }

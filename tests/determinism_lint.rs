@@ -33,6 +33,11 @@ const SIM_FACING: &[&str] = &[
     "dk",
     "chaos",
     "telemetry",
+    // The service endpoints and the workload engine driving them: both
+    // run inside the seeded simulation, so a stray wall-clock read or
+    // hashed iteration breaks byte-identical LoadReports.
+    "services",
+    "load",
     // The plant abstraction and family generators: adjacency must be
     // construction-ordered and damage seeded, never hashed or random.
     "topo",

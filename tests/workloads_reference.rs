@@ -1,0 +1,41 @@
+//! The workload reference (`docs/WORKLOADS.md`) cannot drift from the
+//! code: the committed file must be byte-identical to the document
+//! generated from `ampnet_load::catalog`, and a real load run must
+//! report exactly the cataloged classes.
+
+use ampnet::load;
+use std::collections::BTreeSet;
+
+/// `docs/WORKLOADS.md` is exactly `load::reference_doc()`. Regenerate
+/// with `cargo run -p ampnet-bench --bin figures -- --workloads-doc`.
+#[test]
+fn workloads_doc_matches_catalog() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/docs/WORKLOADS.md");
+    let committed = std::fs::read_to_string(path).expect("docs/WORKLOADS.md exists");
+    let generated = load::reference_doc();
+    assert!(
+        committed == generated,
+        "docs/WORKLOADS.md is stale; regenerate with\n  \
+         cargo run -p ampnet-bench --bin figures -- --workloads-doc > docs/WORKLOADS.md"
+    );
+}
+
+/// A real run's report carries exactly the cataloged classes, in
+/// catalog order, with an SLO verdict for each — the reference tables
+/// describe what the engine actually measures.
+#[test]
+fn report_classes_match_catalog() {
+    use ampnet::core::ClusterConfig;
+
+    let mut spec = load::LoadSpec::standard(4_000, load::ArrivalProcess::Poisson);
+    spec.ticks = 10;
+    let report = load::run(ClusterConfig::small(6).with_seed(0xD0C5), &spec);
+
+    let cataloged: Vec<&str> = load::ALL.iter().map(|w| w.name).collect();
+    let reported: Vec<&str> = report.classes.iter().map(|c| c.class).collect();
+    assert_eq!(reported, cataloged, "classes must match catalog order");
+
+    let verdict_classes: BTreeSet<&str> = report.verdicts.iter().map(|v| v.class).collect();
+    let catalog_set: BTreeSet<&str> = cataloged.iter().copied().collect();
+    assert_eq!(verdict_classes, catalog_set, "one verdict per class");
+}
