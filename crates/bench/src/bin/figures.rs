@@ -12,6 +12,8 @@
 //! cargo run -p ampnet-bench --release --bin figures -- --bench-topo BENCH_topo.json
 //! cargo run -p ampnet-bench --release --bin figures -- --bench-load BENCH_load.json
 //! cargo run -p ampnet-bench --release --bin figures -- --workloads-doc > docs/WORKLOADS.md
+//! cargo run -p ampnet-bench --release --bin figures -- --lint LINT_report.json
+//! cargo run -p ampnet-bench --release --bin figures -- --lints-doc > docs/LINTS.md
 //! ```
 //!
 //! `--bench-ring` runs the data-plane perf baseline: a 6-node segment
@@ -800,6 +802,33 @@ fn all_tables(quick: bool) -> Vec<Table> {
     ]
 }
 
+/// `--lint`: run the workspace static-analysis engine under the repo
+/// policy, write the byte-stable `LINT_report.json`, and exit nonzero
+/// printing every finding when the gate fails. Same engine and policy
+/// as the tier-1 test `tests/determinism_lint.rs` and the CI `lint`
+/// job; the committed report is pinned by `tests/lints_reference.rs`.
+fn run_lint(path: &str) {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = ampnet_lint::run_workspace(&root, &ampnet_lint::REPO_POLICY)
+        .unwrap_or_else(|e| {
+            eprintln!("lint walk failed: {e}");
+            std::process::exit(2);
+        });
+    std::fs::write(path, report.to_json()).expect("write lint report");
+    println!(
+        "lint: {} files scanned, {} finding(s), {} justified allow(s) — wrote {path}",
+        report.files_scanned,
+        report.findings.len(),
+        report.allows.len(),
+    );
+    if !report.findings.is_empty() {
+        for f in &report.findings {
+            eprintln!("{f}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(i) = args.iter().position(|a| a == "--bench-ring") {
@@ -856,6 +885,18 @@ fn main() {
     }
     if args.iter().any(|a| a == "--metrics-doc") {
         print!("{}", defs::reference_doc());
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--lint") {
+        let path = args
+            .get(i + 1)
+            .map(String::as_str)
+            .unwrap_or("LINT_report.json");
+        run_lint(path);
+        return;
+    }
+    if args.iter().any(|a| a == "--lints-doc") {
+        print!("{}", ampnet_lint::reference_doc());
         return;
     }
     let quick = args.iter().any(|a| a == "--quick");

@@ -27,7 +27,7 @@ impl RefreshSource {
             regions: cache
                 .region_ids()
                 .into_iter()
-                .map(|id| (id, cache.region_size(id).expect("listed region exists")))
+                .map(|id| (id, cache.region_size(id).expect("listed region exists"))) // lint: allow(panic-freedom): id comes from the donor's region listing in this same chain
                 .collect(),
             cursor: 0,
             offset: 0,
@@ -145,7 +145,7 @@ pub fn refresh_packet_count(cache: &NetworkCache) -> u64 {
         .region_ids()
         .iter()
         .map(|&id| {
-            let size = cache.region_size(id).expect("region exists") as u64;
+            let size = cache.region_size(id).expect("region exists") as u64; // lint: allow(panic-freedom): id was enumerated from regions() directly above
             size.div_ceil(MAX_DMA_PAYLOAD as u64)
         })
         .sum()

@@ -205,7 +205,7 @@ impl NetworkCache {
     /// Read one 64-bit word (D64 atomics operate on these).
     pub fn read_u64(&self, id: RegionId, offset: u32) -> Result<u64, CacheError> {
         let b = self.read(id, offset, 8)?;
-        Ok(u64::from_be_bytes(b.try_into().expect("8 bytes")))
+        Ok(u64::from_be_bytes(b.try_into().expect("8 bytes"))) // lint: allow(panic-freedom): read() returned exactly 8 bytes for an 8-byte request
     }
 
     /// Write one 64-bit word locally (no packets; used by the atomic
@@ -221,7 +221,7 @@ impl NetworkCache {
 
     fn apply_raw(&mut self, id: RegionId, offset: u32, data: &[u8]) -> Result<(), CacheError> {
         self.check(id, offset, data.len() as u32)?;
-        let region = self.regions[id as usize].as_mut().expect("checked");
+        let region = self.regions[id as usize].as_mut().expect("checked"); // lint: allow(panic-freedom): presence verified by the caller's guard just above
         region[offset as usize..offset as usize + data.len()].copy_from_slice(data);
         self.applied_writes += 1;
         Ok(())
@@ -241,7 +241,7 @@ impl NetworkCache {
             return Ok(false);
         }
         if let ampnet_packet::Body::Variable { ctrl, .. } = &pkt.body {
-            let payload = pkt.dma_payload().expect("variable body");
+            let payload = pkt.dma_payload().expect("variable body"); // lint: allow(panic-freedom): dma packets built by this store always carry a variable body
             self.apply_dma(ctrl, payload)?;
             self.telemetry.tel.inc(self.telemetry.updates);
             return Ok(true);
@@ -287,7 +287,7 @@ impl NetworkCache {
                 offset: off,
                 len: 0, // set by build::dma
             };
-            out.push(build::dma(src, dst, stream, ctrl, chunk).expect("chunk within 1..=64"));
+            out.push(build::dma(src, dst, stream, ctrl, chunk).expect("chunk within 1..=64")); // lint: allow(panic-freedom): chunk length is bounded 1..=64 by the split loop above
             off += chunk.len() as u32;
         }
         out

@@ -28,7 +28,7 @@ pub(crate) fn decode_payload(p: &[u8]) -> Option<(u64, u8, u8)> {
     if p.len() != 14 || p[..4] != MAGIC {
         return None;
     }
-    let id = u64::from_le_bytes(p[4..12].try_into().expect("8 bytes"));
+    let id = u64::from_le_bytes(p[4..12].try_into().expect("8 bytes")); // lint: allow(panic-freedom): ledger records are fixed-layout; bytes 4..12 always present
     Some((id, p[12], p[13]))
 }
 

@@ -144,7 +144,7 @@ impl Traffic {
     /// Semaphore contention among `contenders` (semaphore homed on the
     /// first contender, region 0).
     pub fn semaphores(contenders: Vec<u8>, rounds: u32) -> Traffic {
-        let home = *contenders.first().expect("contenders required");
+        let home = *contenders.first().expect("contenders required"); // lint: allow(panic-freedom): the builder rejects empty contender sets at construction
         Traffic::SemContention {
             addr: SemaphoreAddr { home, region: 0, offset: 2048 },
             contenders,

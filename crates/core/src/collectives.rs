@@ -42,7 +42,7 @@ impl Cluster {
         let out = self.nodes[node as usize]
             .rank
             .as_mut()
-            .expect("enable_collectives first")
+            .expect("enable_collectives first") // lint: allow(panic-freedom): documented gate: collective calls require enable_collectives first
             .barrier(tag);
         self.coll_send(node, out);
     }
@@ -61,7 +61,7 @@ impl Cluster {
         let out = self.nodes[node as usize]
             .rank
             .as_mut()
-            .expect("enable_collectives first")
+            .expect("enable_collectives first") // lint: allow(panic-freedom): documented gate: collective calls require enable_collectives first
             .allreduce(tag, value);
         self.coll_send(node, out);
     }
@@ -79,7 +79,7 @@ impl Cluster {
         let out = self.nodes[node as usize]
             .rank
             .as_mut()
-            .expect("enable_collectives first")
+            .expect("enable_collectives first") // lint: allow(panic-freedom): documented gate: collective calls require enable_collectives first
             .bcast(tag, value);
         self.coll_send(node, out);
     }
@@ -97,7 +97,7 @@ impl Cluster {
         let out = self.nodes[node as usize]
             .rank
             .as_mut()
-            .expect("enable_collectives first")
+            .expect("enable_collectives first") // lint: allow(panic-freedom): documented gate: collective calls require enable_collectives first
             .gather(tag, root, value);
         self.coll_send(node, out);
     }

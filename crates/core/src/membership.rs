@@ -250,9 +250,9 @@ impl Cluster {
             // Re-home the replica.
             let mut rehomed = NetworkCache::new(id);
             for region in me.cache.region_ids() {
-                let size = me.cache.region_size(region).expect("listed");
-                rehomed.define_region(region, size).expect("fresh");
-                let data = me.cache.read(region, 0, size).expect("whole region");
+                let size = me.cache.region_size(region).expect("listed"); // lint: allow(panic-freedom): region was listed by the donor cache in this same loop
+                rehomed.define_region(region, size).expect("fresh"); // lint: allow(panic-freedom): the rehomed cache is freshly created; listed ids are unique
+                let data = me.cache.read(region, 0, size).expect("whole region"); // lint: allow(panic-freedom): size came from region_size on the same region above
                 let _ = rehomed.write(region, 0, data, 0, 0);
             }
             me.cache = rehomed;

@@ -282,7 +282,7 @@ impl Cluster {
             // Any response settles the in-flight request: invalidate
             // the pending retransmission timer.
             self.nodes[i].sem_seq += 1;
-            let sem = self.nodes[i].sem.as_mut().expect("checked");
+            let sem = self.nodes[i].sem.as_mut().expect("checked"); // lint: allow(panic-freedom): presence checked by the enclosing match on sem_enabled
             match sem.on_response(now, pkt) {
                 SemaphoreAction::Send(p) => {
                     self.sem_send(node, p);

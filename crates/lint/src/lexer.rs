@@ -1,0 +1,583 @@
+//! Hand-rolled Rust lexer producing a spanned token stream.
+//!
+//! The grep lint this engine supersedes had a documented hole: a `//`
+//! inside a string literal truncated the scanned line and could hide
+//! banned tokens after it. The fix is to lex for real. This lexer
+//! handles the full literal grammar the rules need to be exact about:
+//!
+//! * string literals with escapes (`"a\"b"`, `\u{7D}`, line
+//!   continuations), byte strings, and raw strings `r"…"` /
+//!   `r#"…"#` with any hash count (`br#"…"#` too),
+//! * char literals vs lifetimes (`'a'` is a char, `'a` is a
+//!   lifetime, `'\''` is a char),
+//! * nested block comments (`/* /* */ */`) and doc comments,
+//! * raw identifiers (`r#type`),
+//! * numeric literals, classifying floats (`1.0`, `1e9`, `2.5e-3`)
+//!   separately from integers — the digest-path float-comparison rule
+//!   needs the distinction — without misreading `1.max(2)` or `0..n`,
+//! * maximal-munch punctuation (`::`, `==`, `!=`, `..=`, …).
+//!
+//! Every token carries a byte [`Span`] plus 1-based line/column; the
+//! workspace smoke test re-slices every span and proves the stream
+//! covers the source exactly (gaps are whitespace only).
+
+/// Byte range plus 1-based line/column of a token's first byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based column (in characters) of the first byte.
+    pub col: u32,
+}
+
+/// Lexical class of a token. Comments are kept in the stream — the
+/// allow-comment scanner reads them — and filtered out by rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`use`, `HashMap`, `let`, …).
+    Ident,
+    /// Raw identifier (`r#type`).
+    RawIdent,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// String, byte-string, raw-string or raw-byte-string literal.
+    Str,
+    /// Integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `1e9`, `2.5e-3f64`).
+    Float,
+    /// `// …` line comment (doc comments included).
+    LineComment,
+    /// `/* … */` block comment, nesting handled.
+    BlockComment,
+    /// Punctuation, maximal munch (`::`, `==`, `{`, …).
+    Punct,
+}
+
+/// One token: a kind plus where it sits in the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Location in the source.
+    pub span: Span,
+}
+
+impl Token {
+    /// The token's text, re-sliced from the source it was lexed from.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.span.start..self.span.end]
+    }
+}
+
+/// A lexing failure, located. The smoke test proves the workspace
+/// never produces one; rules treat it as a hard error.
+#[derive(Debug)]
+pub struct LexError {
+    /// 1-based line of the offending byte.
+    pub line: u32,
+    /// 1-based column of the offending byte.
+    pub col: u32,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+struct Cursor<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'s> Cursor<'s> {
+    fn new(src: &'s str) -> Self {
+        Cursor {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advance one *character* (multi-byte aware for column counts).
+    fn bump(&mut self) {
+        let Some(&b) = self.bytes.get(self.pos) else {
+            return;
+        };
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+            self.pos += 1;
+            return;
+        }
+        let ch_len = match b {
+            _ if b < 0x80 => 1,
+            _ if b >= 0xF0 => 4,
+            _ if b >= 0xE0 => 3,
+            _ => 2,
+        };
+        self.pos += ch_len;
+        self.col += 1;
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LexError {
+        LexError {
+            line: self.line,
+            col: self.col,
+            msg: msg.into(),
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Longest-first punctuation table (maximal munch). Single characters
+/// not listed fall through to a one-byte `Punct`.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "..", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Lex `src` into a complete token stream (comments included).
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    // Skip a shebang line so scripts lex too.
+    if src.starts_with("#!") && !src.starts_with("#![") {
+        while cur.peek().is_some_and(|b| b != b'\n') {
+            cur.bump();
+        }
+    }
+    while let Some(b) = cur.peek() {
+        if b.is_ascii_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let start = cur.pos;
+        let (line, col) = (cur.line, cur.col);
+        let kind = lex_one(&mut cur)?;
+        debug_assert!(cur.pos > start, "lexer must make progress");
+        out.push(Token {
+            kind,
+            span: Span {
+                start,
+                end: cur.pos,
+                line,
+                col,
+            },
+        });
+    }
+    Ok(out)
+}
+
+fn lex_one(cur: &mut Cursor<'_>) -> Result<TokenKind, LexError> {
+    let b = cur.peek().expect("caller checked non-empty");
+    match b {
+        b'/' if cur.peek_at(1) == Some(b'/') => {
+            while cur.peek().is_some_and(|c| c != b'\n') {
+                cur.bump();
+            }
+            Ok(TokenKind::LineComment)
+        }
+        b'/' if cur.peek_at(1) == Some(b'*') => {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1u32;
+            while depth > 0 {
+                match (cur.peek(), cur.peek_at(1)) {
+                    (Some(b'/'), Some(b'*')) => {
+                        depth += 1;
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some(b'*'), Some(b'/')) => {
+                        depth -= 1;
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some(_), _) => cur.bump(),
+                    (None, _) => return Err(cur.err("unterminated block comment")),
+                }
+            }
+            Ok(TokenKind::BlockComment)
+        }
+        b'r' if cur.peek_at(1) == Some(b'"') || cur.peek_at(1) == Some(b'#') => {
+            lex_raw_or_ident(cur, 1)
+        }
+        b'b' if cur.peek_at(1) == Some(b'\'') => {
+            cur.bump();
+            lex_char(cur)
+        }
+        b'b' if cur.peek_at(1) == Some(b'"') => {
+            cur.bump();
+            lex_str(cur)
+        }
+        b'b' if cur.peek_at(1) == Some(b'r')
+            && (cur.peek_at(2) == Some(b'"') || cur.peek_at(2) == Some(b'#')) =>
+        {
+            lex_raw_or_ident(cur, 2)
+        }
+        b'"' => lex_str(cur),
+        b'\'' => lex_char_or_lifetime(cur),
+        _ if is_ident_start(b) => {
+            while cur.peek().is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            Ok(TokenKind::Ident)
+        }
+        _ if b.is_ascii_digit() => lex_number(cur),
+        _ => {
+            for p in PUNCTS {
+                if cur.src[cur.pos..].starts_with(p) {
+                    for _ in 0..p.len() {
+                        cur.bump();
+                    }
+                    return Ok(TokenKind::Punct);
+                }
+            }
+            cur.bump();
+            Ok(TokenKind::Punct)
+        }
+    }
+}
+
+/// At `r…` (skip = 1) or `br…` (skip = 2): raw string or raw ident.
+fn lex_raw_or_ident(cur: &mut Cursor<'_>, skip: usize) -> Result<TokenKind, LexError> {
+    // `r#ident` is a raw identifier, not an empty raw string: after
+    // the single `#` comes an identifier character, never `"` or `#`.
+    if skip == 1
+        && cur.peek_at(1) == Some(b'#')
+        && cur.peek_at(2).is_some_and(is_ident_start)
+    {
+        cur.bump(); // r
+        cur.bump(); // #
+        while cur.peek().is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        return Ok(TokenKind::RawIdent);
+    }
+    for _ in 0..skip {
+        cur.bump();
+    }
+    let mut hashes = 0usize;
+    while cur.peek() == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.peek() != Some(b'"') {
+        return Err(cur.err("expected `\"` after raw-string hashes"));
+    }
+    cur.bump();
+    loop {
+        match cur.peek() {
+            Some(b'"') => {
+                cur.bump();
+                let mut matched = 0usize;
+                while matched < hashes && cur.peek() == Some(b'#') {
+                    matched += 1;
+                    cur.bump();
+                }
+                if matched == hashes {
+                    return Ok(TokenKind::Str);
+                }
+            }
+            Some(_) => cur.bump(),
+            None => return Err(cur.err("unterminated raw string")),
+        }
+    }
+}
+
+fn lex_str(cur: &mut Cursor<'_>) -> Result<TokenKind, LexError> {
+    cur.bump(); // opening quote
+    loop {
+        match cur.peek() {
+            Some(b'\\') => {
+                cur.bump();
+                if cur.peek().is_some() {
+                    cur.bump(); // whatever is escaped, incl. `"` and `\`
+                } else {
+                    return Err(cur.err("unterminated string escape"));
+                }
+            }
+            Some(b'"') => {
+                cur.bump();
+                // String literals may carry suffixes in theory; none
+                // appear in practice — don't consume trailing idents.
+                return Ok(TokenKind::Str);
+            }
+            Some(_) => cur.bump(),
+            None => return Err(cur.err("unterminated string literal")),
+        }
+    }
+}
+
+fn lex_char(cur: &mut Cursor<'_>) -> Result<TokenKind, LexError> {
+    cur.bump(); // opening quote
+    match cur.peek() {
+        Some(b'\\') => {
+            cur.bump();
+            cur.bump(); // escaped char
+            // `\u{…}` / `\x41`: consume until the closing quote.
+            while cur.peek().is_some_and(|c| c != b'\'') {
+                cur.bump();
+            }
+        }
+        Some(_) => cur.bump(),
+        None => return Err(cur.err("unterminated char literal")),
+    }
+    if cur.peek() != Some(b'\'') {
+        return Err(cur.err("unterminated char literal"));
+    }
+    cur.bump();
+    Ok(TokenKind::Char)
+}
+
+/// At a `'`: disambiguate char literal from lifetime. `'x'` (third
+/// byte a quote) and `'\…'` are chars; `'ident` with no closing quote
+/// is a lifetime.
+fn lex_char_or_lifetime(cur: &mut Cursor<'_>) -> Result<TokenKind, LexError> {
+    match cur.peek_at(1) {
+        Some(b'\\') => lex_char(cur),
+        Some(c) if is_ident_start(c) => {
+            // Count identifier bytes after the quote; a `'` right
+            // after them makes it a char literal ('a'), otherwise a
+            // lifetime ('a, 'static).
+            let mut i = 1;
+            while cur.peek_at(i).is_some_and(is_ident_continue) {
+                i += 1;
+            }
+            if i == 2 && cur.peek_at(2) == Some(b'\'') {
+                lex_char(cur)
+            } else if cur.peek_at(i) == Some(b'\'') && i > 2 {
+                // Multi-char like 'abc' is invalid Rust; lex it as a
+                // char token anyway rather than erroring.
+                lex_char_loose(cur)
+            } else {
+                cur.bump(); // '
+                while cur.peek().is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                Ok(TokenKind::Lifetime)
+            }
+        }
+        Some(_) => lex_char(cur),
+        None => Err(cur.err("dangling quote at end of input")),
+    }
+}
+
+fn lex_char_loose(cur: &mut Cursor<'_>) -> Result<TokenKind, LexError> {
+    cur.bump(); // '
+    while cur.peek().is_some_and(|c| c != b'\'') {
+        cur.bump();
+    }
+    if cur.peek() != Some(b'\'') {
+        return Err(cur.err("unterminated char literal"));
+    }
+    cur.bump();
+    Ok(TokenKind::Char)
+}
+
+fn lex_number(cur: &mut Cursor<'_>) -> Result<TokenKind, LexError> {
+    if cur.peek() == Some(b'0')
+        && matches!(cur.peek_at(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'))
+    {
+        cur.bump();
+        cur.bump();
+        while cur
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            cur.bump();
+        }
+        return Ok(TokenKind::Int);
+    }
+    let mut float = false;
+    while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+        cur.bump();
+    }
+    // Fractional part only when a digit follows the dot: `1.max(2)`
+    // keeps its dot, `0..n` keeps its range.
+    if cur.peek() == Some(b'.') && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+        float = true;
+        cur.bump();
+        while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+            cur.bump();
+        }
+    } else if cur.peek() == Some(b'.')
+        && cur.peek_at(1) != Some(b'.')
+        && !cur.peek_at(1).is_some_and(is_ident_start)
+    {
+        // Trailing-dot float `1.` (not a range, not a method call).
+        float = true;
+        cur.bump();
+    }
+    // Exponent: `1e9`, `2.5E-3`. A following sign needs a digit after.
+    if matches!(cur.peek(), Some(b'e' | b'E')) {
+        let (sign, first_digit) = match cur.peek_at(1) {
+            Some(b'+' | b'-') => (1, cur.peek_at(2)),
+            other => (0, other),
+        };
+        if first_digit.is_some_and(|c| c.is_ascii_digit()) {
+            float = true;
+            cur.bump(); // e
+            for _ in 0..sign {
+                cur.bump();
+            }
+            while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+                cur.bump();
+            }
+        }
+    }
+    // Type suffix (`u32`, `f64`): `1f64` / `2.5f32` are floats.
+    if cur.peek().is_some_and(is_ident_start) {
+        let suffix_start = cur.pos;
+        while cur.peek().is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        let suffix = &cur.src[suffix_start..cur.pos];
+        if suffix == "f32" || suffix == "f64" {
+            float = true;
+        }
+    }
+    Ok(if float { TokenKind::Float } else { TokenKind::Int })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_comment_markers() {
+        let toks = kinds(r#"let s = "no // comment"; use HashMap;"#);
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "s", "use", "HashMap"]);
+    }
+
+    #[test]
+    fn raw_strings_any_hash_count() {
+        let src = r####"let a = r"x"; let b = r#"y "quoted" y"#; let c = br##"z"##;"####;
+        let strs = kinds(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokenKind::Str)
+            .count();
+        assert_eq!(strs, 3);
+    }
+
+    #[test]
+    fn raw_ident_is_not_raw_string() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::RawIdent && t == "r#type"));
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let toks = kinds(r"fn f<'a>(x: &'a u8) { let c = 'x'; let q = '\''; let s: &'static str = y; }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'static"]);
+        let chars = toks.iter().filter(|(k, _)| *k == TokenKind::Char).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still */ fn x() {}");
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1].1, "fn");
+    }
+
+    #[test]
+    fn float_classification() {
+        for (src, kind) in [
+            ("1.0", TokenKind::Float),
+            ("1e9", TokenKind::Float),
+            ("2.5e-3", TokenKind::Float),
+            ("1f64", TokenKind::Float),
+            ("42", TokenKind::Int),
+            ("0xFF", TokenKind::Int),
+            ("1_000u64", TokenKind::Int),
+        ] {
+            assert_eq!(kinds(src)[0].0, kind, "{src}");
+        }
+        // `1.max(2)` — dot stays punctuation, no float.
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0].0, TokenKind::Int);
+        assert_eq!(toks[1].1, ".");
+        // `0..n` — range, not a float.
+        let toks = kinds("0..n");
+        assert_eq!(toks[0].0, TokenKind::Int);
+        assert_eq!(toks[1].1, "..");
+    }
+
+    #[test]
+    fn punct_maximal_munch() {
+        let toks = kinds("a::b != c..=d");
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, ["::", "!=", "..="]);
+    }
+
+    #[test]
+    fn line_and_col_are_one_based() {
+        let src = "ab\n  cd";
+        let toks = lex(src).unwrap();
+        assert_eq!((toks[0].span.line, toks[0].span.col), (1, 1));
+        assert_eq!((toks[1].span.line, toks[1].span.col), (2, 3));
+    }
+
+    #[test]
+    fn escapes_do_not_end_strings() {
+        let toks = kinds(r#"let s = "a\"b\\"; done"#);
+        assert_eq!(toks[3].0, TokenKind::Str);
+        assert_eq!(toks[3].1, r#""a\"b\\""#);
+        assert!(toks.iter().any(|(_, t)| t == "done"));
+    }
+}

@@ -1,0 +1,400 @@
+//! Item-level scan over the token stream: `use … as` alias tracking,
+//! `#[cfg(test)]` / `#[test]` region detection, and the scoped
+//! `// lint: allow(<rule-id>): <why>` opt-out comments.
+//!
+//! The scan is deliberately shallow — no AST — but exact about the
+//! three things the rules need:
+//!
+//! * **Aliases**: `use std::collections::HashMap as Map;` makes `Map`
+//!   carry `HashMap`'s ban (the grep lint this replaces was evadable
+//!   exactly this way). An allow on the `use` line sanctions the
+//!   alias at its import, so uses are not re-flagged — the
+//!   justification lives where the name is minted.
+//! * **Test regions**: byte ranges of `#[cfg(test)] mod … { … }` and
+//!   `#[test] fn … { … }` items. The hot-path-alloc and
+//!   panic-freedom rules skip them; the nondeterminism rule does not
+//!   (a hashed iteration in a test oracle still breaks seed
+//!   reproducibility).
+//! * **Allows**: each allow names one rule and must carry a non-empty
+//!   justification after the closing `): `. An allow suppresses
+//!   findings of that rule on its own line, or — when the comment
+//!   stands alone on a line — on the next line holding code.
+//!   Malformed allows (unknown rule, missing why) and unused allows
+//!   are findings themselves, so the opt-out catalogue stays audited.
+
+use crate::lexer::{lex, LexError, Token, TokenKind};
+use crate::rules::RULE_IDS;
+
+/// An identifier that inherits a banned token's meaning via
+/// `use … as`.
+#[derive(Debug, Clone)]
+pub struct Alias {
+    /// The local name (`Map`).
+    pub name: String,
+    /// The banned original (`HashMap`).
+    pub original: String,
+    /// Line of the `use` declaration.
+    pub line: u32,
+    /// Whether the `use` line carries an allow for `nondeterminism` —
+    /// then the alias is sanctioned at import and uses are clean.
+    pub sanctioned: bool,
+}
+
+/// One parsed `// lint: allow(<rule>): <why>` comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Line the comment sits on.
+    pub line: u32,
+    /// The rule id inside the parentheses, verbatim.
+    pub rule: String,
+    /// Justification after `): ` (trimmed; may be empty = malformed).
+    pub why: String,
+    /// Line the allow applies to: its own line, or — for a comment
+    /// alone on its line — the next line with a code token.
+    pub applies_to: u32,
+    /// Whether the rule id is in the engine's catalogue.
+    pub known_rule: bool,
+}
+
+/// Token stream plus everything the item scan extracted.
+pub struct Analysis<'s> {
+    /// The source text.
+    pub src: &'s str,
+    /// Complete token stream, comments included.
+    pub tokens: Vec<Token>,
+    /// Banned-token aliases minted by `use … as`.
+    pub aliases: Vec<Alias>,
+    /// Byte ranges of test-only items.
+    pub test_regions: Vec<(usize, usize)>,
+    /// Parsed allow comments, in source order.
+    pub allows: Vec<Allow>,
+}
+
+impl Analysis<'_> {
+    /// Whether the byte offset falls inside a test-only item.
+    pub fn in_test(&self, byte: usize) -> bool {
+        self.test_regions.iter().any(|&(s, e)| byte >= s && byte < e)
+    }
+
+    /// Indices into `tokens` of non-comment tokens.
+    pub fn code_indices(&self) -> Vec<usize> {
+        (0..self.tokens.len())
+            .filter(|&i| {
+                !matches!(
+                    self.tokens[i].kind,
+                    TokenKind::LineComment | TokenKind::BlockComment
+                )
+            })
+            .collect()
+    }
+}
+
+/// Lex and scan one file.
+pub fn analyze(src: &str) -> Result<Analysis<'_>, LexError> {
+    let tokens = lex(src)?;
+    let allows = collect_allows(src, &tokens);
+    let aliases = collect_aliases(src, &tokens, &allows);
+    let test_regions = collect_test_regions(src, &tokens);
+    Ok(Analysis {
+        src,
+        tokens,
+        aliases,
+        test_regions,
+        allows,
+    })
+}
+
+/// Identifier tokens whose *meaning* is banned in deterministic code.
+/// `use … as` aliases of any of these inherit the ban.
+pub const BANNED_WORDS: &[&str] = &[
+    "HashMap",
+    "HashSet",
+    "Instant",
+    "SystemTime",
+    "UNIX_EPOCH",
+    "thread_rng",
+    "from_entropy",
+    "RandomState",
+    "getrandom",
+    // Host-dependent: the worker count of the sharded engine is part
+    // of the recorded configuration, never auto-detected inside it.
+    "available_parallelism",
+];
+
+/// Two-segment paths banned as a unit (`rand::random`).
+pub const BANNED_PATH: (&str, &str) = ("rand", "random");
+
+fn collect_allows(src: &str, tokens: &[Token]) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if !matches!(tok.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        let text = tok.text(src);
+        let Some(at) = text.find("lint: allow(") else {
+            continue;
+        };
+        let rest = &text[at + "lint: allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let after = &rest[close + 1..];
+        let why = after
+            .strip_prefix(':')
+            .map(|w| w.trim())
+            .unwrap_or("")
+            .to_string();
+        // Own-line comments bind to the next line holding code.
+        let own_line = src[..tok.span.start]
+            .rfind('\n')
+            .map(|nl| src[nl + 1..tok.span.start].trim().is_empty())
+            .unwrap_or(tok.span.start == 0 || src[..tok.span.start].trim().is_empty());
+        let applies_to = if own_line {
+            tokens[i + 1..]
+                .iter()
+                .find(|t| {
+                    !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
+                })
+                .map(|t| t.span.line)
+                .unwrap_or(tok.span.line)
+        } else {
+            tok.span.line
+        };
+        let known_rule = RULE_IDS.contains(&rule.as_str());
+        out.push(Allow {
+            line: tok.span.line,
+            rule,
+            why,
+            applies_to,
+            known_rule,
+        });
+    }
+    out
+}
+
+/// Walk `use` declarations for `<banned> as <alias>` pairs (brace
+/// nesting inside use-trees handled; the path before `as` only
+/// matters by its final segment, plus the `rand::random` pair).
+fn collect_aliases(src: &str, tokens: &[Token], allows: &[Allow]) -> Vec<Alias> {
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if !(code[i].kind == TokenKind::Ident && code[i].text(src) == "use") {
+            i += 1;
+            continue;
+        }
+        // Scan this use declaration to its `;`.
+        let mut j = i + 1;
+        while j < code.len() && code[j].text(src) != ";" {
+            if code[j].kind == TokenKind::Ident
+                && code[j].text(src) == "as"
+                && j + 1 < code.len()
+                && j >= 1
+            {
+                let orig = code[j - 1];
+                let alias = code[j + 1];
+                if alias.kind == TokenKind::Ident && orig.kind == TokenKind::Ident {
+                    let orig_text = orig.text(src);
+                    let is_banned_word = BANNED_WORDS.contains(&orig_text);
+                    let is_banned_path = orig_text == BANNED_PATH.1
+                        && j >= 3
+                        && code[j - 2].text(src) == "::"
+                        && code[j - 3].text(src) == BANNED_PATH.0;
+                    if is_banned_word || is_banned_path {
+                        let line = alias.span.line;
+                        let sanctioned = allows.iter().any(|a| {
+                            a.applies_to == line && a.rule == "nondeterminism" && !a.why.is_empty()
+                        });
+                        out.push(Alias {
+                            name: alias.text(src).to_string(),
+                            original: if is_banned_path {
+                                format!("{}::{}", BANNED_PATH.0, BANNED_PATH.1)
+                            } else {
+                                orig_text.to_string()
+                            },
+                            line,
+                            sanctioned,
+                        });
+                    }
+                }
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Byte ranges of items behind `#[cfg(test)]` or `#[test]`. After the
+/// attribute, the item's first `{ … }` block is the region; an item
+/// that ends in `;` before any brace (e.g. `#[cfg(test)] use …;`)
+/// contributes none.
+fn collect_test_regions(src: &str, tokens: &[Token]) -> Vec<(usize, usize)> {
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .collect();
+    let mut out: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if !(code[i].text(src) == "#" && i + 1 < code.len() && code[i + 1].text(src) == "[") {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute's tokens to its matching `]`.
+        let mut j = i + 2;
+        let mut depth = 1u32;
+        let mut attr = String::new();
+        while j < code.len() && depth > 0 {
+            match code[j].text(src) {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                t => {
+                    attr.push_str(t);
+                }
+            }
+            j += 1;
+        }
+        let is_test_attr = attr == "test"
+            || attr.starts_with("cfg(test)")
+            || attr.starts_with("cfg(anytest")
+            || attr == "cfg(test,"
+            // `cfg(all(test, …))` / `cfg(any(test, …))` style guards.
+            || (attr.starts_with("cfg(") && attr.contains("(test") || attr.contains(",test"));
+        if !is_test_attr {
+            i = j;
+            continue;
+        }
+        // Find the item's opening brace, bailing at `;` (brace-less
+        // item) — skip over further attributes.
+        let mut k = j;
+        let mut open = None;
+        while k < code.len() {
+            match code[k].text(src) {
+                "{" => {
+                    open = Some(k);
+                    break;
+                }
+                ";" => break,
+                _ => k += 1,
+            }
+        }
+        let Some(open) = open else {
+            i = j;
+            continue;
+        };
+        let mut bdepth = 1u32;
+        let mut m = open + 1;
+        while m < code.len() && bdepth > 0 {
+            match code[m].text(src) {
+                "{" => bdepth += 1,
+                "}" => bdepth -= 1,
+                _ => {}
+            }
+            m += 1;
+        }
+        let end = code
+            .get(m - 1)
+            .map(|t| t.span.end)
+            .unwrap_or(src.len());
+        out.push((code[i].span.start, end));
+        i = m;
+    }
+    // Merge nested/overlapping regions for cheap membership tests.
+    out.sort();
+    let mut merged: Vec<(usize, usize)> = Vec::new();
+    for (s, e) in out {
+        match merged.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alias_of_banned_word_is_tracked() {
+        let a = analyze("use std::collections::HashMap as Map;\nfn f() {}").unwrap();
+        assert_eq!(a.aliases.len(), 1);
+        assert_eq!(a.aliases[0].name, "Map");
+        assert_eq!(a.aliases[0].original, "HashMap");
+        assert!(!a.aliases[0].sanctioned);
+    }
+
+    #[test]
+    fn alias_in_use_tree_is_tracked() {
+        let a = analyze("use std::collections::{BTreeMap, HashSet as Set};").unwrap();
+        assert_eq!(a.aliases.len(), 1);
+        assert_eq!(a.aliases[0].name, "Set");
+    }
+
+    #[test]
+    fn harmless_alias_is_ignored() {
+        let a = analyze("use std::collections::BTreeMap as Map;").unwrap();
+        assert!(a.aliases.is_empty());
+    }
+
+    #[test]
+    fn sanctioned_alias_records_the_allow() {
+        let src =
+            "use std::collections::HashMap as Map; // lint: allow(nondeterminism): keyed api only\n";
+        let a = analyze(src).unwrap();
+        assert!(a.aliases[0].sanctioned);
+    }
+
+    #[test]
+    fn rand_random_alias_is_tracked() {
+        let a = analyze("use rand::random as entropy;").unwrap();
+        assert_eq!(a.aliases[0].original, "rand::random");
+    }
+
+    #[test]
+    fn cfg_test_mod_region() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        let a = analyze(src).unwrap();
+        assert_eq!(a.test_regions.len(), 1);
+        let unwrap_at = src.find("unwrap").unwrap();
+        assert!(a.in_test(unwrap_at));
+        assert!(!a.in_test(src.find("live").unwrap()));
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_has_no_region() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() {}\n";
+        let a = analyze(src).unwrap();
+        assert!(a.test_regions.is_empty());
+    }
+
+    #[test]
+    fn own_line_allow_binds_to_next_code_line() {
+        let src = "fn f() {\n    // lint: allow(panic-freedom): boot-time invariant\n    x.unwrap();\n}\n";
+        let a = analyze(src).unwrap();
+        assert_eq!(a.allows.len(), 1);
+        assert_eq!(a.allows[0].applies_to, 3);
+        assert!(a.allows[0].known_rule);
+    }
+
+    #[test]
+    fn same_line_allow_binds_to_its_line() {
+        let src = "let x = m.unwrap(); // lint: allow(panic-freedom): checked above\n";
+        let a = analyze(src).unwrap();
+        assert_eq!(a.allows[0].applies_to, 1);
+        assert_eq!(a.allows[0].why, "checked above");
+    }
+
+    #[test]
+    fn allow_without_why_is_flagged_malformed() {
+        let src = "let x = m.unwrap(); // lint: allow(panic-freedom)\n";
+        let a = analyze(src).unwrap();
+        assert!(a.allows[0].why.is_empty());
+    }
+}

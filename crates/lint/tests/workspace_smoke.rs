@@ -1,0 +1,102 @@
+//! Whole-workspace lexer smoke test: every `.rs` file in the repo —
+//! crate sources, the facade, integration tests, examples, benches
+//! and the vendored stand-ins — must lex cleanly, with spans that are
+//! in-bounds, strictly ordered, non-overlapping, and that re-slice to
+//! the original source with nothing but whitespace between tokens.
+//! This is the broadest correctness net the lexer has: the mutation
+//! tests prove the rules see what they should, this proves the lexer
+//! never silently drops or misframes a byte of real code.
+
+use ampnet_lint::lexer::lex;
+use std::path::{Path, PathBuf};
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name != "target" && name != ".git" {
+                collect(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn every_workspace_source_lexes_and_spans_reproduce_it() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut files = Vec::new();
+    collect(&root, &mut files);
+    files.sort();
+    assert!(
+        files.len() > 100,
+        "workspace walk looks broken: only {} .rs files found",
+        files.len()
+    );
+
+    for file in &files {
+        let src = std::fs::read_to_string(file)
+            .unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+        let tokens = lex(&src)
+            .unwrap_or_else(|e| panic!("{} does not lex: {e:?}", file.display()));
+
+        let mut pos = 0usize;
+        let mut last_line_col = (0u32, 0u32);
+        for t in &tokens {
+            assert!(
+                t.span.start >= pos,
+                "{}: token at byte {} overlaps previous (ends {})",
+                file.display(),
+                t.span.start,
+                pos
+            );
+            assert!(
+                t.span.end <= src.len() && t.span.start < t.span.end,
+                "{}: span {}..{} out of bounds (len {})",
+                file.display(),
+                t.span.start,
+                t.span.end,
+                src.len()
+            );
+            assert!(
+                (t.span.line, t.span.col) > last_line_col,
+                "{}: line/col not strictly increasing at {}:{}",
+                file.display(),
+                t.span.line,
+                t.span.col
+            );
+            last_line_col = (t.span.line, t.span.col);
+            let gap = &src[pos..t.span.start];
+            assert!(
+                gap.chars().all(char::is_whitespace),
+                "{}: non-whitespace gap {gap:?} before byte {}",
+                file.display(),
+                t.span.start
+            );
+            pos = t.span.end;
+        }
+        let tail = &src[pos..];
+        assert!(
+            tail.chars().all(char::is_whitespace),
+            "{}: non-whitespace tail {tail:?}",
+            file.display()
+        );
+
+        // Re-slicing every span and re-inserting the gaps reproduces
+        // the file byte-for-byte.
+        let mut rebuilt = String::with_capacity(src.len());
+        let mut cursor = 0usize;
+        for t in &tokens {
+            rebuilt.push_str(&src[cursor..t.span.start]);
+            rebuilt.push_str(t.text(&src));
+            cursor = t.span.end;
+        }
+        rebuilt.push_str(&src[cursor..]);
+        assert_eq!(rebuilt, src, "{}: re-sliced source differs", file.display());
+    }
+}

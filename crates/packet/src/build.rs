@@ -101,7 +101,7 @@ pub fn data(src: u8, dst: u8, stream: u8, payload: [u8; FIXED_PAYLOAD]) -> Micro
         ControlWord::new(PacketType::Data, src, dst, stream),
         Body::Fixed(payload),
     )
-    .expect("data packet is fixed-class")
+    .expect("data packet is fixed-class") // lint: allow(panic-freedom): Data is a fixed-class type; new() never rejects a fixed body for it
 }
 
 /// Build a broadcast Data packet.
@@ -142,7 +142,7 @@ pub fn rostering(src: u8, kind: u8, payload: [u8; FIXED_PAYLOAD]) -> MicroPacket
             .with_flags(Flags::URGENT),
         Body::Fixed(payload),
     )
-    .expect("rostering packet is fixed-class")
+    .expect("rostering packet is fixed-class") // lint: allow(panic-freedom): Rostering is a fixed-class type; new() never rejects a fixed body for it
 }
 
 /// Build an Interrupt MicroPacket.
@@ -155,7 +155,7 @@ pub fn interrupt(src: u8, dst: u8, p: InterruptPayload) -> MicroPacket {
         ControlWord::new(PacketType::Interrupt, src, dst, 0).with_flags(Flags::URGENT),
         Body::Fixed(payload),
     )
-    .expect("interrupt packet is fixed-class")
+    .expect("interrupt packet is fixed-class") // lint: allow(panic-freedom): Interrupt is a fixed-class type; new() never rejects a fixed body for it
 }
 
 /// Parse an Interrupt payload.
@@ -184,7 +184,7 @@ pub fn atomic_request(src: u8, home: u8, req: AtomicRequest) -> MicroPacket {
         ControlWord::new(PacketType::D64Atomic, src, home, req.op as u8),
         Body::Fixed(payload),
     )
-    .expect("atomic packet is fixed-class")
+    .expect("atomic packet is fixed-class") // lint: allow(panic-freedom): Atomic is a fixed-class type; new() never rejects a fixed body for it
 }
 
 /// Parse a D64 Atomic request.
@@ -209,7 +209,7 @@ pub fn atomic_response(src: u8, dst: u8, op: AtomicOp, previous: u64) -> MicroPa
         ControlWord::new(PacketType::D64Atomic, src, dst, op as u8).with_flags(Flags::RESPONSE),
         Body::Fixed(previous.to_be_bytes()),
     )
-    .expect("atomic response is fixed-class")
+    .expect("atomic response is fixed-class") // lint: allow(panic-freedom): AtomicResponse is a fixed-class type; new() never rejects a fixed body for it
 }
 
 /// Parse a D64 Atomic response into (op, previous value).
@@ -227,7 +227,7 @@ pub fn diagnostic(src: u8, dst: u8, op: DiagOp, payload: [u8; FIXED_PAYLOAD]) ->
         ControlWord::new(PacketType::Diagnostic, src, dst, op as u8),
         Body::Fixed(payload),
     )
-    .expect("diagnostic packet is fixed-class")
+    .expect("diagnostic packet is fixed-class") // lint: allow(panic-freedom): Diagnostic is a fixed-class type; new() never rejects a fixed body for it
 }
 
 #[cfg(test)]

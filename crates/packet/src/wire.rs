@@ -63,8 +63,8 @@ impl DmaCtrl {
         DmaCtrl {
             channel: b[0],
             region: b[1],
-            offset: u32::from_be_bytes(b[2..6].try_into().expect("4 bytes")),
-            len: u16::from_be_bytes(b[6..8].try_into().expect("2 bytes")),
+            offset: u32::from_be_bytes(b[2..6].try_into().expect("4 bytes")), // lint: allow(panic-freedom): header length was checked at function entry
+            len: u16::from_be_bytes(b[6..8].try_into().expect("2 bytes")), // lint: allow(panic-freedom): header length was checked at function entry
         }
     }
 }
@@ -148,7 +148,7 @@ impl MicroPacket {
     pub fn fixed_payload(&self) -> &[u8; FIXED_PAYLOAD] {
         match &self.body {
             Body::Fixed(p) => p,
-            Body::Variable { .. } => panic!("fixed_payload on a variable packet"),
+            Body::Variable { .. } => panic!("fixed_payload on a variable packet"), // lint: allow(panic-freedom): documented contract: callers match Fixed before calling fixed_payload
         }
     }
 
@@ -215,15 +215,15 @@ impl MicroPacket {
         out[0] = u32::from_be_bytes(self.ctrl.to_bytes());
         match &self.body {
             Body::Fixed(p) => {
-                out[1] = u32::from_be_bytes(p[..4].try_into().expect("4 bytes"));
-                out[2] = u32::from_be_bytes(p[4..].try_into().expect("4 bytes"));
+                out[1] = u32::from_be_bytes(p[..4].try_into().expect("4 bytes")); // lint: allow(panic-freedom): payload length was validated by the packet class at build time
+                out[2] = u32::from_be_bytes(p[4..].try_into().expect("4 bytes")); // lint: allow(panic-freedom): payload length was validated by the packet class at build time
             }
             Body::Variable { ctrl, data } => {
                 let d = ctrl.to_bytes();
-                out[1] = u32::from_be_bytes(d[..4].try_into().expect("4 bytes"));
-                out[2] = u32::from_be_bytes(d[4..].try_into().expect("4 bytes"));
+                out[1] = u32::from_be_bytes(d[..4].try_into().expect("4 bytes")); // lint: allow(panic-freedom): payload length was validated by the packet class at build time
+                out[2] = u32::from_be_bytes(d[4..].try_into().expect("4 bytes")); // lint: allow(panic-freedom): payload length was validated by the packet class at build time
                 for (w, chunk) in out[3..n].iter_mut().zip(data.chunks_exact(WORD)) {
-                    *w = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
+                    *w = u32::from_be_bytes(chunk.try_into().expect("4 bytes")); // lint: allow(panic-freedom): payload length was validated by the packet class at build time
                 }
             }
         }
@@ -257,7 +257,7 @@ impl MicroPacket {
         if bytes.len() < 3 * WORD || !bytes.len().is_multiple_of(WORD) {
             return Err(PacketError::BadSize(bytes.len()));
         }
-        let ctrl = ControlWord::from_bytes(bytes[..4].try_into().expect("4 bytes"))?;
+        let ctrl = ControlWord::from_bytes(bytes[..4].try_into().expect("4 bytes"))?; // lint: allow(panic-freedom): the length guard at entry ensures at least 4 header bytes
         match ctrl.ptype.length_class() {
             LengthClass::Fixed => {
                 if bytes.len() != 3 * WORD {
@@ -271,7 +271,7 @@ impl MicroPacket {
                 if bytes.len() < 4 * WORD {
                     return Err(PacketError::BadSize(bytes.len()));
                 }
-                let dma = DmaCtrl::from_bytes(bytes[4..12].try_into().expect("8 bytes"));
+                let dma = DmaCtrl::from_bytes(bytes[4..12].try_into().expect("8 bytes")); // lint: allow(panic-freedom): the Dma class implies a 12-byte header, checked above
                 if dma.len == 0 || dma.len as usize > MAX_DMA_PAYLOAD {
                     return Err(PacketError::BadDmaLen(dma.len));
                 }

@@ -95,7 +95,7 @@ impl PhyPort for SerialPhy {
             // The pre-refactor cost model: materialize the packet and
             // heap-serialize it for this hop, then throw both away.
             #[allow(deprecated)]
-            let bytes = arena.decode(frame.frame).to_vec();
+            let bytes = arena.decode(frame.frame).to_vec(); // lint: allow(hot-path-alloc): deprecated heap-serialize A/B leg — the cost model the bench measures against, never the shipping path
             std::hint::black_box(&bytes);
         }
     }
@@ -113,7 +113,7 @@ impl PhyPort for SerialPhy {
         let window = (errors as usize).max(1) * 4;
         for i in 0..window {
             let byte = (i % 251) as u8;
-            let clean = enc.encode(Symbol::Data(byte)).expect("data encodes");
+            let clean = enc.encode(Symbol::Data(byte)).expect("data encodes"); // lint: allow(panic-freedom): 8b/10b encode is total over data bytes
             let wire = if i % 4 == 0 {
                 burst.corrupt_group(clean)
             } else {
@@ -157,7 +157,7 @@ impl HostQueues {
     /// Accounting over `n_sources` possible senders.
     pub fn new(n_sources: usize) -> Self {
         HostQueues {
-            delivered_from: vec![0; n_sources],
+            delivered_from: vec![0; n_sources], // lint: allow(hot-path-alloc): constructor: per-source accounting allocated once at boot
             ..Default::default()
         }
     }
@@ -251,7 +251,7 @@ impl StackTelemetry {
     /// Register this node's plane instruments in `tel`.
     pub fn new(tel: &Telemetry, node: u8) -> Self {
         StackTelemetry {
-            tel: tel.clone(),
+            tel: tel.clone(), // lint: allow(hot-path-alloc): constructor: cloning the Telemetry handle is registration-time
             node,
             phy_tx: tel.counter(&defs::PHY_TX_FRAMES, node),
             bursts: tel.counter(&defs::PHY_BURSTS_INJECTED, node),

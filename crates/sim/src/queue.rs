@@ -351,7 +351,7 @@ impl<E> EventQueue<E> {
             _ => return None,
         };
         loop {
-            let e = self.due.pop_front().expect("settled front vanished");
+            let e = self.due.pop_front().expect("settled front vanished"); // lint: allow(panic-freedom): due was observed non-empty under the same borrow
             self.pending.remove(e.seq);
             out.push((e.at, e.event));
             // Skip tombstones to reach the next live entry (mirrors
@@ -410,7 +410,7 @@ impl<E> EventQueue<E> {
             if top.at.0 > window_last {
                 break;
             }
-            let Reverse(e) = self.overflow.pop().expect("peeked entry vanished");
+            let Reverse(e) = self.overflow.pop().expect("peeked entry vanished"); // lint: allow(panic-freedom): pop follows a successful peek under the same borrow
             self.place(e);
         }
         if !self.due.is_empty() {
@@ -489,7 +489,7 @@ impl<E> EventQueue<E> {
             if top.at.0 != self.cur {
                 break;
             }
-            let Reverse(e) = self.overflow.pop().expect("peeked entry vanished");
+            let Reverse(e) = self.overflow.pop().expect("peeked entry vanished"); // lint: allow(panic-freedom): pop follows a successful peek under the same borrow
             if self.pending.contains(e.seq) {
                 self.place(e); // lands in due (at == cur), seq-ascending
             } else {
@@ -612,7 +612,10 @@ mod tests {
         let mut live: Vec<EventId> = (0..32)
             .map(|i| q.schedule(SimTime(1_000 + i), i))
             .collect();
-        for round in 0..10_000u64 {
+        // Miri interprets ~100x slower; a few hundred rounds still
+        // crosses several compaction cycles.
+        let rounds: u64 = if cfg!(miri) { 256 } else { 10_000 };
+        for round in 0..rounds {
             let slot = (round % 32) as usize;
             assert!(q.cancel(live[slot]));
             live[slot] = q.schedule(SimTime(2_000 + round), round);

@@ -27,7 +27,7 @@ use std::collections::BinaryHeap;
 // order cannot leak into the schedule. Hashed with the same fixed-key
 // mixer as the wheel so the microbench comparison isolates the data
 // structures, not the hash function.
-use std::collections::HashSet; // lint: allow(HashSet): membership-only, never iterated
+use std::collections::HashSet; // lint: allow(nondeterminism): membership-only set behind a fixed-key SeqHashBuilder, never iterated
 
 #[derive(Debug)]
 struct Entry<E> {
@@ -63,7 +63,7 @@ pub struct HeapEventQueue<E> {
     /// Sequence numbers of events that are scheduled and not yet fired
     /// or cancelled. Entries in the heap whose seq is absent here are
     /// tombstones left behind by `cancel`.
-    pending: HashSet<u64, SeqHashBuilder>, // lint: allow(HashSet): membership-only, never iterated
+    pending: HashSet<u64, SeqHashBuilder>, // lint: allow(nondeterminism): membership-only set behind a fixed-key SeqHashBuilder, never iterated
     next_seq: u64,
 }
 
@@ -78,7 +78,7 @@ impl<E> HeapEventQueue<E> {
     pub fn new() -> Self {
         HeapEventQueue {
             heap: BinaryHeap::new(),
-            pending: HashSet::default(), // lint: allow(HashSet): membership-only, never iterated
+            pending: HashSet::default(), // lint: allow(nondeterminism): membership-only set behind a fixed-key SeqHashBuilder, never iterated
             next_seq: 0,
         }
     }

@@ -67,15 +67,16 @@ impl Hasher for SeqHasher {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet; // lint: allow(HashSet): test-only membership oracle
+    use std::collections::HashSet; // lint: allow(nondeterminism): test-only membership oracle, never iterated
 
     #[test]
     fn u64_roundtrip_membership() {
-        let mut s: HashSet<u64, SeqHashBuilder> = HashSet::default(); // lint: allow(HashSet): membership-only test
-        for i in 0..10_000u64 {
+        let mut s: HashSet<u64, SeqHashBuilder> = HashSet::default(); // lint: allow(nondeterminism): membership-only test set behind the fixed-key hasher under test
+        let n: u64 = if cfg!(miri) { 512 } else { 10_000 };
+        for i in 0..n {
             assert!(s.insert(i));
         }
-        for i in 0..10_000u64 {
+        for i in 0..n {
             assert!(s.contains(&i), "{i}");
             assert!(s.remove(&i));
         }
@@ -86,7 +87,7 @@ mod tests {
     fn dense_counters_spread() {
         // Consecutive counters must not collide in the low bits the
         // table actually indexes with.
-        let mut low7 = HashSet::new(); // lint: allow(HashSet): counts distinct values only
+        let mut low7 = HashSet::new(); // lint: allow(nondeterminism): counts distinct values only; iteration order never observed
         for i in 0..128u64 {
             let mut h = SeqHashBuilder.build_hasher();
             h.write_u64(i);

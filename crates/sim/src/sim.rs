@@ -106,7 +106,7 @@ impl<E> Sim<E> {
     pub fn pop_next(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
         match self.queue.peek_time() {
             Some(t) if t <= deadline => {
-                let (at, ev) = self.queue.pop().expect("peeked event vanished");
+                let (at, ev) = self.queue.pop().expect("peeked event vanished"); // lint: allow(panic-freedom): pop follows a successful peek in the same critical section
                 debug_assert!(at >= self.now, "event queue yielded a past event");
                 self.now = at;
                 self.processed += 1;

@@ -20,7 +20,7 @@ pub fn jain_fairness(xs: &[f64]) -> f64 {
     }
     let sum: f64 = xs.iter().sum();
     let sq: f64 = xs.iter().map(|x| x * x).sum();
-    if sq == 0.0 {
+    if sq == 0.0 { // lint: allow(nondeterminism): exact-zero guard against 0/0, not a tolerance compare
         return 1.0;
     }
     (sum * sum) / (xs.len() as f64 * sq)

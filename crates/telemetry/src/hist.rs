@@ -79,7 +79,7 @@ impl Histogram {
     /// Empty histogram.
     pub fn new() -> Self {
         Histogram {
-            buckets: vec![0; 64 * SUB],
+            buckets: vec![0; 64 * SUB], // lint: allow(hot-path-alloc): constructor: the bucket array is allocated once at registration
             count: 0,
             sum: 0,
             min: u64::MAX,

@@ -82,7 +82,7 @@ impl MetricsRegistry {
         if let Some(&idx) = self.by_key.get(&(def.name, node)) {
             return idx;
         }
-        let idx = u32::try_from(self.instruments.len()).expect("registry overflow");
+        let idx = u32::try_from(self.instruments.len()).expect("registry overflow"); // lint: allow(panic-freedom): u32::MAX instruments is a configuration explosion; fail at registration, which is the cold path
         let value = match def.kind {
             MetricKind::Counter => Value::Counter(0),
             MetricKind::Gauge => Value::Gauge(0),
@@ -177,7 +177,7 @@ impl MetricsRegistry {
     /// order. Used by the docs-sync test to prove the full-stack
     /// exercise touches every catalog entry.
     pub fn registered_defs(&self) -> Vec<&'static MetricDef> {
-        let mut seen: Vec<&'static MetricDef> = Vec::new();
+        let mut seen: Vec<&'static MetricDef> = Vec::new(); // lint: allow(hot-path-alloc): cold diagnostic backing the docs-sync test, never on the record path
         for inst in &self.instruments {
             if !seen.iter().any(|d| d.name == inst.def.name) {
                 seen.push(inst.def);

@@ -11,6 +11,7 @@ pub use ampnet_cache as cache;
 pub use ampnet_chaos as chaos;
 pub use ampnet_check as check;
 pub use ampnet_dk as dk;
+pub use ampnet_lint as lint;
 pub use ampnet_load as load;
 pub use ampnet_packet as packet;
 pub use ampnet_phy as phy;
