@@ -27,16 +27,20 @@
 //!
 //! `--bench-scale` sizes the sharded-PDES engine: 1→16 segments of 16
 //! nodes each (up to 256 nodes), each point run four times from the
-//! same seeds — `ParallelMode::Serial` and `Threads(8)`, each under
-//! both `Lookahead::Adaptive` (the default) and `Lookahead::Fixed`
-//! (the PR-5 reference) — recording wall-clock, speedup, events/sec
-//! and the trace digest of every run. Per policy, serial and threaded
-//! digests must match at every point (the engine's determinism
-//! contract). A heap-vs-wheel timer microbench records what the
-//! timer-wheel event core buys on the same synthetic workload. The
-//! JSON records `host_threads`/`effective_threads` honestly; CI fails
-//! the scale job outright when a single-core host makes the speedup
-//! guard unmeasurable, instead of silently self-disabling.
+//! same seeds — `ParallelMode::Serial` and a threaded pool clamped to
+//! `min(8, host_threads, segments)`, each under both
+//! `Lookahead::Adaptive` (the default) and `Lookahead::Fixed` (the
+//! PR-5 reference) — then a heavy guarded leg (16 saturated 32-node
+//! segments) that enforces the calibrated serial-throughput floor and
+//! the threaded speedup floor. Per policy, serial and threaded digests
+//! must match at every point (the engine's determinism contract). A
+//! heap-vs-wheel timer microbench records what the timer-wheel event
+//! core buys on the same synthetic workload and calibrates the serial
+//! floor. The JSON records `host_threads` and the per-point pool size
+//! honestly; a 1-thread host records
+//! `"speedup_guard": "skipped: 1 host thread"` instead of a
+//! time-sliced pseudo-speedup, and CI accepts that skip only when the
+//! host really cannot measure parallelism.
 //!
 //! `--check` runs the `ampnet-check` protocol models (seqlock,
 //! semaphore, roster/failover on crossbar, torus and folded-Clos
@@ -208,6 +212,44 @@ struct ScaleLeg {
     delivered: u64,
 }
 
+/// One workload shape for the scale bench: `segments` rings of
+/// `nodes`, each round issuing `sends_per_round` intra-segment
+/// unicasts per segment plus one crossing, repeated for `passes`
+/// timed passes (fastest wins).
+#[derive(Clone, Copy)]
+struct ScaleShape {
+    segments: usize,
+    nodes: usize,
+    rounds: usize,
+    sends_per_round: usize,
+    passes: usize,
+}
+
+/// The sweep shape: per-slice work heavy enough that a boundary's
+/// coordination cost does not dominate the shard work it fences —
+/// the old 1-send-per-round schedule measured barrier overhead, not
+/// simulation scaling.
+const fn sweep_shape(segments: usize) -> ScaleShape {
+    ScaleShape {
+        segments,
+        nodes: 16,
+        rounds: 8,
+        sends_per_round: 8,
+        passes: 8,
+    }
+}
+
+/// The heavy shape: 16 saturated 32-node segments (~2.4M events per
+/// pass). This is the leg the throughput and speedup guards read —
+/// wide enough that every worker has real work per slice.
+const HEAVY: ScaleShape = ScaleShape {
+    segments: 16,
+    nodes: 32,
+    rounds: 48,
+    sends_per_round: 96,
+    passes: 3,
+};
+
 /// One sharded-PDES leg: `n_segments` segments of `SCALE_NODES` nodes
 /// in a ring-of-segments, driven by a fixed cross- and intra-segment
 /// send schedule, advanced under `mode`/`policy` with base slice = the
@@ -215,26 +257,32 @@ struct ScaleLeg {
 /// schedule repeats for several timed passes and the leg reports the
 /// fastest (steady-state) one; the digest covers the whole run.
 fn scale_leg(
-    n_segments: usize,
+    shape: ScaleShape,
     mode: ampnet_core::ParallelMode,
     policy: ampnet_core::Lookahead,
 ) -> ScaleLeg {
     use ampnet_core::{ClusterConfig, GlobalAddr, MultiSegment};
-    const SCALE_NODES: usize = 16;
+    let ScaleShape {
+        segments: n_segments,
+        nodes,
+        rounds,
+        sends_per_round,
+        passes,
+    } = shape;
     let ga = |segment: usize, node: u8| GlobalAddr {
         segment: segment as u8,
         node,
     };
     let mut net = MultiSegment::new(
         (0..n_segments)
-            .map(|s| ClusterConfig::small(SCALE_NODES).with_seed(0x5CA1E + s as u64))
+            .map(|s| ClusterConfig::small(nodes).with_seed(0x5CA1E + s as u64))
             .collect(),
     );
     for s in 0..n_segments {
         if n_segments > 1 {
-            // node 15 of each segment bridges to node 0 of the next.
+            // The last node of each segment bridges to node 0 of the next.
             net.add_bridge(
-                ga(s, 15),
+                ga(s, (nodes - 1) as u8),
                 ga((s + 1) % n_segments, 0),
                 SimDuration::from_micros(5),
             );
@@ -258,19 +306,26 @@ fn scale_leg(
     // deterministic schedule in every mode — wall-clock sampling
     // cannot perturb the simulation — so the digest (which covers the
     // whole run) stays mode-invariant regardless of which pass wins.
-    const ROUNDS: usize = 8;
-    const PASSES: usize = 12;
     let round_len = SimDuration::from_micros(250);
-    let pass_len = round_len.saturating_mul(ROUNDS as u64) + SimDuration::from_millis(1);
+    let pass_len = round_len.saturating_mul(rounds as u64) + SimDuration::from_millis(1);
     let mut best: Option<(std::time::Duration, u64)> = None;
-    for _ in 0..PASSES {
+    for _ in 0..passes {
         let events_before = net.events_processed();
         let start = std::time::Instant::now();
-        for round in 0..ROUNDS {
+        for round in 0..rounds {
             for s in 0..n_segments {
                 // Intra-segment unicast keeps every ring loaded...
-                let dst = ((round + s) % (SCALE_NODES - 1)) as u8 + 1;
-                net.send_global(ga(s, 0), ga(s, dst), &[round as u8, s as u8]);
+                for k in 0..sends_per_round {
+                    let src = (k % nodes) as u8;
+                    let dst = ((round + s + k + 1) % nodes) as u8;
+                    if src != dst {
+                        net.send_global(
+                            ga(s, src),
+                            ga(s, dst),
+                            &[round as u8, s as u8, k as u8],
+                        );
+                    }
+                }
                 // ...and a crossing per segment exercises the barrier path.
                 if n_segments > 1 {
                     net.send_global(
@@ -298,11 +353,11 @@ fn scale_leg(
             best = Some((wall, events));
         }
     }
-    let (wall, events) = best.expect("PASSES > 0");
+    let (wall, events) = best.expect("passes > 0");
 
     let mut delivered = 0u64;
     for s in 0..n_segments {
-        for node in 0..SCALE_NODES as u8 {
+        for node in 0..nodes as u8 {
             while net.pop_global(ga(s, node)).is_some() {
                 delivered += 1;
             }
@@ -320,12 +375,21 @@ fn scale_leg(
 
 /// Synthetic hold-model timer workload: a stable-size queue where
 /// every pop schedules a replacement at a pseudorandom offset, with
-/// periodic same-instant bursts and cancels. Returns events/s.
+/// periodic same-instant bursts and cancels. Returns events/s — the
+/// best of three identical passes, because a shared host's noise
+/// bursts last longer than one pass and a single sample taken inside
+/// one inverts the wheel-vs-heap comparison.
 ///
 /// Written twice (wheel + heap) because the two queues share an API
 /// shape but no trait — the duplication IS the experiment: identical
 /// workload, only the data structure differs.
 fn queue_bench_events_per_sec(wheel: bool) -> f64 {
+    (0..3)
+        .map(|_| queue_bench_pass(wheel))
+        .fold(0.0f64, f64::max)
+}
+
+fn queue_bench_pass(wheel: bool) -> f64 {
     use ampnet_sim::{EventQueue, HeapEventQueue, SimRng, SimTime};
     const PREFILL: usize = 4096;
     const POPS: u64 = 400_000;
@@ -368,14 +432,22 @@ fn queue_bench_events_per_sec(wheel: bool) -> f64 {
 
 fn bench_scale(path: &str) {
     use ampnet_core::{Lookahead, ParallelMode};
-    const THREADS: usize = 8;
+    // What the bench *asks* for; each leg runs on the pool size the
+    // host can actually grant (see `threads_for`). The old harness
+    // recorded the request as if it were the grant, which made a
+    // time-sliced single-core run look like an 8-thread slowdown.
+    const THREADS_REQUESTED: usize = 8;
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let effective_threads = THREADS.min(host_threads);
+    // More workers than shards just park; more workers than host
+    // threads time-slice and *serialize* the epoch gate. Clamp to both.
+    let threads_for =
+        |segments: usize| THREADS_REQUESTED.min(host_threads).min(segments).max(1);
 
     // Queue microbench: the same synthetic timer workload through the
-    // shipping wheel and the legacy heap it replaced.
+    // shipping wheel and the legacy heap it replaced. The wheel rate
+    // doubles as the host-speed calibration for the serial guard.
     let wheel_eps = queue_bench_events_per_sec(true);
     let heap_eps = queue_bench_events_per_sec(false);
     println!(
@@ -386,17 +458,19 @@ fn bench_scale(path: &str) {
     );
 
     // Warm-up leg absorbs one-time lazy init, as in `bench_ring`.
-    let _ = scale_leg(1, ParallelMode::Serial, Lookahead::Adaptive);
+    let _ = scale_leg(sweep_shape(1), ParallelMode::Serial, Lookahead::Adaptive);
     let mut points = Vec::new();
     let mut speedup_at_8 = 0.0f64;
     let mut speedup_at_16 = 0.0f64;
     let mut serial_eps_at_16 = 0.0f64;
     let mut all_digests_equal = true;
     for &segs in &[1usize, 2, 4, 8, 16] {
-        let serial = scale_leg(segs, ParallelMode::Serial, Lookahead::Adaptive);
-        let threaded = scale_leg(segs, ParallelMode::Threads(THREADS), Lookahead::Adaptive);
-        let serial_fixed = scale_leg(segs, ParallelMode::Serial, Lookahead::Fixed);
-        let threaded_fixed = scale_leg(segs, ParallelMode::Threads(THREADS), Lookahead::Fixed);
+        let shape = sweep_shape(segs);
+        let threads = threads_for(segs);
+        let serial = scale_leg(shape, ParallelMode::Serial, Lookahead::Adaptive);
+        let threaded = scale_leg(shape, ParallelMode::Threads(threads), Lookahead::Adaptive);
+        let serial_fixed = scale_leg(shape, ParallelMode::Serial, Lookahead::Fixed);
+        let threaded_fixed = scale_leg(shape, ParallelMode::Threads(threads), Lookahead::Fixed);
         // Determinism contract: per policy, serial ≡ threaded.
         let equal =
             serial.digest == threaded.digest && serial_fixed.digest == threaded_fixed.digest;
@@ -419,10 +493,11 @@ fn bench_scale(path: &str) {
             serial_eps_at_16 = serial.events_per_sec;
         }
         println!(
-            "scale {segs:>2} segments ({:>3} nodes): adaptive serial {:>8.2} ms / \
-             threaded {:>8.2} ms ({speedup:.2}x), fixed serial {:>8.2} ms / \
+            "scale {segs:>2} segments ({:>3} nodes, {threads} worker{}): adaptive serial \
+             {:>8.2} ms / threaded {:>8.2} ms ({speedup:.2}x), fixed serial {:>8.2} ms / \
              threaded {:>8.2} ms ({speedup_fixed:.2}x), digests equal: {equal}",
-            segs * 16,
+            segs * shape.nodes,
+            if threads == 1 { "" } else { "s" },
             serial.wall_ms,
             threaded.wall_ms,
             serial_fixed.wall_ms,
@@ -433,7 +508,7 @@ fn bench_scale(path: &str) {
                 "    {{\"segments\": {}, \"nodes\": {}, ",
                 "\"serial_ms\": {:.3}, \"threaded_ms\": {:.3}, ",
                 "\"serial_fixed_ms\": {:.3}, \"threaded_fixed_ms\": {:.3}, ",
-                "\"threads\": {}, \"speedup\": {:.3}, ",
+                "\"threads_requested\": {}, \"threads\": {}, \"speedup\": {:.3}, ",
                 "\"speedup_fixed\": {:.3}, ",
                 "\"events\": {}, \"events_per_sec_serial\": {:.0}, ",
                 "\"events_per_sec_serial_fixed\": {:.0}, ",
@@ -445,12 +520,13 @@ fn bench_scale(path: &str) {
                 "\"digests_equal\": {}}}"
             ),
             segs,
-            segs * 16,
+            segs * shape.nodes,
             serial.wall_ms,
             threaded.wall_ms,
             serial_fixed.wall_ms,
             threaded_fixed.wall_ms,
-            THREADS,
+            THREADS_REQUESTED,
+            threads,
             speedup,
             speedup_fixed,
             serial.events,
@@ -464,46 +540,170 @@ fn bench_scale(path: &str) {
             equal,
         ));
     }
+
+    // The guarded leg: 16 saturated 32-node segments. Throughput and
+    // speedup contracts are read here, where every slice carries real
+    // shard work, not on the light sweep points.
+    let heavy_threads = threads_for(HEAVY.segments);
+    let heavy_serial = scale_leg(HEAVY, ParallelMode::Serial, Lookahead::Adaptive);
+    let heavy_threaded = scale_leg(
+        HEAVY,
+        ParallelMode::Threads(heavy_threads),
+        Lookahead::Adaptive,
+    );
+    let heavy_equal = heavy_serial.digest == heavy_threaded.digest;
+    all_digests_equal &= heavy_equal;
+    assert_eq!(
+        heavy_serial.delivered, heavy_threaded.delivered,
+        "heavy-leg delivery count mode-invariant"
+    );
+    let heavy_speedup = heavy_serial.wall_ms / heavy_threaded.wall_ms.max(1e-9);
+    println!(
+        "scale heavy ({} segments x {} nodes, {heavy_threads} worker{}): serial {:.2} ms \
+         ({:.2}M ev/s) / threaded {:.2} ms ({heavy_speedup:.2}x), digests equal: {heavy_equal}",
+        HEAVY.segments,
+        HEAVY.nodes,
+        if heavy_threads == 1 { "" } else { "s" },
+        heavy_serial.wall_ms,
+        heavy_serial.events_per_sec / 1e6,
+        heavy_threaded.wall_ms,
+    );
+
+    // Serial throughput guard: 20M ev/s absolute, scaled down on hosts
+    // whose *raw wheel* rate shows they cannot reach it for any
+    // simulation (full-cluster events cost MAC + transport + cache work
+    // on top of the queue op the wheel bench isolates). The calibration
+    // keeps the guard meaningful on slow shared runners instead of
+    // silently waiving it. The wheel is re-sampled AFTER the heavy leg
+    // and the floor uses the slower sample: on a bursty shared host the
+    // calibration and the guarded measurement run minutes apart, and a
+    // noise burst hitting only the heavy leg would otherwise read as a
+    // regression.
+    let wheel_eps_post = queue_bench_events_per_sec(true);
+    let calib_wheel = wheel_eps.min(wheel_eps_post);
+    let serial_floor = (0.30 * calib_wheel).min(20_000_000.0);
+    let serial_pass = heavy_serial.events_per_sec >= serial_floor;
+    println!(
+        "SCALE GUARD serial: {:.2}M ev/s vs floor {:.2}M ev/s \
+         (min(20M, 0.30 x wheel {:.2}M pre / {:.2}M post)) -- {}",
+        heavy_serial.events_per_sec / 1e6,
+        serial_floor / 1e6,
+        wheel_eps / 1e6,
+        wheel_eps_post / 1e6,
+        if serial_pass { "PASS" } else { "FAIL" },
+    );
+    let serial_guard_json = format!(
+        concat!(
+            "{{\"events_per_sec\": {:.0}, \"floor\": {:.0}, ",
+            "\"wheel_post_events_per_sec\": {:.0}, ",
+            "\"formula\": \"min(20e6, 0.30 * min(wheel_pre, wheel_post))\", \"pass\": {}}}"
+        ),
+        heavy_serial.events_per_sec, serial_floor, wheel_eps_post, serial_pass,
+    );
+
+    // Speedup guard: >=4x on hosts with 8+ threads, a proportional
+    // floor (host_threads / 2) on 2..7, and an explicit skip marker on
+    // single-thread hosts — where a time-sliced "threaded" leg measures
+    // scheduler overhead, not parallel scaling, and any number we
+    // printed would be a lie.
+    let speedup_floor = if host_threads >= 2 {
+        Some(if host_threads >= 8 {
+            4.0
+        } else {
+            host_threads as f64 / 2.0
+        })
+    } else {
+        None
+    };
+    let speedup_pass = speedup_floor.map(|floor| heavy_speedup >= floor);
+    let speedup_guard_json = match speedup_floor {
+        None => "\"skipped: 1 host thread\"".to_string(),
+        Some(floor) => format!(
+            concat!(
+                "{{\"speedup\": {:.3}, \"floor\": {:.2}, ",
+                "\"host_threads\": {}, \"pass\": {}}}"
+            ),
+            heavy_speedup,
+            floor,
+            host_threads,
+            speedup_pass == Some(true),
+        ),
+    };
+    match speedup_floor {
+        None => println!("SCALE GUARD speedup: skipped: 1 host thread"),
+        Some(floor) => println!(
+            "SCALE GUARD speedup: {heavy_speedup:.2}x vs {floor:.2}x floor \
+             ({host_threads} host threads) -- {}",
+            if speedup_pass == Some(true) { "PASS" } else { "FAIL" },
+        ),
+    }
+
     let json = format!(
         concat!(
             "{{\n  \"bench\": \"multiseg_scale\",\n",
             "  \"nodes_per_segment\": 16,\n",
             "  \"rounds\": 8,\n",
-            "  \"timed_passes\": 12,\n",
+            "  \"sends_per_round\": 8,\n",
+            "  \"timed_passes\": 8,\n",
             "  \"reported\": \"fastest pass (steady state)\",\n",
             "  \"lookahead\": \"adaptive (fixed legs for A/B)\",\n",
             "  \"host_threads\": {},\n",
-            "  \"effective_threads\": {},\n",
             "  \"queue_bench\": {{\"wheel_events_per_sec\": {:.0}, ",
             "\"heap_events_per_sec\": {:.0}, \"wheel_vs_heap\": {:.3}}},\n",
             "  \"speedup_at_8_segments\": {:.3},\n",
             "  \"speedup_at_16_segments\": {:.3},\n",
             "  \"serial_events_per_sec_at_16_segments\": {:.0},\n",
+            "  \"heavy\": {{\"segments\": {}, \"nodes\": {}, \"rounds\": {}, ",
+            "\"sends_per_round\": {}, \"timed_passes\": {}, \"threads\": {}, ",
+            "\"events\": {}, \"serial_ms\": {:.3}, \"threaded_ms\": {:.3}, ",
+            "\"serial_events_per_sec\": {:.0}, \"threaded_events_per_sec\": {:.0}, ",
+            "\"speedup\": {:.3}, \"digests_equal\": {}}},\n",
+            "  \"serial_guard\": {},\n",
+            "  \"speedup_guard\": {},\n",
             "  \"all_digests_equal\": {},\n",
             "  \"points\": [\n{}\n  ]\n}}\n"
         ),
         host_threads,
-        effective_threads,
         wheel_eps,
         heap_eps,
         wheel_eps / heap_eps.max(1e-9),
         speedup_at_8,
         speedup_at_16,
         serial_eps_at_16,
+        HEAVY.segments,
+        HEAVY.nodes,
+        HEAVY.rounds,
+        HEAVY.sends_per_round,
+        HEAVY.passes,
+        heavy_threads,
+        heavy_serial.events,
+        heavy_serial.wall_ms,
+        heavy_threaded.wall_ms,
+        heavy_serial.events_per_sec,
+        heavy_threaded.events_per_sec,
+        heavy_speedup,
+        heavy_equal,
+        serial_guard_json,
+        speedup_guard_json,
         all_digests_equal,
         points.join(",\n"),
     );
     std::fs::write(path, &json).expect("write scale json");
     print!("{json}");
     println!("wrote {path}");
+    // Contracts LAST, after the JSON exists on disk — a failed guard
+    // still leaves the full report for the CI artifact.
     assert!(all_digests_equal, "serial/threaded digest divergence");
-    if host_threads < 2 {
-        // Honest parallelism reporting: a single-core host cannot
-        // measure the speedup contract at all. Say so unmissably — the
-        // CI guard turns this condition into a hard job failure.
-        println!(
-            "WARNING: single-core host ({host_threads} thread); threaded legs ran \
-             time-sliced and the speedup columns do not measure parallel scaling"
+    assert!(
+        serial_pass,
+        "serial throughput guard: {:.2}M ev/s below floor {:.2}M ev/s",
+        heavy_serial.events_per_sec / 1e6,
+        serial_floor / 1e6,
+    );
+    if let Some(false) = speedup_pass {
+        panic!(
+            "speedup guard: {heavy_speedup:.2}x below floor {:.2}x on {host_threads} host threads",
+            speedup_floor.unwrap_or(f64::NAN),
         );
     }
 }

@@ -38,9 +38,29 @@
 //!   jumps past `now + slice` straight to the earliest event, so the
 //!   explored space genuinely contains the skip path.
 //!
+//! * `fused-slice-exercised` (reachability, adaptive only) — at least
+//!   one boundary is planned while the planner is fusing (two or more
+//!   consecutive quiet exchanges), so the widened-window path is
+//!   genuinely explored.
+//! * `fusion-clamped-by-crossing` (reachability, adaptive only) — a
+//!   fused plan happens while a crossing is in flight, so the fused
+//!   window is proven to interact with (and, by the safety property,
+//!   respect) the maturity clamp.
+//!
+//! Exchange/barrier elision in the engine corresponds to boundaries
+//! here at which nothing drains and nothing matures: the safety
+//! property (`crossing-delivered-at-maturity`) plus the terminal
+//! property (`no-shard-starves`) together prove that skipping those
+//! boundaries' synchronization neither reorders, delays nor loses a
+//! delivery.
+//!
 //! The [`PlannerVariant::IgnoreCrossings`] mutant plans with
 //! `earliest_crossing = None` — the exact bug of forgetting the
 //! crossing clamp — and the checker finds the late-delivery trace.
+//! The [`PlannerVariant::FuseThroughCrossings`] mutant keeps the clamp
+//! on ordinary plans but drops it exactly when the planner is fusing —
+//! the bug of letting a fused quiet window sail past a maturing
+//! crossing — and the checker finds that trace too.
 
 use crate::model::{Model, Property, PropertyKind};
 use crate::{check, CheckOptions, CheckReport};
@@ -55,6 +75,10 @@ pub enum PlannerVariant {
     /// Mutant: plans with `earliest_crossing = None`, so a grown slice
     /// or dead-air jump can overshoot a maturing crossing.
     IgnoreCrossings,
+    /// Mutant: honors the crossing clamp on ordinary plans but drops
+    /// it while fusing, so a fused quiet window overshoots a maturing
+    /// crossing.
+    FuseThroughCrossings,
 }
 
 /// Event-seeding offsets the adversary may pick (ticks after `now`).
@@ -81,12 +105,16 @@ pub struct PlannerModel {
 
 impl PlannerModel {
     /// The standard small world: 16-tick horizon, 2-tick base slice,
-    /// 3-tick bridge, two events per shard.
+    /// 7-tick bridge, two events per shard. The bridge is long enough
+    /// that two quiet boundaries (base, then doubled) fit inside a
+    /// crossing's flight window, so slice fusion can arm while a
+    /// crossing is in flight and the fused-window/maturity-clamp
+    /// interaction is explored.
     pub fn small(variant: PlannerVariant, policy: Lookahead) -> Self {
         PlannerModel {
             deadline: 16,
             base: 2,
-            latency: 3,
+            latency: 7,
             tokens: 2,
             variant,
             policy,
@@ -120,6 +148,11 @@ pub struct PlannerState {
     woke_quiescent: bool,
     /// Some boundary jumped past `now + slice` (dead-air skip).
     dead_air_jumped: bool,
+    /// Some boundary was planned while the planner was fusing.
+    fused_planned: bool,
+    /// Some boundary was planned while fusing with a crossing in
+    /// flight (the fused window met the maturity clamp).
+    fused_with_crossing: bool,
 }
 
 /// One atomic transition.
@@ -156,6 +189,8 @@ impl Model for PlannerModel {
             stalled: false,
             woke_quiescent: false,
             dead_air_jumped: false,
+            fused_planned: false,
+            fused_with_crossing: false,
         }]
     }
 
@@ -197,15 +232,30 @@ impl Model for PlannerModel {
                     .flatten()
                     .map(|&(t, _)| SimTime(t))
                     .min();
+                let exact_crossing = s
+                    .crossings
+                    .iter()
+                    .map(|&(t, _)| t)
+                    .filter(|&t| t > s.now)
+                    .min()
+                    .map(SimTime);
+                let fusing = s.planner.fusing();
+                if fusing {
+                    s.fused_planned = true;
+                    if exact_crossing.is_some() {
+                        s.fused_with_crossing = true;
+                    }
+                }
                 let earliest_crossing = match self.variant {
-                    PlannerVariant::Exact => s
-                        .crossings
-                        .iter()
-                        .map(|&(t, _)| t)
-                        .filter(|&t| t > s.now)
-                        .min()
-                        .map(SimTime),
+                    PlannerVariant::Exact => exact_crossing,
                     PlannerVariant::IgnoreCrossings => None,
+                    PlannerVariant::FuseThroughCrossings => {
+                        if fusing {
+                            None
+                        } else {
+                            exact_crossing
+                        }
+                    }
                 };
                 let b = s
                     .planner
@@ -292,7 +342,9 @@ impl Model for PlannerModel {
             (s.late_delivery as u64)
                 | (s.stalled as u64) << 1
                 | (s.woke_quiescent as u64) << 2
-                | (s.dead_air_jumped as u64) << 3,
+                | (s.dead_air_jumped as u64) << 3
+                | (s.fused_planned as u64) << 4
+                | (s.fused_with_crossing as u64) << 5,
         );
         h.finish()
     }
@@ -334,6 +386,16 @@ impl Model for PlannerModel {
                 name: "dead-air-skip-exercised",
                 kind: PropertyKind::Eventually,
                 check: |_, s| s.dead_air_jumped,
+            });
+            props.push(Property {
+                name: "fused-slice-exercised",
+                kind: PropertyKind::Eventually,
+                check: |_, s| s.fused_planned,
+            });
+            props.push(Property {
+                name: "fusion-clamped-by-crossing",
+                kind: PropertyKind::Eventually,
+                check: |_, s| s.fused_with_crossing,
             });
         }
         props
@@ -404,6 +466,16 @@ pub fn check_planner_ignores_crossings(max_states: usize) -> CheckReport {
     )
 }
 
+/// Check the fuse-through-crossings mutant (must deliver late): the
+/// clamp holds everywhere except fused plans, so any violation found
+/// is specifically a fused window overshooting a maturing crossing.
+pub fn check_planner_fuses_through_crossings(max_states: usize) -> CheckReport {
+    check(
+        &PlannerModel::small(PlannerVariant::FuseThroughCrossings, Lookahead::Adaptive),
+        CheckOptions { max_states },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,6 +516,14 @@ mod tests {
             }
             frontier = next;
         }
+    }
+
+    #[test]
+    fn fusion_mutant_delivers_late() {
+        let report = check_planner_fuses_through_crossings(2_000_000);
+        println!("{}", report.summary("planner/fuse-through-crossings"));
+        let cx = report.violation.expect("fusion mutant must be caught");
+        assert_eq!(cx.property, "crossing-delivered-at-maturity");
     }
 
     #[test]

@@ -76,11 +76,13 @@ pub(crate) struct NodeCtx {
     /// timers compare against it.
     pub(crate) sem_seq: u64,
     /// Own broadcasts inserted and not yet stripped (replayed after a
-    /// roster episode — slide 18 smart data recovery).
-    pub(crate) outstanding: Vec<MicroPacket>,
+    /// roster episode — slide 18 smart data recovery). FIFO: strips
+    /// acknowledge the oldest entry, so retirement is a `pop_front`.
+    pub(crate) outstanding: VecDeque<MicroPacket>,
     /// Own unicasts in flight, with insertion time (replayed likewise;
-    /// entries expire after two quiet tours).
-    pub(crate) outstanding_unicast: Vec<(SimTime, MicroPacket)>,
+    /// entries expire after two quiet tours). Insertion times are
+    /// monotone, so expiry pops an aged prefix off the front.
+    pub(crate) outstanding_unicast: VecDeque<(SimTime, MicroPacket)>,
 }
 
 #[derive(Debug)]
@@ -129,6 +131,13 @@ pub struct Cluster {
     /// Position of each node in the current ring (usize::MAX = not a
     /// member).
     pub(crate) ring_pos: Vec<usize>,
+    /// Memoized ring successor per node: `(successor, fiber metres)`
+    /// for members, `None` otherwise. `kick` runs once per event, and
+    /// the successor walk (`ring.order` indexing + `hop_fiber_m`'s
+    /// f64 path math) only changes when a roster episode installs a
+    /// new ring, so it is rebuilt there instead of recomputed per
+    /// transmission attempt.
+    pub(crate) ring_succ: Vec<Option<(u8, f64)>>,
     pub(crate) apps: crate::apps::AppState,
     pub(crate) diag: crate::diagnostics::DiagState,
     pub(crate) trace: Trace,
@@ -192,8 +201,8 @@ impl Cluster {
                     rank: None,
                     ampip: AmpIp::new(i as u8),
                     sem_seq: 0,
-                    outstanding: vec![],
-                    outstanding_unicast: vec![],
+                    outstanding: VecDeque::new(),
+                    outstanding_unicast: VecDeque::new(),
                 }
             })
             .collect();
@@ -215,6 +224,7 @@ impl Cluster {
             history: vec![],
             rejections: vec![],
             ring_pos: vec![usize::MAX; n],
+            ring_succ: vec![None; n],
             apps: Default::default(),
             diag: Default::default(),
             trace: Trace::disabled(),

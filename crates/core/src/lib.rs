@@ -48,7 +48,7 @@ pub use diagnostics::Certification;
 pub use multiseg::{
     Bridge, GlobalAddr, GlobalDatagram, MultiSegment, ParallelMode, SliceStats, ROUTE_STREAM,
 };
-pub use planner::{plan_boundary, Lookahead, SlicePlanner, MAX_SLICE_GROWTH};
+pub use planner::{plan_boundary, Lookahead, SlicePlanner, FUSE_AFTER, FUSE_FACTOR, MAX_SLICE_GROWTH};
 pub use collectives::COLLECTIVE_STREAM;
 pub use config::{ClusterConfig, PlantSpec, TimingModel};
 pub use ampnet_services::mpi::ReduceOp;

@@ -100,6 +100,7 @@ impl Cluster {
                 self.ring_up = false;
                 self.ring = PlantRing::empty();
                 self.ring_pos.fill(usize::MAX);
+                self.ring_succ.fill(None);
                 self.log(Level::Warn, "roster", format!("{c:?} failed; no survivors"));
                 self.observe(ObservedEvent::NoSurvivors(c));
             }
@@ -111,6 +112,16 @@ impl Cluster {
         self.ring_pos.fill(usize::MAX);
         for (pos, n) in self.ring.order.iter().enumerate() {
             self.ring_pos[n.0 as usize] = pos;
+        }
+        // Refresh the per-node successor memo (see `Cluster::ring_succ`).
+        self.ring_succ.fill(None);
+        let len = self.ring.order.len();
+        for (pos, n) in self.ring.order.iter().enumerate() {
+            let v = self.ring.order[(pos + 1) % len];
+            let fiber = self
+                .topo
+                .hop_fiber_m(*n, v, &self.ring.hops[pos]);
+            self.ring_succ[n.0 as usize] = Some((v.0, fiber));
         }
     }
 

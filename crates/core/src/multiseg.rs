@@ -15,9 +15,11 @@
 //! discrete-event simulation). Each slice, every cluster *shard*
 //! advances to the same simulated instant — under
 //! [`ParallelMode::Threads`] the shards advance concurrently on a
-//! scoped worker pool — then the coordinator performs the *barrier
-//! exchange*: route-stream inboxes are drained and bridge crossings
-//! injected in deterministic `(segment, node, FIFO seq)` order.
+//! scoped worker pool synchronized by a sense-reversing *epoch gate*
+//! (see `EpochGate`) — then the coordinator performs the *boundary
+//! exchange*: route-stream inboxes are drained in deterministic
+//! `(segment, node, FIFO seq)` order and matured bridge crossings
+//! injected per *dirty* bridge in bridge-registration order.
 //!
 //! Why determinism survives threads: shards only interact through the
 //! exchange. During a slice each cluster is advanced by exactly one
@@ -36,26 +38,38 @@
 //!
 //! # Adaptive lookahead
 //!
-//! Fixed slices charge the full synchronization price — two barrier
+//! Fixed slices charge the full synchronization price — two gate
 //! crossings and an exchange scan — every `slice` nanoseconds, even
 //! through phases where no bridge carries any traffic. The engine
-//! amortizes that three ways (all default, see [`Lookahead`]):
+//! amortizes that four ways (all default, see [`Lookahead`]):
 //!
-//! * **Adaptive slice sizing** ([`SlicePlanner`]): quiet exchanges
-//!   double the slice up to [`crate::MAX_SLICE_GROWTH`]× the base, any
-//!   moved traffic resets it, and dead air (no shard has an event
-//!   before the tentative boundary) is skipped outright.
+//! * **Adaptive slice sizing and fusion** ([`SlicePlanner`]): quiet
+//!   exchanges double the slice up to [`crate::MAX_SLICE_GROWTH`]× the
+//!   base, any moved traffic resets it, and dead air (no shard has an
+//!   event before the tentative boundary) is skipped outright. Once a
+//!   quiet phase is established ([`crate::FUSE_AFTER`] consecutive
+//!   quiet exchanges) and no crossing is in flight, consecutive quiet
+//!   slices *fuse*: one [`crate::FUSE_FACTOR`]-wide window is planned
+//!   and published in a single epoch-gate publication instead of
+//!   re-planning each slice.
 //! * **Quiescent-shard skipping**: a shard with no event due within
 //!   the slice does not wake its worker — the coordinator bumps its
 //!   clock inline (an O(1) operation) while workers that do have work
 //!   run concurrently. Every shard's clock still advances every slice;
-//!   only the wake is skipped.
-//! * **Exchange elision**: the route-stream drain is skipped when no
-//!   shard holds `ROUTE_STREAM` backlog (an O(1) check per shard
-//!   against [`Cluster::pending_messages_on`]) and crossing delivery
-//!   is skipped when nothing has matured. Both are pure no-ops when
-//!   skipped, so [`Lookahead::Fixed`] plus elision reproduces the
-//!   fixed-slice engine bit-for-bit.
+//!   only the wake is skipped. When *every* shard is quiescent the
+//!   epoch gate is never touched at all (a fully elided barrier,
+//!   counted in [`SliceStats::barriers_elided`]).
+//! * **Dirty-bridge exchange**: in-flight crossings are queued per
+//!   bridge (`CrossingSet`); a bridge is *dirty* while its queue is
+//!   non-empty. The delivery merge runs only over dirty bridges, the
+//!   earliest-maturity scan is one `front()` peek per bridge, and the
+//!   route-stream drain is gated on per-shard `ROUTE_STREAM` backlog
+//!   (an O(1) check per shard against [`Cluster::pending_messages_on`]).
+//! * **Exchange skipping**: when no shard holds backlog *and* no
+//!   crossing has matured, the whole exchange is a proven no-op and is
+//!   skipped outright ([`SliceStats::exchanges_skipped`]). Elision and
+//!   skipping are pure no-ops, so [`Lookahead::Fixed`] plus elision
+//!   reproduces the fixed-slice engine bit-for-bit.
 //!
 //! Every decision above is a pure function of shard-visible state at a
 //! boundary (queue peeks, inbox backlog, in-flight crossings) — all
@@ -72,7 +86,7 @@ use crate::planner::{Lookahead, SlicePlanner};
 use ampnet_sim::{Fnv64, SimDuration, SimTime};
 use ampnet_telemetry::{defs, CounterHandle, MetricsSnapshot, Telemetry, GLOBAL};
 use std::collections::VecDeque;
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
 /// Message stream reserved for inter-segment routing.
@@ -104,6 +118,64 @@ struct InFlight {
     deliver_at: SimTime,
     ingress: GlobalAddr,
     wire: Vec<u8>,
+}
+
+/// In-flight crossings, queued per bridge (index = bridge registration
+/// order). A bridge with a non-empty queue is *dirty*; the delivery
+/// merge runs only over dirty bridges and the whole exchange is
+/// skipped when no queue holds a matured entry.
+///
+/// Every push happens at a boundary instant `now` with `deliver_at =
+/// now + latency` for that bridge's constant latency, and boundaries
+/// are monotone — so each queue is FIFO *and* sorted by `deliver_at`.
+/// The front entry therefore carries the bridge's earliest maturity:
+/// the planner's earliest-crossing scan and the matured check are one
+/// `front()` peek per bridge instead of a walk over every crossing.
+#[derive(Default)]
+struct CrossingSet {
+    per_bridge: Vec<VecDeque<InFlight>>,
+}
+
+impl CrossingSet {
+    /// Grow to cover `n_bridges` queues (bridges are only ever added).
+    fn ensure(&mut self, n_bridges: usize) {
+        if self.per_bridge.len() < n_bridges {
+            self.per_bridge.resize_with(n_bridges, VecDeque::new);
+        }
+    }
+
+    /// Queue a crossing on bridge `idx` (registration order).
+    fn push(&mut self, idx: usize, x: InFlight) {
+        self.ensure(idx + 1);
+        debug_assert!(
+            self.per_bridge[idx].back().is_none_or(|b| b.deliver_at <= x.deliver_at),
+            "per-bridge queues must stay sorted by maturity"
+        );
+        self.per_bridge[idx].push_back(x);
+    }
+
+    /// Earliest in-flight maturity strictly after `now`, across all
+    /// bridges (one front peek per dirty bridge).
+    fn earliest_after(&self, now: SimTime) -> Option<SimTime> {
+        self.per_bridge
+            .iter()
+            .filter_map(|q| q.front())
+            .map(|x| x.deliver_at)
+            .filter(|&t| t > now)
+            .min()
+    }
+
+    /// Does any bridge hold a crossing matured at or before `t`?
+    fn any_matured(&self, t: SimTime) -> bool {
+        self.per_bridge
+            .iter()
+            .any(|q| q.front().is_some_and(|x| x.deliver_at <= t))
+    }
+
+    /// Number of dirty bridges (non-empty queues) right now.
+    fn dirty_count(&self) -> u64 {
+        self.per_bridge.iter().filter(|q| !q.is_empty()).count() as u64
+    }
 }
 
 /// A delivered global datagram.
@@ -149,7 +221,22 @@ pub struct SliceStats {
     pub deliveries_elided: u64,
     /// (shard, slice) pairs where the shard had no event due within
     /// the slice — its clock was bumped without waking a worker.
+    /// Counted exactly once per planned slice, at plan consumption
+    /// (both drive paths share the tally site), so slice fusion —
+    /// which replaces several notional slices with one planned one —
+    /// never double-counts.
     pub quiescent_shard_slices: u64,
+    /// Slices where *every* shard was quiescent: the epoch gate was
+    /// never touched (threaded mode publishes nothing, wakes no one).
+    /// A pure plan property, so mode-invariant.
+    pub barriers_elided: u64,
+    /// Boundaries where the entire exchange was skipped: no shard held
+    /// `ROUTE_STREAM` backlog *and* no crossing had matured.
+    pub exchanges_skipped: u64,
+    /// (bridge, boundary) pairs with at least one crossing in flight
+    /// after the drain — the numerator of the dirty-bridge ratio
+    /// (denominator: `slices × bridges`).
+    pub dirty_bridges: u64,
     /// Worker wake-ups under [`ParallelMode::Threads`] (always 0 under
     /// Serial). The one mode-*dependent* field.
     pub worker_wakes: u64,
@@ -161,6 +248,9 @@ impl SliceStats {
         self.drains_elided += other.drains_elided;
         self.deliveries_elided += other.deliveries_elided;
         self.quiescent_shard_slices += other.quiescent_shard_slices;
+        self.barriers_elided += other.barriers_elided;
+        self.exchanges_skipped += other.exchanges_skipped;
+        self.dirty_bridges += other.dirty_bridges;
         self.worker_wakes += other.worker_wakes;
     }
 }
@@ -173,6 +263,9 @@ struct CoordTel {
     slices: CounterHandle,
     exchanges_elided: CounterHandle,
     quiescent: CounterHandle,
+    barriers_elided: CounterHandle,
+    exchanges_skipped: CounterHandle,
+    dirty_bridges: CounterHandle,
 }
 
 impl CoordTel {
@@ -182,6 +275,9 @@ impl CoordTel {
             slices: tel.counter(&defs::PDES_SLICES, GLOBAL),
             exchanges_elided: tel.counter(&defs::PDES_EXCHANGES_ELIDED, GLOBAL),
             quiescent: tel.counter(&defs::PDES_QUIESCENT_SHARD_SLICES, GLOBAL),
+            barriers_elided: tel.counter(&defs::PDES_BARRIERS_ELIDED, GLOBAL),
+            exchanges_skipped: tel.counter(&defs::PDES_EXCHANGES_SKIPPED, GLOBAL),
+            dirty_bridges: tel.counter(&defs::PDES_DIRTY_BRIDGES, GLOBAL),
         }
     }
 }
@@ -190,7 +286,7 @@ impl CoordTel {
 pub struct MultiSegment {
     clusters: Vec<Cluster>,
     bridges: Vec<Bridge>,
-    crossing: Vec<InFlight>,
+    crossing: CrossingSet,
     delivered: Vec<Vec<VecDeque<GlobalDatagram>>>,
     /// Datagrams dropped for having no usable route (counted, so tests
     /// can assert routedness).
@@ -256,11 +352,12 @@ fn shard<'g, 'a>(cell: &'g ShardCell<'a>) -> MutexGuard<'g, &'a mut Cluster> {
 /// bridge hop.
 #[derive(Default)]
 struct RouteCtx {
-    /// Usable set for the current boundary; `None` until first use
-    /// within the boundary (invalidated by [`RouteCtx::new_boundary`]).
-    usable: Option<Vec<Bridge>>,
+    /// Usable set (bridge registration indices, ascending) for the
+    /// current boundary; `None` until first use within the boundary
+    /// (invalidated by [`RouteCtx::new_boundary`]).
+    usable: Option<Vec<usize>>,
     /// The usable set the memoized distance tables were built from.
-    tables_for: Vec<Bridge>,
+    tables_for: Vec<usize>,
     /// Memoized BFS distances, indexed by destination segment.
     dist_to: Vec<Option<Box<[usize]>>>,
     queue: VecDeque<usize>,
@@ -276,17 +373,17 @@ impl RouteCtx {
         self.usable = None;
     }
 
-    /// Next hop for `from_seg` → `dst_seg`, identical to
-    /// [`route_next_hop`] over the current usable set but with the
-    /// liveness scan amortized per boundary and the BFS amortized per
-    /// liveness change.
+    /// Next hop (bridge registration index) for `from_seg` →
+    /// `dst_seg`, identical to [`route_next_hop`] over the current
+    /// usable set but with the liveness scan amortized per boundary
+    /// and the BFS amortized per liveness change.
     fn route(
         &mut self,
         xch: &Exchange<'_>,
         cells: &[ShardCell<'_>],
         from_seg: u8,
         dst_seg: u8,
-    ) -> Option<Bridge> {
+    ) -> Option<usize> {
         if self.usable.is_none() {
             let fresh = xch.usable_bridges(cells);
             if fresh != self.tables_for {
@@ -302,27 +399,35 @@ impl RouteCtx {
         let slot = &mut self.dist_to[dst_seg as usize];
         let dist = match slot {
             Some(d) => &**d,
-            None => &**slot.insert(route_distances(usable, cells.len(), dst_seg, &mut self.queue)),
+            None => &**slot.insert(route_distances(
+                xch.bridges,
+                usable,
+                cells.len(),
+                dst_seg,
+                &mut self.queue,
+            )),
         };
-        first_descending_bridge(usable, dist, from_seg)
+        first_descending_bridge(xch.bridges, usable, dist, from_seg)
     }
 }
 
 /// Hop distances from every segment to `dst_seg` over the `usable`
-/// bridges (`usize::MAX` = unreachable): BFS from the destination,
-/// over the workspace's shared traversal
-/// ([`ampnet_topo::pathing::bfs_distances_into`]). Bridges are
-/// enumerated in registration order, so the distance field — and every
-/// routing decision derived from it — is unchanged from the inline
-/// implementation this replaced.
+/// bridges (registration indices into `bridges`; `usize::MAX` =
+/// unreachable): BFS from the destination, over the workspace's shared
+/// traversal ([`ampnet_topo::pathing::bfs_distances_into`]). Bridges
+/// are enumerated in registration order, so the distance field — and
+/// every routing decision derived from it — is unchanged from the
+/// inline implementation this replaced.
 fn route_distances(
-    usable: &[Bridge],
+    bridges: &[Bridge],
+    usable: &[usize],
     n_segments: usize,
     dst_seg: u8,
     queue: &mut VecDeque<usize>,
 ) -> Box<[usize]> {
     ampnet_topo::pathing::bfs_distances_into(n_segments, dst_seg as usize, queue, |seg, visit| {
-        for br in usable {
+        for &i in usable {
+            let br = &bridges[i];
             for (x, y) in [(br.a, br.b), (br.b, br.a)] {
                 if x.segment as usize == seg {
                     visit(y.segment as usize);
@@ -334,14 +439,20 @@ fn route_distances(
 
 /// The first usable bridge (registration order) out of `from_seg`
 /// whose far side is strictly closer to the destination `dist` was
-/// computed for.
-fn first_descending_bridge(usable: &[Bridge], dist: &[usize], from_seg: u8) -> Option<Bridge> {
+/// computed for. Returns the bridge's registration index.
+fn first_descending_bridge(
+    bridges: &[Bridge],
+    usable: &[usize],
+    dist: &[usize],
+    from_seg: u8,
+) -> Option<usize> {
     if dist[from_seg as usize] == usize::MAX {
         return None;
     }
     usable
         .iter()
-        .find(|br| {
+        .find(|&&i| {
+            let br = &bridges[i];
             let remote = if br.a.segment == from_seg {
                 br.b
             } else if br.b.segment == from_seg {
@@ -354,22 +465,24 @@ fn first_descending_bridge(usable: &[Bridge], dist: &[usize], from_seg: u8) -> O
         .copied()
 }
 
-/// Next-hop router for traffic from `from_seg` toward `dst_seg`, given
-/// the currently `usable` bridges (both router nodes online): BFS from
-/// the destination, then the first usable bridge (registration order)
-/// out of `from_seg` that decreases the distance. Pure function of
+/// Next-hop router (bridge registration index) for traffic from
+/// `from_seg` toward `dst_seg`, given the currently `usable` bridges
+/// (both router nodes online): BFS from the destination, then the
+/// first usable bridge (registration order) out of `from_seg` that
+/// decreases the distance. Pure function of
 /// `usable`/`n_segments`/`from_seg`/`dst_seg`, so serial and threaded
 /// execution route identically; [`RouteCtx::route`] is the memoized
 /// hot-path equivalent.
 fn route_next_hop(
-    usable: &[Bridge],
+    bridges: &[Bridge],
+    usable: &[usize],
     n_segments: usize,
     from_seg: u8,
     dst_seg: u8,
     queue: &mut VecDeque<usize>,
-) -> Option<Bridge> {
-    let dist = route_distances(usable, n_segments, dst_seg, queue);
-    first_descending_bridge(usable, &dist, from_seg)
+) -> Option<usize> {
+    let dist = route_distances(bridges, usable, n_segments, dst_seg, queue);
+    first_descending_bridge(bridges, usable, &dist, from_seg)
 }
 
 /// The barrier-exchange state: everything the coordinator mutates
@@ -379,22 +492,24 @@ fn route_next_hop(
 /// at several shards in sequence), which rules out lock-order cycles.
 struct Exchange<'a> {
     bridges: &'a [Bridge],
-    crossing: &'a mut Vec<InFlight>,
+    crossing: &'a mut CrossingSet,
     delivered: &'a mut [Vec<VecDeque<GlobalDatagram>>],
     unroutable: &'a mut u64,
 }
 
 impl Exchange<'_> {
-    /// Bridges whose *both* router nodes are online right now.
-    fn usable_bridges(&self, cells: &[ShardCell<'_>]) -> Vec<Bridge> {
+    /// Registration indices of bridges whose *both* router nodes are
+    /// online right now (ascending, preserving registration order).
+    fn usable_bridges(&self, cells: &[ShardCell<'_>]) -> Vec<usize> {
         self.bridges
             .iter()
-            .filter(|br| {
+            .enumerate()
+            .filter(|(_, br)| {
                 shard(&cells[br.a.segment as usize]).node_online(br.a.node)
                     // lint: allow(lock-discipline): coordinator-only probe while every worker is parked at the slice boundary — both guards are uncontended and no cross-thread order cycle exists
                     && shard(&cells[br.b.segment as usize]).node_online(br.b.node)
             })
-            .copied()
+            .map(|(i, _)| i)
             .collect()
     }
 
@@ -449,13 +564,14 @@ impl Exchange<'_> {
                         );
                     } else {
                         // This node is a router on the path: cross the
-                        // bridge toward dst.
+                        // bridge toward dst, marking its queue dirty.
                         match routes.route(self, cells, seg, dst.segment) {
-                            Some(br) => {
+                            Some(bi) => {
+                                let br = self.bridges[bi];
                                 let (local, remote) =
                                     if br.a.segment == seg { (br.a, br.b) } else { (br.b, br.a) };
                                 if local.node == node {
-                                    self.crossing.push(InFlight {
+                                    self.crossing.push(bi, InFlight {
                                         deliver_at: now + br.latency,
                                         ingress: remote,
                                         wire: d.payload.clone(),
@@ -479,66 +595,192 @@ impl Exchange<'_> {
         }
     }
 
-    /// Inject matured crossings into their ingress segment.
+    /// Inject matured crossings into their ingress segment: the merge
+    /// over *dirty* bridges, in bridge registration order, FIFO within
+    /// each queue. Clean bridges (empty queues) cost one `is_empty`
+    /// peek; a multi-hop re-cross pushed during the merge lands at
+    /// `now + latency > now` and is therefore never reprocessed within
+    /// the same boundary, wherever its target queue sits in the order.
     fn deliver_crossings(
         &mut self,
         cells: &[ShardCell<'_>],
         now: SimTime,
         routes: &mut RouteCtx,
     ) {
-        let mut staying = vec![];
-        let pending: Vec<InFlight> = self.crossing.drain(..).collect();
-        for x in pending {
-            if x.deliver_at > now {
-                staying.push(x);
-                continue;
-            }
-            let Some((dst, _src, _payload)) = decode(&x.wire) else {
-                continue;
-            };
-            let seg = x.ingress.segment as usize;
-            if !shard(&cells[seg]).node_online(x.ingress.node) {
-                // Router died while the frame crossed; re-route from
-                // any online node... the originator will re-send at
-                // the application layer. Count it.
-                *self.unroutable += 1;
-                continue;
-            }
-            if dst.segment == x.ingress.segment {
-                // Final segment: router forwards to the destination
-                // (or delivers to itself).
-                shard(&cells[seg]).send_message(x.ingress.node, dst.node, ROUTE_STREAM, &x.wire);
-            } else {
-                // Multi-hop: route onward from the ingress router.
-                match routes.route(self, cells, x.ingress.segment, dst.segment) {
-                    Some(br) => {
-                        let (local, remote) = if br.a.segment == x.ingress.segment {
-                            (br.a, br.b)
-                        } else {
-                            (br.b, br.a)
-                        };
-                        if local.node == x.ingress.node {
-                            staying.push(InFlight {
-                                deliver_at: now + br.latency,
-                                ingress: remote,
-                                wire: x.wire,
-                            });
-                        } else {
-                            shard(&cells[seg]).send_message(
-                                x.ingress.node,
-                                local.node,
-                                ROUTE_STREAM,
-                                &x.wire,
-                            );
+        for b in 0..self.crossing.per_bridge.len() {
+            while self.crossing.per_bridge[b]
+                .front()
+                .is_some_and(|x| x.deliver_at <= now)
+            {
+                let Some(x) = self.crossing.per_bridge[b].pop_front() else {
+                    break;
+                };
+                let Some((dst, _src, _payload)) = decode(&x.wire) else {
+                    continue;
+                };
+                let seg = x.ingress.segment as usize;
+                if !shard(&cells[seg]).node_online(x.ingress.node) {
+                    // Router died while the frame crossed; re-route
+                    // from any online node... the originator will
+                    // re-send at the application layer. Count it.
+                    *self.unroutable += 1;
+                    continue;
+                }
+                if dst.segment == x.ingress.segment {
+                    // Final segment: router forwards to the
+                    // destination (or delivers to itself).
+                    shard(&cells[seg]).send_message(
+                        x.ingress.node,
+                        dst.node,
+                        ROUTE_STREAM,
+                        &x.wire,
+                    );
+                } else {
+                    // Multi-hop: route onward from the ingress router.
+                    match routes.route(self, cells, x.ingress.segment, dst.segment) {
+                        Some(bi) => {
+                            let br = self.bridges[bi];
+                            let (local, remote) = if br.a.segment == x.ingress.segment {
+                                (br.a, br.b)
+                            } else {
+                                (br.b, br.a)
+                            };
+                            if local.node == x.ingress.node {
+                                self.crossing.push(bi, InFlight {
+                                    deliver_at: now + br.latency,
+                                    ingress: remote,
+                                    wire: x.wire,
+                                });
+                            } else {
+                                shard(&cells[seg]).send_message(
+                                    x.ingress.node,
+                                    local.node,
+                                    ROUTE_STREAM,
+                                    &x.wire,
+                                );
+                            }
                         }
+                        None => *self.unroutable += 1,
                     }
-                    None => *self.unroutable += 1,
                 }
             }
         }
-        *self.crossing = staying;
+    }
+}
+
+/// The sense-reversing epoch gate: the single synchronization
+/// primitive of the threaded drive, replacing the old per-worker
+/// channel wake plus shared done-channel protocol (two blocking
+/// channel crossings per worker per slice).
+///
+/// Protocol. The coordinator *publishes* a slice by storing the
+/// boundary (`step`), the busy-worker mask (`busy`), a zeroed `done`
+/// count, and then — the sense reversal — advancing the monotone
+/// `epoch` word (release ordering makes the other stores visible to
+/// anyone who observes the new epoch). Workers park on the epoch word
+/// (bounded spin, then [`std::thread::park`]); a worker that observes
+/// an epoch it has not completed re-reads `busy`/`step`, **re-checks
+/// the epoch word** (a changed epoch means the publication was torn
+/// across the reads — retry), advances its partition if its busy bit
+/// is set, and bumps `done`. The coordinator waits until `done`
+/// reaches the popcount of `busy`.
+///
+/// What the gate buys over the channels it replaces:
+/// * a worker whose partition is fully quiescent is never woken *and
+///   never contributes a crossing* — the coordinator bumps its shards
+///   inline and the worker stays parked through any number of epochs
+///   (it catches up by observing only the latest);
+/// * a fully-quiescent slice touches the gate not at all (no store,
+///   no unpark — [`SliceStats::barriers_elided`]);
+/// * a fused quiet window ([`crate::FUSE_FACTOR`] notional slices) is
+///   one publication.
+///
+/// Unpark tokens are sticky, so the publish-then-unpark order has no
+/// lost-wake window; a stale token at worst costs one spurious loop
+/// iteration (the worker re-parks on an unchanged epoch). `done` is
+/// bumped through a drop guard, so a panicking worker still releases
+/// the coordinator, which then propagates the panic through the
+/// poisoned shard mutex instead of spinning forever.
+struct EpochGate {
+    /// Monotone publication counter (the sense word).
+    epoch: AtomicU64,
+    /// Boundary instant (nanos) published with the current epoch.
+    step: AtomicU64,
+    /// Bit `w`: worker `w` owns at least one busy shard this epoch.
+    /// A `u64` caps the pool at 64 workers (enforced in `run_until`).
+    busy: AtomicU64,
+    /// Workers finished with the current epoch.
+    done: AtomicU64,
+    /// Set (before the final epoch bump) to shut the pool down.
+    shutdown: AtomicBool,
+}
+
+impl EpochGate {
+    fn new() -> Self {
+        EpochGate {
+            epoch: AtomicU64::new(0),
+            step: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        }
     }
 
+    /// Publish a slice: `mask` must be non-zero (an all-quiescent
+    /// slice elides the gate instead). Returns the new epoch.
+    fn publish(&self, step: SimTime, mask: u64) -> u64 {
+        debug_assert_ne!(mask, 0, "publishing an empty slice");
+        self.step.store(step.0, Ordering::Relaxed);
+        self.done.store(0, Ordering::Relaxed);
+        self.busy.store(mask, Ordering::Relaxed);
+        // The release bump orders every store above before the epoch
+        // observation that makes workers act on them.
+        self.epoch.fetch_add(1, Ordering::Release) + 1
+    }
+
+    /// Coordinator-side wait until `finished` workers completed the
+    /// current epoch. Bounded spin, then yield: slices are short, but
+    /// on an oversubscribed host the workers need the core more than
+    /// a spinning coordinator does.
+    fn await_done(&self, finished: u64) {
+        let mut spins = 0u32;
+        while self.done.load(Ordering::Acquire) < finished {
+            spins += 1;
+            if spins < 128 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Worker-side wait for an epoch newer than `seen`. Bounded spin,
+    /// then park (tokens make the race with `unpark` benign).
+    fn await_epoch(&self, seen: u64) -> u64 {
+        let mut spins = 0u32;
+        loop {
+            let e = self.epoch.load(Ordering::Acquire);
+            if e != seen {
+                return e;
+            }
+            spins += 1;
+            if spins < 128 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::park();
+            }
+        }
+    }
+}
+
+/// Bumps a counter on drop: keeps `EpochGate::await_done` finite even
+/// when a worker's slice panics (see the gate's protocol doc).
+struct DoneGuard<'g>(&'g AtomicU64);
+
+impl Drop for DoneGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_add(1, Ordering::Release);
+    }
 }
 
 /// One planned slice: the boundary every shard advances to, plus which
@@ -559,7 +801,7 @@ struct SlicePlan {
 /// argument reduces to this.
 fn plan_slice(
     cells: &[ShardCell<'_>],
-    crossing: &[InFlight],
+    crossing: &CrossingSet,
     planner: &SlicePlanner,
     deadline: SimTime,
 ) -> Option<SlicePlan> {
@@ -574,11 +816,7 @@ fn plan_slice(
         return None;
     }
     let earliest_event = nexts.iter().flatten().copied().min();
-    let earliest_crossing = crossing
-        .iter()
-        .map(|x| x.deliver_at)
-        .filter(|&t| t > now)
-        .min();
+    let earliest_crossing = crossing.earliest_after(now);
     let step_to = planner.boundary(now, deadline, earliest_event, earliest_crossing);
     let busy: Vec<bool> = nexts
         .iter()
@@ -603,7 +841,7 @@ impl MultiSegment {
         MultiSegment {
             clusters: configs.into_iter().map(Cluster::new).collect(),
             bridges: vec![],
-            crossing: vec![],
+            crossing: CrossingSet::default(),
             delivered,
             unroutable: 0,
             mode: ParallelMode::Serial,
@@ -675,6 +913,7 @@ impl MultiSegment {
         assert_ne!(a.segment, b.segment, "bridges join distinct segments");
         assert!(latency.as_nanos() > 0, "a zero-latency bridge has no lookahead");
         self.bridges.push(Bridge { a, b, latency });
+        self.crossing.ensure(self.bridges.len());
     }
 
     /// Enable telemetry with one *private* registry per segment (shard
@@ -757,24 +996,34 @@ impl MultiSegment {
             );
             return;
         }
-        let usable: Vec<Bridge> = self
+        let usable: Vec<usize> = self
             .bridges
             .iter()
-            .filter(|br| {
+            .enumerate()
+            .filter(|(_, br)| {
                 self.clusters[br.a.segment as usize].node_online(br.a.node)
                     && self.clusters[br.b.segment as usize].node_online(br.b.node)
             })
-            .copied()
+            .map(|(i, _)| i)
             .collect();
         let mut queue = VecDeque::new();
-        match route_next_hop(&usable, self.clusters.len(), src.segment, dst.segment, &mut queue) {
-            Some(br) => {
+        match route_next_hop(
+            &self.bridges,
+            &usable,
+            self.clusters.len(),
+            src.segment,
+            dst.segment,
+            &mut queue,
+        ) {
+            Some(bi) => {
+                let br = self.bridges[bi];
                 let router = if br.a.segment == src.segment { br.a } else { br.b };
                 if router.node == src.node {
-                    // The sender IS the router: queue straight across.
+                    // The sender IS the router: queue straight across
+                    // (marking the bridge dirty).
                     let now = self.clusters[src.segment as usize].now();
                     let egress = if br.a.segment == src.segment { br.b } else { br.a };
-                    self.crossing.push(InFlight {
+                    self.crossing.push(bi, InFlight {
                         deliver_at: now + br.latency,
                         ingress: egress,
                         wire,
@@ -799,14 +1048,17 @@ impl MultiSegment {
 
     /// Advance every segment in lockstep to `deadline`, moving bridge
     /// traffic between slices. The [`SlicePlanner`] sizes each slice
-    /// (at most `slice` under [`Lookahead::Fixed`], adaptively grown
-    /// under [`Lookahead::Adaptive`]); boundaries are additionally
-    /// placed at crossing maturity instants and at `deadline`. Under
+    /// (at most `slice` under [`Lookahead::Fixed`], adaptively grown —
+    /// and fused through established quiet phases — under
+    /// [`Lookahead::Adaptive`]); boundaries are additionally placed at
+    /// crossing maturity instants and at `deadline`. Under
     /// [`ParallelMode::Threads`] the busy shards of each slice advance
-    /// concurrently (quiescent shards get an inline clock bump without
-    /// a worker wake); the exchange between slices is always performed
-    /// by this thread in deterministic order, and elided outright when
-    /// it provably has nothing to move.
+    /// concurrently behind the sense-reversing `EpochGate` (quiescent
+    /// shards get an inline clock bump without a publication; fully
+    /// quiescent slices never touch the gate); the exchange between
+    /// slices is always performed by this thread in deterministic
+    /// order, runs its delivery merge only over dirty bridges, and is
+    /// skipped outright when it provably has nothing to move.
     pub fn run_until(&mut self, deadline: SimTime, slice: SimDuration) {
         assert!(slice.as_nanos() > 0, "slice must be positive");
         if self.clusters.is_empty() {
@@ -814,13 +1066,17 @@ impl MultiSegment {
         }
         let workers = match self.mode {
             ParallelMode::Serial => 1,
-            ParallelMode::Threads(n) => n.min(self.clusters.len()).max(1),
+            // The epoch gate's busy mask caps the pool at 64 — far
+            // beyond any host this runs on, and more workers than
+            // shards would idle anyway.
+            ParallelMode::Threads(n) => n.min(self.clusters.len()).clamp(1, 64),
         };
         let mut planner = SlicePlanner::new(slice, self.lookahead);
         let mut tally = SliceStats::default();
         // Split borrows: the shard cells take `clusters`; the exchange
         // takes everything else. Serial and threaded paths then share
         // all slice/exchange code.
+        self.crossing.ensure(self.bridges.len());
         let cells: Vec<ShardCell<'_>> = self.clusters.iter_mut().map(Mutex::new).collect();
         let mut xch = Exchange {
             bridges: &self.bridges,
@@ -830,10 +1086,12 @@ impl MultiSegment {
         };
         // The boundary exchange, shared by both drive paths. Elision:
         // draining is a no-op unless some shard holds ROUTE_STREAM
-        // backlog, delivery is a no-op unless a crossing has matured —
-        // both checks are O(shards) reads of deterministic state, so
-        // the elision decisions are mode-invariant (and under
-        // `Lookahead::Fixed` eliding changes nothing at all).
+        // backlog (O(shards) reads), delivery is a no-op unless a
+        // dirty bridge holds a matured crossing (one front peek per
+        // bridge) — all deterministic state, so the elision decisions
+        // are mode-invariant (and under `Lookahead::Fixed` eliding
+        // changes nothing at all). When both halves elide, the whole
+        // exchange was a proven no-op: counted as skipped.
         fn exchange_at(
             xch: &mut Exchange<'_>,
             cells: &[ShardCell<'_>],
@@ -858,12 +1116,16 @@ impl MultiSegment {
             // Crossings queued by the drain just now mature at
             // `step_to + latency` (latency > 0), never at `step_to`
             // itself, so checking after the drain misses nothing.
-            let any_matured = xch.crossing.iter().any(|x| x.deliver_at <= step_to);
+            let any_matured = xch.crossing.any_matured(step_to);
             if any_matured {
                 xch.deliver_crossings(cells, step_to, routes);
             } else {
                 tally.deliveries_elided += 1;
             }
+            if !any_backlog && !any_matured {
+                tally.exchanges_skipped += 1;
+            }
+            tally.dirty_bridges += xch.crossing.dirty_count();
             planner.note_exchange(any_backlog || any_matured);
             tally.slices += 1;
         }
@@ -871,54 +1133,68 @@ impl MultiSegment {
         if workers <= 1 {
             while let Some(plan) = plan_slice(&cells, xch.crossing, &planner, deadline) {
                 tally.quiescent_shard_slices += plan.quiescent;
+                if plan.quiescent == cells.len() as u64 {
+                    tally.barriers_elided += 1;
+                }
                 for cell in &cells {
                     shard(cell).run_until(plan.step_to);
                 }
                 exchange_at(&mut xch, &cells, plan.step_to, &mut planner, &mut tally, &mut routes);
             }
         } else {
-            // Threaded drive: persistent workers parked on per-worker
-            // channels. Each slice the coordinator wakes only the
-            // workers owning at least one busy shard, bumps the clocks
-            // of every other shard inline (O(1) each — their queues
-            // are empty up to the boundary), waits for the woken
-            // workers, then runs the exchange while all are parked.
-            // Worker `w` owns segments `w, w + n, ...` — a fixed
-            // partition, so across slices a shard is only ever touched
-            // by its worker or (when the whole partition is quiescent)
-            // the coordinator, never two threads in the same slice.
-            let (done_tx, done_rx) = mpsc::channel::<()>();
+            // Threaded drive: persistent workers parked on the epoch
+            // gate. Each slice the coordinator publishes the boundary
+            // and the busy-worker mask once, unparks exactly the busy
+            // workers, bumps the clocks of every other shard inline
+            // (O(1) each — their queues are empty up to the boundary),
+            // waits on the done count, then runs the exchange while
+            // all workers are parked. Worker `w` owns segments
+            // `w, w + n, ...` — a fixed partition, so across slices a
+            // shard is only ever touched by its worker or (when the
+            // whole partition is quiescent) the coordinator, never two
+            // threads in the same slice.
+            let gate = EpochGate::new();
             std::thread::scope(|scope| {
-                let mut wakes: Vec<mpsc::Sender<u64>> = Vec::with_capacity(workers);
-                for w in 0..workers {
-                    let (tx, rx) = mpsc::channel::<u64>();
-                    wakes.push(tx);
-                    let cells = &cells;
-                    let done = done_tx.clone();
-                    scope.spawn(move || {
-                        while let Ok(step) = rx.recv() {
-                            if step == u64::MAX {
-                                break;
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let cells = &cells;
+                        let gate = &gate;
+                        scope.spawn(move || {
+                            let mut seen = 0u64;
+                            loop {
+                                let cur = gate.await_epoch(seen);
+                                if gate.shutdown.load(Ordering::Acquire) {
+                                    break;
+                                }
+                                let mask = gate.busy.load(Ordering::Acquire);
+                                let step = SimTime(gate.step.load(Ordering::Acquire));
+                                if gate.epoch.load(Ordering::Acquire) != cur {
+                                    // Torn read: a newer publication
+                                    // landed between the loads. Retry
+                                    // against the new epoch (`seen` is
+                                    // still the last one *completed*).
+                                    continue;
+                                }
+                                if mask & (1u64 << w) != 0 {
+                                    let _done = DoneGuard(&gate.done);
+                                    let mut i = w;
+                                    while i < cells.len() {
+                                        shard(&cells[i]).run_until(step);
+                                        i += workers;
+                                    }
+                                }
+                                seen = cur;
                             }
-                            let mut i = w;
-                            while i < cells.len() {
-                                shard(&cells[i]).run_until(SimTime(step));
-                                i += workers;
-                            }
-                            if done.send(()).is_err() {
-                                break;
-                            }
-                        }
-                    });
-                }
+                        })
+                    })
+                    .collect();
                 while let Some(plan) = plan_slice(&cells, xch.crossing, &planner, deadline) {
                     tally.quiescent_shard_slices += plan.quiescent;
-                    let mut woken = 0usize;
-                    for (w, wake) in wakes.iter().enumerate() {
+                    let mut mask = 0u64;
+                    for w in 0..workers {
                         let has_busy = (w..cells.len()).step_by(workers).any(|i| plan.busy[i]);
                         if has_busy {
-                            wake.send(plan.step_to.0).expect("worker exited early"); // lint: allow(panic-freedom): a worker that dropped its receiver already panicked; surface that here
-                            woken += 1;
+                            mask |= 1u64 << w;
                         } else {
                             // Entire partition quiescent: bump the
                             // clocks here instead of a wake.
@@ -929,14 +1205,29 @@ impl MultiSegment {
                             }
                         }
                     }
-                    for _ in 0..woken {
-                        done_rx.recv().expect("worker exited early"); // lint: allow(panic-freedom): a worker that dropped its sender already panicked; surface that here
+                    if mask == 0 {
+                        // Fully quiescent slice (or fused window): the
+                        // gate is never touched — no publication, no
+                        // unpark, no wait.
+                        tally.barriers_elided += 1;
+                    } else {
+                        gate.publish(plan.step_to, mask);
+                        let mut woken = 0u64;
+                        for (w, h) in handles.iter().enumerate() {
+                            if mask & (1u64 << w) != 0 {
+                                h.thread().unpark();
+                                woken += 1;
+                            }
+                        }
+                        gate.await_done(woken);
+                        tally.worker_wakes += woken;
                     }
-                    tally.worker_wakes += woken as u64;
                     exchange_at(&mut xch, &cells, plan.step_to, &mut planner, &mut tally, &mut routes);
                 }
-                for wake in &wakes {
-                    let _ = wake.send(u64::MAX);
+                gate.shutdown.store(true, Ordering::Release);
+                gate.epoch.fetch_add(1, Ordering::Release);
+                for h in &handles {
+                    h.thread().unpark();
                 }
             });
         }
@@ -947,6 +1238,9 @@ impl MultiSegment {
                 .tel
                 .add(coord.exchanges_elided, tally.drains_elided + tally.deliveries_elided);
             coord.tel.add(coord.quiescent, tally.quiescent_shard_slices);
+            coord.tel.add(coord.barriers_elided, tally.barriers_elided);
+            coord.tel.add(coord.exchanges_skipped, tally.exchanges_skipped);
+            coord.tel.add(coord.dirty_bridges, tally.dirty_bridges);
         }
     }
 

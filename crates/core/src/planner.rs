@@ -60,6 +60,19 @@ pub enum Lookahead {
 /// assert on while still eliding ~98% of quiet exchanges.
 pub const MAX_SLICE_GROWTH: u32 = 64;
 
+/// Consecutive quiet exchanges required before the planner starts
+/// fusing slices. Two in a row distinguishes a genuine quiet phase
+/// from the single quiet boundary that trails every burst.
+pub const FUSE_AFTER: u32 = 2;
+
+/// Width of a fused window, in multiples of the current (grown) slice.
+/// A fused boundary stands in for up to this many back-to-back quiet
+/// slices: one plan, one publication, one exchange check instead of
+/// `FUSE_FACTOR`. Only applied when no crossing is in flight, so no
+/// maturity instant can fall inside the fused window (the
+/// `slice-planner` model in `ampnet-check` proves the guard).
+pub const FUSE_FACTOR: u32 = 8;
+
 /// Pure boundary decision for one adaptive slice. Exhaustively checked
 /// by the `slice-planner` model in `ampnet-check`; the engine calls it
 /// through [`SlicePlanner::boundary`].
@@ -112,6 +125,9 @@ pub struct SlicePlanner {
     base: SimDuration,
     cur: SimDuration,
     policy: Lookahead,
+    /// Consecutive exchanges that moved no traffic. Drives slice
+    /// fusion; reset by any boundary that moved traffic.
+    quiet_streak: u32,
 }
 
 impl SlicePlanner {
@@ -121,12 +137,19 @@ impl SlicePlanner {
             base,
             cur: base,
             policy,
+            quiet_streak: 0,
         }
     }
 
     /// The slice length the next boundary will be planned with.
     pub fn current_slice(&self) -> SimDuration {
         self.cur
+    }
+
+    /// Whether the next boundary would be planned as a fused window
+    /// (given that no crossing is in flight at plan time).
+    pub fn fusing(&self) -> bool {
+        self.policy == Lookahead::Adaptive && self.quiet_streak >= FUSE_AFTER
     }
 
     /// Decide the next boundary. See [`plan_boundary`] for the
@@ -150,7 +173,21 @@ impl SlicePlanner {
                 step
             }
             Lookahead::Adaptive => {
-                plan_boundary(now, self.cur, deadline, earliest_event, earliest_crossing)
+                // Slice fusion: in an established quiet phase
+                // (FUSE_AFTER+ consecutive exchanges moved nothing)
+                // with no crossing in flight, plan one FUSE_FACTOR-wide
+                // window instead of re-planning each slice. The guard
+                // matters: with no crossing queued, no maturity instant
+                // can fall inside the window, and any crossing *queued*
+                // during it is, by the boundary-quantization rule,
+                // picked up at the fused boundary — exactly where the
+                // drain for these notional slices would have coalesced.
+                let window = if self.fusing() && earliest_crossing.is_none() {
+                    self.cur.saturating_mul(FUSE_FACTOR as u64)
+                } else {
+                    self.cur
+                };
+                plan_boundary(now, window, deadline, earliest_event, earliest_crossing)
             }
         }
     }
@@ -158,17 +195,20 @@ impl SlicePlanner {
     /// Record whether the exchange at the boundary just reached moved
     /// any traffic (drained a route stream or delivered a crossing).
     /// Quiet boundaries double the adaptive slice up to
-    /// [`MAX_SLICE_GROWTH`]× base; busy ones reset it.
+    /// [`MAX_SLICE_GROWTH`]× base and extend the quiet streak that
+    /// arms slice fusion; busy ones reset both.
     pub fn note_exchange(&mut self, moved_traffic: bool) {
         if self.policy != Lookahead::Adaptive {
             return;
         }
-        self.cur = if moved_traffic {
-            self.base
+        if moved_traffic {
+            self.cur = self.base;
+            self.quiet_streak = 0;
         } else {
             let cap = self.base.saturating_mul(MAX_SLICE_GROWTH as u64);
-            SimDuration(self.cur.as_nanos().saturating_mul(2)).min(cap)
-        };
+            self.cur = SimDuration(self.cur.as_nanos().saturating_mul(2)).min(cap);
+            self.quiet_streak = self.quiet_streak.saturating_add(1);
+        }
     }
 }
 
@@ -262,6 +302,47 @@ mod tests {
             Some(SimTime(2 * US)),
             None,
         );
+        assert_eq!(b, SimTime(5 * US));
+    }
+
+    #[test]
+    fn fusion_arms_after_quiet_streak_and_disarms_on_traffic() {
+        let mut p = SlicePlanner::new(SimDuration(5 * US), Lookahead::Adaptive);
+        assert!(!p.fusing(), "fresh planner must not fuse");
+        p.note_exchange(false);
+        assert!(!p.fusing(), "one quiet exchange is not a quiet phase");
+        p.note_exchange(false);
+        assert!(p.fusing(), "FUSE_AFTER quiet exchanges arm fusion");
+        // Armed + no crossing in flight: the window is FUSE_FACTOR x
+        // the grown slice (here 20 µs after two doublings).
+        let b = p.boundary(SimTime(0), SimTime(10_000 * US), Some(SimTime(1)), None);
+        assert_eq!(b, SimTime(20 * US * FUSE_FACTOR as u64));
+        // A crossing in flight suppresses fusion entirely: the plain
+        // grown slice applies and the maturity clamp still wins.
+        let b = p.boundary(SimTime(0), SimTime(10_000 * US), Some(SimTime(1)), Some(SimTime(7 * US)));
+        assert_eq!(b, SimTime(7 * US));
+        p.note_exchange(true);
+        assert!(!p.fusing(), "traffic resets the quiet streak");
+        let b = p.boundary(SimTime(0), SimTime(10_000 * US), Some(SimTime(1)), None);
+        assert_eq!(b, SimTime(5 * US), "back to the base slice");
+    }
+
+    #[test]
+    fn fused_window_respects_deadline_and_dead_air() {
+        let mut p = SlicePlanner::new(SimDuration(5 * US), Lookahead::Adaptive);
+        for _ in 0..FUSE_AFTER {
+            p.note_exchange(false);
+        }
+        assert!(p.fusing());
+        // Deadline clamp.
+        let b = p.boundary(SimTime(0), SimTime(30 * US), Some(SimTime(1)), None);
+        assert_eq!(b, SimTime(30 * US));
+        // Dead-air jump still applies past the fused window.
+        let b = p.boundary(SimTime(0), SimTime(10_000 * US), Some(SimTime(900 * US)), None);
+        assert_eq!(b, SimTime(900 * US));
+        // Fixed policy never fuses.
+        let f = SlicePlanner::new(SimDuration(5 * US), Lookahead::Fixed);
+        let b = f.boundary(SimTime(0), SimTime(10_000 * US), None, None);
         assert_eq!(b, SimTime(5 * US));
     }
 

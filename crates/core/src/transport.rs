@@ -88,17 +88,11 @@ impl Cluster {
         }
     }
 
+    #[inline]
     fn ring_successor(&self, node: u8) -> Option<(u8, f64)> {
-        let pos = self.ring_pos[node as usize];
-        if pos == usize::MAX || self.ring.order.is_empty() {
-            return None;
-        }
-        let n = self.ring.order.len();
-        let v = self.ring.order[(pos + 1) % n];
-        let fiber =
-            self.topo
-                .hop_fiber_m(ampnet_topo::NodeId(node), v, &self.ring.hops[pos]);
-        Some((v.0, fiber))
+        // Memoized in `install_ring`: the successor and its fiber run
+        // are fixed between roster episodes.
+        self.ring_succ[node as usize]
     }
 
     pub(crate) fn kick(&mut self, node: u8) {
@@ -118,9 +112,9 @@ impl Cluster {
                     // per own insertion, not per hop.
                     let packet = self.arena.decode(frame.frame);
                     if packet.ctrl.is_broadcast() {
-                        self.nodes[i].outstanding.push(packet);
+                        self.nodes[i].outstanding.push_back(packet);
                     } else {
-                        self.nodes[i].outstanding_unicast.push((now, packet));
+                        self.nodes[i].outstanding_unicast.push_back((now, packet));
                     }
                 }
                 let (ser, latency) = self.hop_timing(fiber_m, frame.wire_bytes as usize);
@@ -319,9 +313,10 @@ impl Cluster {
                     }
                     StackOutcome::Stripped => {
                         crate::apps::on_strip(self, node);
-                        // Retire the acknowledged broadcast.
-                        if !self.nodes[i].outstanding.is_empty() {
-                            let acked = self.nodes[i].outstanding.remove(0);
+                        // Retire the acknowledged broadcast (oldest
+                        // outstanding entry — strips come back in
+                        // insertion order).
+                        if let Some(acked) = self.nodes[i].outstanding.pop_front() {
                             self.on_diag_strip(node, &acked);
                         }
                     }
@@ -331,17 +326,20 @@ impl Cluster {
                 // tours has certainly reached its destination). The
                 // window only changes with the ring, so it is cached
                 // keyed on ring length rather than recomputed (four
-                // f64 rounds) on every arrival.
+                // f64 rounds) on every arrival. Insertion times are
+                // monotone, so expiry is a pop of the aged prefix —
+                // O(expired), not a scan of every live entry.
                 let ring_len = self.ring.order.len();
                 if self.unicast_expiry.0 != ring_len {
                     self.unicast_expiry = (ring_len, self.quiet_tour().saturating_mul(2));
                 }
                 let expiry = self.unicast_expiry.1;
                 let now = self.sim.now();
-                if !self.nodes[i].outstanding_unicast.is_empty() {
-                    self.nodes[i]
-                        .outstanding_unicast
-                        .retain(|(t, _)| now.saturating_since(*t) <= expiry);
+                while let Some((t, _)) = self.nodes[i].outstanding_unicast.front() {
+                    if now.saturating_since(*t) <= expiry {
+                        break;
+                    }
+                    self.nodes[i].outstanding_unicast.pop_front();
                 }
                 self.kick(node);
             }

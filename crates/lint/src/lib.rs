@@ -73,9 +73,9 @@ pub const RULE_DOCS: &[RuleDoc] = &[
     RuleDoc {
         id: "lock-discipline",
         scope: "the sharded engine (crates/core/src/multiseg.rs)",
-        rationale: "The PDES engine shares shard cells (Mutex<&mut Cluster>) between workers and the coordinator; the Serial \u{2261} Threads(n) digest guarantee assumes no lock-order cycles and no guard held across a blocking synchronization point (Barrier::wait, channel recv) — the two footguns barrier elision creates. Nested acquisitions must be provably in ascending shard order (literal indices); anything dynamic takes locks one at a time or justifies itself.",
+        rationale: "The PDES engine shares shard cells (Mutex<&mut Cluster>) between workers and the coordinator; the Serial \u{2261} Threads(n) digest guarantee assumes no lock-order cycles and no guard held across a blocking synchronization point — Barrier::wait and channel recv from the barrier era, plus the epoch-gate primitives that replaced them (await_epoch, await_done, and the thread::park() both fall back to) — the two footguns barrier elision creates. Nested acquisitions must be provably in ascending shard order (literal indices); anything dynamic takes locks one at a time or justifies itself.",
         example: "let a = shard(&cells[1]);\nlet b = shard(&cells[0]); // cycle with any thread locking 0 then 1",
-        fix: "Take shard locks one statement at a time and release before every wait()/recv(); provably-ascending literal orders pass as-is.",
+        fix: "Take shard locks one statement at a time and release before every wait()/recv()/await_epoch()/await_done()/park(); provably-ascending literal orders pass as-is.",
     },
     RuleDoc {
         id: "allow-audit",

@@ -318,7 +318,12 @@ fn panic_freedom(file: &str, a: &Analysis<'_>, out: &mut Vec<Finding>) {
 /// R4 `lock-discipline`, scoped to the sharded engine: every nested
 /// shard-lock acquisition (`shard(…)` / `.lock()`) must be provably
 /// in ascending shard order, and no guard may be held across a
-/// blocking synchronization point (`Barrier::wait`, channel `recv`).
+/// blocking synchronization point — `Barrier::wait`, channel `recv`,
+/// or the epoch-gate primitives that replaced the barrier protocol:
+/// the worker-side `.await_epoch()` / coordinator-side `.await_done()`
+/// spin-then-block waits and the `std::thread::park()` they fall back
+/// to. A guard held across any of them deadlocks the pool the moment
+/// the parked thread's wake depends on the guard's owner.
 ///
 /// The analysis is intraprocedural and block-structured: guards bound
 /// by `let` live until their enclosing block closes or an explicit
@@ -482,12 +487,21 @@ fn lock_discipline(file: &str, a: &Analysis<'_>, out: &mut Vec<Finding>) {
                 guards.retain(|g| g.name.as_deref() != Some(name));
             }
         }
-        // Blocking synchronization point while a guard is live?
-        if t.kind == TokenKind::Ident
-            && (text == "wait" || text == "recv")
+        // Blocking synchronization point while a guard is live? Method
+        // calls cover the barrier-era waits and the epoch gate that
+        // replaced them; `park` is a free function (`thread::park()`),
+        // so it matches on a non-method, non-definition call site.
+        let blocking_method = t.kind == TokenKind::Ident
+            && matches!(text, "wait" | "recv" | "await_epoch" | "await_done")
             && code.get(i + 1).map(|n| n.text(a.src)) == Some("(")
-            && i.checked_sub(1).map(|j| code[j].text(a.src)) == Some(".")
-        {
+            && i.checked_sub(1).map(|j| code[j].text(a.src)) == Some(".");
+        let blocking_park = t.kind == TokenKind::Ident
+            && text == "park"
+            && code.get(i + 1).map(|n| n.text(a.src)) == Some("(")
+            && i.checked_sub(1)
+                .map(|j| code[j].text(a.src))
+                .is_none_or(|p| p != "." && p != "fn");
+        if blocking_method || blocking_park {
             if let Some(g) = guards.last() {
                 out.push(finding(
                     file,
@@ -495,8 +509,8 @@ fn lock_discipline(file: &str, a: &Analysis<'_>, out: &mut Vec<Finding>) {
                     "lock-discipline",
                     format!(
                         "shard guard from line {} is still live across this \
-                         blocking `.{text}()` — release every guard before \
-                         parking at a barrier",
+                         blocking `{text}()` — release every guard before \
+                         parking at the epoch gate",
                         g.line
                     ),
                 ));

@@ -196,7 +196,17 @@ fn r4_detects_descending_literal_order_and_passes_ascending() {
 
 #[test]
 fn r4_detects_guard_held_across_wait_and_recv() {
-    for sync in ["barrier.wait()", "rx.recv()"] {
+    // Barrier-era waits plus the epoch-gate primitives that replaced
+    // them: worker-side `await_epoch`, coordinator-side `await_done`,
+    // and the `thread::park()` both fall back to.
+    for sync in [
+        "barrier.wait()",
+        "rx.recv()",
+        "gate.await_epoch(seen)",
+        "gate.await_done(finished)",
+        "std::thread::park()",
+        "park()",
+    ] {
         let src = format!(
             "fn f(cells: &[ShardCell]) {{\n    let g = shard(&cells[0]);\n    {sync};\n    drop(g);\n}}\n"
         );
@@ -209,6 +219,23 @@ fn r4_detects_guard_held_across_wait_and_recv() {
         );
         assert!(lint(&src, RuleSet::all().without("lock-discipline")).is_empty());
     }
+}
+
+#[test]
+fn r4_park_matches_only_blocking_call_sites() {
+    // `unpark` is a wake, not a wait; a method-call `.park()` on some
+    // unrelated type and a `fn park` definition are not the primitive.
+    for benign in ["handle.thread().unpark()", "car.park()"] {
+        let src = format!(
+            "fn f(cells: &[ShardCell]) {{\n    let g = shard(&cells[0]);\n    {benign};\n    drop(g);\n}}\n"
+        );
+        assert!(
+            lint(&src, RuleSet::all()).is_empty(),
+            "{benign} must not flag"
+        );
+    }
+    let def = "fn park() {}\nfn f(cells: &[ShardCell]) {\n    let g = shard(&cells[0]);\n    g.tick();\n}\n";
+    assert!(lint(def, RuleSet::all()).is_empty());
 }
 
 #[test]

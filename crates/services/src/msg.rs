@@ -155,22 +155,63 @@ struct Partial {
 /// datagram would re-deliver as a duplicate).
 const DEDUP_WINDOW: usize = 128;
 
+/// Per-source window of recently delivered datagram ids: a fixed
+/// circular buffer of the last [`DEDUP_WINDOW`] ids. Exact-match
+/// lookup (not a `≤` cursor): a datagram whose first delivery attempt
+/// failed CRC must still deliver when replayed, even if newer ids
+/// from the same source landed in between.
+#[derive(Debug)]
+struct DedupWindow {
+    src: u8,
+    ids: [u16; DEDUP_WINDOW],
+    len: u16,
+    /// Next overwrite position once the window is full (oldest entry).
+    head: u16,
+}
+
+impl DedupWindow {
+    fn new(src: u8) -> Self {
+        DedupWindow {
+            src,
+            ids: [0; DEDUP_WINDOW],
+            len: 0,
+            head: 0,
+        }
+    }
+
+    #[inline]
+    fn contains(&self, id: u16) -> bool {
+        self.ids[..self.len as usize].contains(&id)
+    }
+
+    fn push(&mut self, id: u16) {
+        if (self.len as usize) < DEDUP_WINDOW {
+            self.ids[self.len as usize] = id;
+            self.len += 1;
+        } else {
+            self.ids[self.head as usize] = id;
+            self.head = (self.head + 1) % DEDUP_WINDOW as u16;
+        }
+    }
+}
+
 /// Receiver side: reassembles datagrams per (source, datagram id).
 ///
 /// Both lookup structures are linear-scan vectors, not maps: a
-/// receiver holds at most a handful of in-flight partials and a
-/// bounded window of delivered ids per source, so the scan beats
-/// hashing on the packet hot path and order never influences
-/// behaviour (keyed access only).
+/// receiver holds at most a handful of in-flight partials and one
+/// fixed-size dedup window per source, so the scan beats hashing on
+/// the packet hot path and order never influences behaviour (keyed
+/// access only). The dedup window used to be a single flat
+/// `Vec<(src, id)>` scanned end to end on *every* packet; with many
+/// sources that scan (up to `sources × DEDUP_WINDOW` entries) was the
+/// hottest function in the serial scale bench. The per-source ring
+/// keeps the identical delivered-id semantics with a bounded
+/// 128-entry probe.
 #[derive(Debug, Default)]
 pub struct MsgRx {
     partials: Vec<((u8, u16), Partial)>,
-    /// Recently delivered datagram ids, oldest first within each
-    /// source, capped at [`DEDUP_WINDOW`] per source. Exact-match
-    /// lookup (not a `≤` cursor): a datagram whose first delivery
-    /// attempt failed CRC must still deliver when replayed, even if
-    /// newer ids from the same source landed in between.
-    delivered_ids: Vec<(u8, u16)>,
+    /// One delivered-id window per source, created on first delivery.
+    delivered: Vec<DedupWindow>,
     stats: MsgRxStats,
     tel: Telemetry,
     assembled: CounterHandle,
@@ -215,7 +256,12 @@ impl MsgRx {
         let chunk = pkt.dma_payload().expect("variable body");
 
         let key = (src, id);
-        if self.delivered_ids.iter().any(|&(s, i)| s == src && i == id) {
+        if self
+            .delivered
+            .iter()
+            .find(|w| w.src == src)
+            .is_some_and(|w| w.contains(id))
+        {
             // Retransmission of an already-delivered datagram
             // (post-rostering replay): drop silently.
             return None;
@@ -274,14 +320,13 @@ impl MsgRx {
                 return None;
             }
             self.stats.delivered += 1;
-            self.delivered_ids.push((src, id));
-            if self.delivered_ids.iter().filter(|&&(s, _)| s == src).count() > DEDUP_WINDOW {
-                let oldest = self
-                    .delivered_ids
-                    .iter()
-                    .position(|&(s, _)| s == src)
-                    .expect("just pushed one");
-                self.delivered_ids.remove(oldest);
+            match self.delivered.iter_mut().find(|w| w.src == src) {
+                Some(w) => w.push(id),
+                None => {
+                    let mut w = DedupWindow::new(src);
+                    w.push(id);
+                    self.delivered.push(w);
+                }
             }
             self.tel.inc(self.assembled);
             return Some(Datagram {

@@ -141,10 +141,13 @@ pub enum QueueMutation {
 /// cancellation, implemented as a hierarchical timer wheel.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    /// `levels[k][slot]` holds entries whose time digit `k` equals
-    /// `slot` and whose digits above `k` equal the cursor's.
-    levels: Vec<Vec<Vec<Entry<E>>>>,
-    /// Per-level occupancy bitmap (bit `s` ⇔ `levels[k][s]` nonempty).
+    /// Bucket `k * SLOTS + slot` holds entries whose time digit `k`
+    /// equals `slot` and whose digits above `k` equal the cursor's.
+    /// Flattened to one contiguous allocation so the 384 bucket
+    /// headers share a few cache lines instead of chasing two
+    /// pointer levels per filing.
+    buckets: Vec<Vec<Entry<E>>>,
+    /// Per-level occupancy bitmap (bit `s` ⇔ bucket `k * SLOTS + s` nonempty).
     occupied: [u64; LEVELS],
     /// The wheel cursor: the timestamp of the most recently drained
     /// level-0 bucket. Entries still in the wheel all fire at or after
@@ -177,8 +180,8 @@ impl<E> EventQueue<E> {
     /// Empty queue.
     pub fn new() -> Self {
         EventQueue {
-            levels: (0..LEVELS)
-                .map(|_| (0..SLOTS).map(|_| Vec::with_capacity(BUCKET_PREALLOC)).collect())
+            buckets: (0..LEVELS * SLOTS)
+                .map(|_| Vec::with_capacity(BUCKET_PREALLOC))
                 .collect(),
             occupied: [0; LEVELS],
             cur: 0,
@@ -265,7 +268,7 @@ impl<E> EventQueue<E> {
             return;
         }
         let slot = slot_index(t, level);
-        self.levels[level][slot].push(e);
+        self.buckets[level * SLOTS + slot].push(e);
         self.occupied[level] |= 1 << slot;
     }
 
@@ -298,12 +301,10 @@ impl<E> EventQueue<E> {
             return;
         }
         let pending = &self.pending;
-        for (k, slots) in self.levels.iter_mut().enumerate() {
-            for (s, bucket) in slots.iter_mut().enumerate() {
-                bucket.retain(|e| pending.contains(e.seq));
-                if bucket.is_empty() {
-                    self.occupied[k] &= !(1 << s);
-                }
+        for (i, bucket) in self.buckets.iter_mut().enumerate() {
+            bucket.retain(|e| pending.contains(e.seq));
+            if bucket.is_empty() {
+                self.occupied[i / SLOTS] &= !(1 << (i % SLOTS));
             }
         }
         self.due.retain(|e| pending.contains(e.seq));
@@ -435,7 +436,7 @@ impl<E> EventQueue<E> {
                 let cur = self.cur;
                 let pending = &self.pending;
                 let mut dead = 0;
-                for e in self.levels[0][slot].drain(..) {
+                for e in self.buckets[slot].drain(..) {
                     if pending.contains(e.seq) {
                         debug_assert_eq!(e.at.0, cur);
                         self.due.push_back(e);
@@ -449,6 +450,22 @@ impl<E> EventQueue<E> {
                 if self.due.len() > 1 && self.mutation != QueueMutation::UnsortedDrain {
                     self.due.make_contiguous().sort_unstable_by_key(|e| e.seq);
                 }
+            } else if self.buckets[level * SLOTS + slot].len() == 1 {
+                // Singleton fast path — the sparse-timestamp common
+                // case. This entry is the earliest stored event
+                // anywhere: lower levels held nothing at or ahead of
+                // the cursor, other slots and higher levels start
+                // strictly later, the overflow was migrated down to
+                // strictly beyond the top-level window, and `due` is
+                // empty. Jump the cursor straight to its instant and
+                // stage it, skipping the level-by-level re-filing.
+                let e = self.buckets[level * SLOTS + slot].pop().expect("occupied slot was empty"); // lint: allow(panic-freedom): len() == 1 was just observed under the same borrow
+                if self.pending.contains(e.seq) {
+                    self.cur = e.at.0;
+                    self.due.push_back(e);
+                } else {
+                    self.dead -= 1;
+                }
             } else {
                 // Cascade: move the cursor to the slot's start and
                 // re-file its entries one level (or more) down. The
@@ -461,7 +478,7 @@ impl<E> EventQueue<E> {
                 self.cur =
                     (self.cur & !(level_span - 1)) + (slot as u64) * slot_width(level);
                 let mut bucket = std::mem::take(&mut self.spill);
-                std::mem::swap(&mut bucket, &mut self.levels[level][slot]);
+                std::mem::swap(&mut bucket, &mut self.buckets[level * SLOTS + slot]);
                 for e in bucket.drain(..) {
                     if self.pending.contains(e.seq) {
                         self.place(e);
@@ -469,7 +486,7 @@ impl<E> EventQueue<E> {
                         self.dead -= 1;
                     }
                 }
-                std::mem::swap(&mut bucket, &mut self.levels[level][slot]);
+                std::mem::swap(&mut bucket, &mut self.buckets[level * SLOTS + slot]);
                 self.spill = bucket;
             }
             return true;
@@ -503,10 +520,8 @@ impl<E> EventQueue<E> {
     /// keeps accepting schedules relative to the owning simulator's
     /// clock.
     pub fn clear(&mut self) {
-        for slots in &mut self.levels {
-            for bucket in slots.iter_mut() {
-                bucket.clear();
-            }
+        for bucket in &mut self.buckets {
+            bucket.clear();
         }
         self.occupied = [0; LEVELS];
         self.due.clear();

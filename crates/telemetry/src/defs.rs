@@ -171,6 +171,15 @@ def!(PDES_QUIESCENT_SHARD_SLICES, "pdes_quiescent_shard_slices", Counter, Events
     false,
     "slide 15",
     "Shard-slices advanced as a bare clock bump (no event due, no worker wake)");
+def!(PDES_BARRIERS_ELIDED, "pdes_barriers_elided", Counter, Events, Pdes, false,
+    "slide 15",
+    "Slices where every shard was quiescent, so the epoch gate was never touched");
+def!(PDES_EXCHANGES_SKIPPED, "pdes_exchanges_skipped", Counter, Events, Pdes, false,
+    "slide 15",
+    "Boundaries where the whole exchange was skipped (no backlog and no matured crossing)");
+def!(PDES_DIRTY_BRIDGES, "pdes_dirty_bridges", Counter, Events, Pdes, false,
+    "slide 15",
+    "Bridge-boundary pairs with a crossing in flight; over pdes_slices x bridges, the dirty-bridge ratio");
 
 // ---- load -------------------------------------------------------------
 def!(LOAD_ARRIVALS, "load_arrivals", Counter, Ops, Load, false,
@@ -240,6 +249,9 @@ pub static ALL: &[&MetricDef] = &[
     &PDES_SLICES,
     &PDES_EXCHANGES_ELIDED,
     &PDES_QUIESCENT_SHARD_SLICES,
+    &PDES_BARRIERS_ELIDED,
+    &PDES_EXCHANGES_SKIPPED,
+    &PDES_DIRTY_BRIDGES,
     &LOAD_ARRIVALS,
     &LOAD_COMPLETIONS,
     &LOAD_PUBSUB_LAGGED,

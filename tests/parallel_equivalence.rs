@@ -271,6 +271,194 @@ fn quiescent_segment_wakes_on_crossing() {
     }
 }
 
+/// Exact-count pin for the quiescence tally. The engine has two tally
+/// sites — the serial shard loop and the threaded coordinator fold —
+/// and both must bump `quiescent_shard_slices` once per *planned*
+/// slice, so a fused window counts its shards once, not once per
+/// fused-away sub-boundary. This scripts a schedule whose counts are
+/// derivable by hand and pins them exactly, in every mode:
+///
+/// * Quiet phase under `Fixed`: the fixed policy marches `now + base`
+///   regardless of pending events, so a stretch of `K` slice-widths
+///   is exactly `K` slices; with every shard drained, each one counts
+///   all `SEGS` shards quiescent, elides its barrier and skips its
+///   exchange — and never wakes a worker, even under `Threads(8)`.
+/// * Busy phase: one intra-segment datagram makes segment 0 busy for
+///   a pinned number of boundaries while the other three stay quiet.
+/// * The same quiet stretch under `Adaptive` is ONE slice (the planner
+///   jumps an eventless window straight to the deadline), counting its
+///   shards once.
+#[test]
+fn quiescence_accounting_is_exact() {
+    const SEGS: u64 = 4;
+    const QUIET: u64 = 8;
+    let build = |mode: ParallelMode, policy: Lookahead| {
+        let mut net = MultiSegment::new(
+            (0..SEGS)
+                .map(|s| ClusterConfig::small(4).with_seed(1100 + s))
+                .collect(),
+        );
+        for s in 0..SEGS as u8 {
+            net.add_bridge(ga(s, 3), ga((s + 1) % SEGS as u8, 0), SimDuration::from_micros(5));
+        }
+        net.set_parallel_mode(mode);
+        net.set_lookahead(policy);
+        net
+    };
+
+    let mut invariant: Option<Vec<u64>> = None;
+    for mode in MODES {
+        let mut net = build(mode, Lookahead::Fixed);
+        let slice = net.min_bridge_latency().unwrap();
+        // Boot fully settles; `run_until` clamps the last boundary to
+        // the deadline, so every shard clock sits exactly at `t0` and
+        // the phases below start aligned.
+        let t0 = net.segment(0).now() + SimDuration::from_millis(3);
+        net.run_until(t0, slice);
+        let settled = net.slice_stats();
+
+        net.run_until(t0 + slice.saturating_mul(QUIET), slice);
+        let quiet = net.slice_stats();
+        assert_eq!(quiet.slices - settled.slices, QUIET, "fixed quiet slices ({mode:?})");
+        assert_eq!(
+            quiet.quiescent_shard_slices - settled.quiescent_shard_slices,
+            QUIET * SEGS,
+            "every shard counts quiescent exactly once per slice ({mode:?})"
+        );
+        assert_eq!(
+            quiet.barriers_elided - settled.barriers_elided,
+            QUIET,
+            "all-quiet slices elide their barrier ({mode:?})"
+        );
+        assert_eq!(
+            quiet.exchanges_skipped - settled.exchanges_skipped,
+            QUIET,
+            "no backlog, no crossings: every exchange skipped ({mode:?})"
+        );
+        assert_eq!(
+            quiet.worker_wakes, settled.worker_wakes,
+            "an all-quiet slice never touches the epoch gate ({mode:?})"
+        );
+
+        // Busy phase: one local datagram on segment 0. Its delivery
+        // chain spans a pinned number of 5 µs boundaries; segments
+        // 1..3 never wake.
+        net.send_global(ga(0, 0), ga(0, 2), b"busy");
+        net.run_until(t0 + slice.saturating_mul(2 * QUIET), slice);
+        let busy = net.slice_stats();
+        assert!(net.pop_global(ga(0, 2)).is_some(), "local datagram landed ({mode:?})");
+        assert_eq!(busy.slices - quiet.slices, QUIET, "fixed busy-phase slices ({mode:?})");
+        let busy_shard_slices =
+            QUIET * SEGS - (busy.quiescent_shard_slices - quiet.quiescent_shard_slices);
+        assert_eq!(
+            busy_shard_slices, 1,
+            "segment 0 is busy for exactly one boundary ({mode:?})"
+        );
+
+        // The full mode-invariant delta tuple (worker_wakes excluded —
+        // it is the one deliberately mode-dependent field).
+        let tuple = vec![
+            busy.slices - settled.slices,
+            busy.quiescent_shard_slices - settled.quiescent_shard_slices,
+            busy.barriers_elided - settled.barriers_elided,
+            busy.exchanges_skipped - settled.exchanges_skipped,
+            busy.drains_elided - settled.drains_elided,
+            busy.deliveries_elided - settled.deliveries_elided,
+            busy.dirty_bridges - settled.dirty_bridges,
+            net.digest(),
+        ];
+        match &invariant {
+            None => invariant = Some(tuple),
+            Some(r) => assert_eq!(*r, tuple, "quiescence accounting differs under {mode:?}"),
+        }
+    }
+
+    // Adaptive over the same quiet stretch: one slice, shards counted
+    // once — a fused or deadline-jumped window must not multiply the
+    // tally by the boundaries it skipped.
+    for mode in MODES {
+        let mut net = build(mode, Lookahead::Adaptive);
+        let slice = net.min_bridge_latency().unwrap();
+        let t0 = net.segment(0).now() + SimDuration::from_millis(3);
+        net.run_until(t0, slice);
+        let settled = net.slice_stats();
+        net.run_until(t0 + slice.saturating_mul(QUIET), slice);
+        let quiet = net.slice_stats();
+        assert_eq!(
+            quiet.slices - settled.slices,
+            1,
+            "adaptive jumps an eventless stretch in one slice ({mode:?})"
+        );
+        assert_eq!(
+            quiet.quiescent_shard_slices - settled.quiescent_shard_slices,
+            SEGS,
+            "the jumped window counts each shard once ({mode:?})"
+        );
+        assert_eq!(quiet.barriers_elided - settled.barriers_elided, 1);
+        assert_eq!(quiet.exchanges_skipped - settled.exchanges_skipped, 1);
+        assert_eq!(quiet.worker_wakes, settled.worker_wakes, "({mode:?})");
+    }
+}
+
+/// Chaos-during-fusion pin: a fiber cut that lands *inside* a fused
+/// quiet window. After the early crossings drain, the adaptive planner
+/// builds a quiet streak past `FUSE_AFTER` with no crossing in flight,
+/// so slices are fused (×`FUSE_FACTOR`) when the scheduled failure
+/// fires on segment 1 — the relay segment for every crossing. The
+/// roster episode must unwind the fused window deterministically, and
+/// the first post-splice crossings (both directions) must re-dirty the
+/// bridges and land without loss or reorder — identically under every
+/// mode and both policies.
+fn fused_region_cut_scenario(policy: Lookahead) -> MultiSegScenario {
+    let mut sc = MultiSegScenario::new(
+        (0..3u64)
+            .map(|s| ClusterConfig::small(4).with_seed(1040 + s))
+            .collect(),
+    );
+    sc.bridge(ga(0, 3), ga(1, 0), SimDuration::from_micros(5));
+    sc.bridge(ga(1, 3), ga(2, 0), SimDuration::from_micros(5));
+    sc.run_for(SimDuration::from_millis(6));
+    sc.lookahead(policy);
+    // Early crossings in both directions, then ~2.4 ms of dead air —
+    // long enough for the quiet streak to arm fusion many times over.
+    sc.send_at(SimDuration::from_micros(40), ga(0, 1), ga(2, 2), b"pre-a");
+    sc.send_at(SimDuration::from_micros(60), ga(2, 1), ga(0, 2), b"pre-b");
+    sc.fail_at(
+        SimDuration::from_micros(2_500),
+        1,
+        Component::Link(NodeId(1), SwitchId(0)),
+    );
+    // After the splice heals, the first crossings re-dirty both
+    // bridges; none may be lost at the fusion boundary.
+    sc.send_at(SimDuration::from_millis(4), ga(0, 1), ga(2, 2), b"post-a");
+    sc.send_at(SimDuration::from_millis(4), ga(2, 1), ga(0, 2), b"post-b");
+    sc
+}
+
+#[test]
+fn fiber_cut_inside_fused_quiet_region_is_mode_invariant() {
+    for policy in POLICIES {
+        let sc = fused_region_cut_scenario(policy);
+        let reference = sc.run(ParallelMode::Serial);
+        for payload in [b"pre-a".as_slice(), b"pre-b", b"post-a", b"post-b"] {
+            assert!(
+                reference.delivered.iter().any(|(_, _, p)| p == payload),
+                "crossing {:?} lost under {policy:?}: {:?}",
+                String::from_utf8_lossy(payload),
+                reference.delivered
+            );
+        }
+        assert_eq!(reference.unroutable, 0);
+        for mode in &MODES[1..] {
+            let report = sc.run(*mode);
+            assert_eq!(
+                reference, report,
+                "fused-region cut differs between Serial and {mode:?} under {policy:?}"
+            );
+        }
+    }
+}
+
 /// Amortization sanity: on a quiet network the adaptive planner must
 /// run dramatically fewer slices (and elide most exchanges) than the
 /// fixed policy over the same interval — that is the whole point.
